@@ -1,0 +1,45 @@
+"""Ablation: naive per-CFD HEV chains vs the optVer plan inside incVer.
+
+Section 5's optimization only changes *where* equivalence classes are
+computed and how many eqids travel, never the result; the benchmark
+compares end-to-end incremental detection under both plans and records
+the eqid counts.
+"""
+
+import pytest
+
+import bench_utils as bu
+from repro.distributed.cluster import Cluster
+from repro.distributed.network import Network
+from repro.indexes.planner import naive_chain_plan
+from repro.vertical.incver import VerticalIncrementalDetector
+
+
+def _run_once(generator, relation, cfds, updates, plan):
+    network = Network()
+    cluster = Cluster.from_vertical(
+        generator.vertical_partitioner(bu.N_PARTITIONS), relation, network=network
+    )
+    VerticalIncrementalDetector(cluster, list(cfds), plan=plan).apply(updates)
+    return network.stats().eqids_shipped
+
+
+@pytest.mark.parametrize("mode", ["naive_chains", "optVer"])
+def test_incver_hev_plan_ablation(benchmark, mode):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(12)
+    relation = bu.tpch_relation(bu.FIXED_BASE)
+    updates = bu.tpch_updates(bu.FIXED_BASE, bu.FIXED_UPDATES)
+    if mode == "optVer":
+        plan = bu.optimized_plan(generator, cfds)
+    else:
+        plan = naive_chain_plan(list(cfds), generator.vertical_partitioner(bu.N_PARTITIONS))
+    eqids = _run_once(generator, relation, cfds, updates, plan)
+    benchmark.extra_info.update(
+        {"experiment": "Ablation-HEV-plan", "mode": mode, "eqids_shipped": eqids}
+    )
+    bu.bench_incremental_apply(
+        benchmark,
+        lambda: bu.vertical_incremental(generator, relation, cfds, plan=plan),
+        updates,
+    )

@@ -1,0 +1,68 @@
+"""Ablation: local-checkability of horizontal fragmentation schemes.
+
+Section 6 shows that a variable CFD can be checked locally when every
+fragment's selection predicate only mentions attributes of the CFD's
+LHS.  The benchmark compares incHor on the *same* data and CFDs under
+two fragmentation schemes: partitioning by customer nation (which makes
+the nation-keyed CFDs locally checkable and removes all broadcasts for
+them) versus hash-partitioning by the order key (the general case).
+"""
+
+import pytest
+
+import bench_utils as bu
+from repro.distributed.cluster import Cluster
+from repro.distributed.network import Network
+from repro.horizontal.inchor import HorizontalIncrementalDetector
+from repro.partition.horizontal import HorizontalFragment, HorizontalPartitioner
+from repro.partition.predicates import AttributeIn
+from repro.workloads.rules import generate_cfds
+from repro.workloads.tpch import _NATIONS
+
+
+def nation_partitioner(generator, n_fragments):
+    """Fragment the TPCH relation by groups of customer nations."""
+    nations = sorted(n for n, _ in _NATIONS)
+    groups = [nations[i::n_fragments] for i in range(n_fragments)]
+    fragments = [
+        HorizontalFragment(f"TPCH_N{i + 1}", i, AttributeIn("cnation", group))
+        for i, group in enumerate(groups)
+    ]
+    return HorizontalPartitioner(generator.schema, fragments)
+
+
+def nation_keyed_cfds(generator):
+    """CFDs whose LHS contains cnation, so nation partitioning makes them local."""
+    specs = [s for s in generator.fd_specs() if "cnation" in s.lhs]
+    return generate_cfds(specs, 6, seed=bu.SEED)
+
+
+@pytest.mark.parametrize("scheme", ["local_checkable", "general"])
+def test_inchor_local_check_ablation(benchmark, scheme):
+    generator = bu.tpch()
+    cfds = nation_keyed_cfds(generator)
+    relation = bu.tpch_relation(bu.FIXED_BASE)
+    updates = bu.tpch_updates(bu.FIXED_BASE, bu.FIXED_UPDATES)
+    if scheme == "local_checkable":
+        partitioner = nation_partitioner(generator, bu.N_PARTITIONS)
+    else:
+        partitioner = generator.horizontal_partitioner(bu.N_PARTITIONS)
+
+    network = Network()
+    cluster = Cluster.from_horizontal(partitioner, relation, network=network)
+    HorizontalIncrementalDetector(cluster, list(cfds)).apply(updates)
+    benchmark.extra_info.update(
+        {
+            "experiment": "Ablation-local-check",
+            "scheme": scheme,
+            "messages": network.total_messages,
+            "shipped_bytes": network.total_bytes,
+        }
+    )
+    bu.bench_incremental_apply(
+        benchmark,
+        lambda: bu.horizontal_incremental(
+            generator, relation, cfds, partitioner=partitioner
+        ),
+        updates,
+    )

@@ -1,0 +1,40 @@
+"""Ablation: MD5 tuple coding vs full-tuple shipping (Section 6 optimization).
+
+The MD5 optimization replaces whole-tuple broadcasts with a 128-bit
+digest plus the values the remote lookup needs.  The benchmark times
+both modes and records the bytes shipped by each.
+"""
+
+import pytest
+
+import bench_utils as bu
+from repro.distributed.cluster import Cluster
+from repro.distributed.network import Network
+from repro.horizontal.inchor import HorizontalIncrementalDetector
+
+
+@pytest.mark.parametrize("use_md5", [True, False], ids=["md5", "full_tuple"])
+def test_inchor_md5_ablation(benchmark, use_md5):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(bu.FIXED_CFDS)
+    relation = bu.tpch_relation(bu.FIXED_BASE)
+    updates = bu.tpch_updates(bu.FIXED_BASE, bu.FIXED_UPDATES)
+
+    network = Network()
+    cluster = Cluster.from_horizontal(
+        generator.horizontal_partitioner(bu.N_PARTITIONS), relation, network=network
+    )
+    HorizontalIncrementalDetector(cluster, list(cfds), use_md5=use_md5).apply(updates)
+    benchmark.extra_info.update(
+        {
+            "experiment": "Ablation-MD5",
+            "use_md5": use_md5,
+            "shipped_bytes": network.total_bytes,
+            "messages": network.total_messages,
+        }
+    )
+    bu.bench_incremental_apply(
+        benchmark,
+        lambda: bu.horizontal_incremental(generator, relation, cfds, use_md5=use_md5),
+        updates,
+    )

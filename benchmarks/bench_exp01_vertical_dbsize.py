@@ -1,0 +1,33 @@
+"""Exp-1 / Fig. 9(a): elapsed time vs |D| for vertical partitions.
+
+Paper claim: incVer's elapsed time is insensitive to |D| and two orders
+of magnitude below batVer, whose time grows with |D|.
+"""
+
+import pytest
+
+import bench_utils as bu
+
+
+@pytest.mark.parametrize("n_base", bu.BASE_SIZES)
+def test_incver_elapsed_vs_dbsize(benchmark, n_base):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(bu.FIXED_CFDS)
+    relation = bu.tpch_relation(n_base)
+    updates = bu.tpch_updates(n_base, bu.FIXED_UPDATES)
+    benchmark.extra_info.update({"experiment": "Exp-1", "figure": "9(a)", "n_base": n_base})
+    bu.bench_incremental_apply(
+        benchmark, lambda: bu.vertical_incremental(generator, relation, cfds), updates
+    )
+
+
+@pytest.mark.parametrize("n_base", bu.BASE_SIZES)
+def test_batver_elapsed_vs_dbsize(benchmark, n_base):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(bu.FIXED_CFDS)
+    updates = bu.tpch_updates(n_base, bu.FIXED_UPDATES)
+    updated = updates.apply_to(bu.tpch_relation(n_base))
+    benchmark.extra_info.update({"experiment": "Exp-1", "figure": "9(a)", "n_base": n_base})
+    bu.bench_batch_detect(
+        benchmark, lambda: bu.vertical_batch(generator, updated, cfds)
+    )

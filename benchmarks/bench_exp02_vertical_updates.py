@@ -1,0 +1,51 @@
+"""Exp-2 / Fig. 9(b)-(c): elapsed time and data shipment vs |delta-D| (vertical).
+
+Paper claim: incVer grows almost linearly with |delta-D| and ships far
+less data than batVer (1.6GB vs 17.6GB at the 10M-tuple point).
+"""
+
+import pytest
+
+import bench_utils as bu
+from repro.distributed.network import Network
+from repro.distributed.cluster import Cluster
+from repro.vertical.incver import VerticalIncrementalDetector
+
+
+@pytest.mark.parametrize("n_updates", bu.UPDATE_SIZES)
+def test_incver_elapsed_vs_updates(benchmark, n_updates):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(bu.FIXED_CFDS)
+    relation = bu.tpch_relation(bu.FIXED_BASE)
+    updates = bu.tpch_updates(bu.FIXED_BASE, n_updates)
+
+    # Record the data shipment of one run alongside the timing (Fig. 9(c)).
+    network = Network()
+    cluster = Cluster.from_vertical(
+        generator.vertical_partitioner(bu.N_PARTITIONS), relation, network=network
+    )
+    VerticalIncrementalDetector(cluster, list(cfds)).apply(updates)
+    benchmark.extra_info.update(
+        {
+            "experiment": "Exp-2",
+            "figure": "9(b)-(c)",
+            "n_updates": n_updates,
+            "inc_shipped_bytes": network.total_bytes,
+            "inc_shipped_eqids": network.stats().eqids_shipped,
+        }
+    )
+    bu.bench_incremental_apply(
+        benchmark, lambda: bu.vertical_incremental(generator, relation, cfds), updates
+    )
+
+
+@pytest.mark.parametrize("n_updates", bu.UPDATE_SIZES)
+def test_batver_elapsed_vs_updates(benchmark, n_updates):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(bu.FIXED_CFDS)
+    updates = bu.tpch_updates(bu.FIXED_BASE, n_updates)
+    updated = updates.apply_to(bu.tpch_relation(bu.FIXED_BASE))
+    benchmark.extra_info.update(
+        {"experiment": "Exp-2", "figure": "9(b)-(c)", "n_updates": n_updates}
+    )
+    bu.bench_batch_detect(benchmark, lambda: bu.vertical_batch(generator, updated, cfds))

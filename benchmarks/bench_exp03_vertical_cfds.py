@@ -1,0 +1,30 @@
+"""Exp-3 / Fig. 9(d): elapsed time vs |Sigma| for vertical partitions.
+
+Paper claim: incVer scales almost linearly with the number of CFDs.
+"""
+
+import pytest
+
+import bench_utils as bu
+
+
+@pytest.mark.parametrize("n_cfds", bu.CFD_COUNTS)
+def test_incver_elapsed_vs_cfds(benchmark, n_cfds):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(n_cfds)
+    relation = bu.tpch_relation(bu.FIXED_BASE)
+    updates = bu.tpch_updates(bu.FIXED_BASE, bu.FIXED_UPDATES)
+    benchmark.extra_info.update({"experiment": "Exp-3", "figure": "9(d)", "n_cfds": n_cfds})
+    bu.bench_incremental_apply(
+        benchmark, lambda: bu.vertical_incremental(generator, relation, cfds), updates
+    )
+
+
+@pytest.mark.parametrize("n_cfds", bu.CFD_COUNTS)
+def test_batver_elapsed_vs_cfds(benchmark, n_cfds):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(n_cfds)
+    updates = bu.tpch_updates(bu.FIXED_BASE, bu.FIXED_UPDATES)
+    updated = updates.apply_to(bu.tpch_relation(bu.FIXED_BASE))
+    benchmark.extra_info.update({"experiment": "Exp-3", "figure": "9(d)", "n_cfds": n_cfds})
+    bu.bench_batch_detect(benchmark, lambda: bu.vertical_batch(generator, updated, cfds))

@@ -1,0 +1,31 @@
+"""Exp-4 / Fig. 9(e): scaleup of incVer when n, |D| and |delta-D| grow together.
+
+Paper claim: incVer achieves nearly linear (ideal) scaleup.
+"""
+
+import pytest
+
+import bench_utils as bu
+
+
+@pytest.mark.parametrize("n_partitions", bu.SCALEUP_PARTITIONS)
+def test_incver_scaleup(benchmark, n_partitions):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(bu.FIXED_CFDS)
+    size = bu.SCALEUP_UNIT * n_partitions
+    relation = bu.tpch_relation(size)
+    updates = bu.tpch_updates(size, size)
+    benchmark.extra_info.update(
+        {
+            "experiment": "Exp-4",
+            "figure": "9(e)",
+            "n_partitions": n_partitions,
+            "n_base": size,
+            "n_updates": size,
+        }
+    )
+    bu.bench_incremental_apply(
+        benchmark,
+        lambda: bu.vertical_incremental(generator, relation, cfds, n_partitions=n_partitions),
+        updates,
+    )

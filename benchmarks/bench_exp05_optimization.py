@@ -1,0 +1,52 @@
+"""Exp-5 / Fig. 10: eqid shipments per unit update, with and without optVer.
+
+Paper claim: the optimization saves 55.5% of the eqid shipments on TPCH
+and 72.1% on DBLP.  The benchmark times the planner itself and records
+the shipment counts of both plans as extra info.
+"""
+
+import pytest
+
+import bench_utils as bu
+from repro.indexes.planner import HEVPlanner, naive_chain_plan
+from repro.partition.replication import ReplicationScheme
+
+
+def _record_counts(benchmark, generator, cfds):
+    partitioner = generator.vertical_partitioner(bu.N_PARTITIONS)
+    planner = HEVPlanner(partitioner, ReplicationScheme(partitioner))
+    comparison = planner.compare(list(cfds))
+    without = comparison["without_optimization"]
+    with_opt = comparison["with_optimization"]
+    benchmark.extra_info.update(
+        {
+            "experiment": "Exp-5",
+            "figure": "Fig. 10",
+            "eqids_without_optimization": without,
+            "eqids_with_optimization": with_opt,
+            "saved_percent": 0.0 if not without else round(100 * (without - with_opt) / without, 1),
+        }
+    )
+    return partitioner, planner
+
+
+def test_optver_planning_tpch(benchmark):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(20)
+    partitioner, planner = _record_counts(benchmark, generator, cfds)
+    benchmark(lambda: planner.plan(list(cfds)))
+
+
+def test_optver_planning_dblp(benchmark):
+    generator = bu.dblp()
+    cfds = bu.dblp_cfds(10)
+    partitioner, planner = _record_counts(benchmark, generator, cfds)
+    benchmark(lambda: planner.plan(list(cfds)))
+
+
+def test_naive_chain_planning_tpch(benchmark):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(20)
+    partitioner = generator.vertical_partitioner(bu.N_PARTITIONS)
+    benchmark.extra_info.update({"experiment": "Exp-5", "figure": "Fig. 10"})
+    benchmark(lambda: naive_chain_plan(list(cfds), partitioner))

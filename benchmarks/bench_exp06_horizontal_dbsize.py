@@ -1,0 +1,30 @@
+"""Exp-6 / Fig. 9(f): elapsed time vs |D| for horizontal partitions.
+
+Paper claim: incHor outperforms batHor and is independent of |D|.
+"""
+
+import pytest
+
+import bench_utils as bu
+
+
+@pytest.mark.parametrize("n_base", bu.BASE_SIZES)
+def test_inchor_elapsed_vs_dbsize(benchmark, n_base):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(bu.FIXED_CFDS)
+    relation = bu.tpch_relation(n_base)
+    updates = bu.tpch_updates(n_base, bu.FIXED_UPDATES)
+    benchmark.extra_info.update({"experiment": "Exp-6", "figure": "9(f)", "n_base": n_base})
+    bu.bench_incremental_apply(
+        benchmark, lambda: bu.horizontal_incremental(generator, relation, cfds), updates
+    )
+
+
+@pytest.mark.parametrize("n_base", bu.BASE_SIZES)
+def test_bathor_elapsed_vs_dbsize(benchmark, n_base):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(bu.FIXED_CFDS)
+    updates = bu.tpch_updates(n_base, bu.FIXED_UPDATES)
+    updated = updates.apply_to(bu.tpch_relation(n_base))
+    benchmark.extra_info.update({"experiment": "Exp-6", "figure": "9(f)", "n_base": n_base})
+    bu.bench_batch_detect(benchmark, lambda: bu.horizontal_batch(generator, updated, cfds))

@@ -1,0 +1,50 @@
+"""Exp-7 / Fig. 9(g)-(h): elapsed time and data shipment vs |delta-D| (horizontal).
+
+Paper claim: incHor grows almost linearly with |delta-D| and ships far
+less data than batHor.
+"""
+
+import pytest
+
+import bench_utils as bu
+from repro.distributed.cluster import Cluster
+from repro.distributed.network import Network
+from repro.horizontal.inchor import HorizontalIncrementalDetector
+
+
+@pytest.mark.parametrize("n_updates", bu.UPDATE_SIZES)
+def test_inchor_elapsed_vs_updates(benchmark, n_updates):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(bu.FIXED_CFDS)
+    relation = bu.tpch_relation(bu.FIXED_BASE)
+    updates = bu.tpch_updates(bu.FIXED_BASE, n_updates)
+
+    network = Network()
+    cluster = Cluster.from_horizontal(
+        generator.horizontal_partitioner(bu.N_PARTITIONS), relation, network=network
+    )
+    HorizontalIncrementalDetector(cluster, list(cfds)).apply(updates)
+    benchmark.extra_info.update(
+        {
+            "experiment": "Exp-7",
+            "figure": "9(g)-(h)",
+            "n_updates": n_updates,
+            "inc_shipped_bytes": network.total_bytes,
+            "inc_messages": network.total_messages,
+        }
+    )
+    bu.bench_incremental_apply(
+        benchmark, lambda: bu.horizontal_incremental(generator, relation, cfds), updates
+    )
+
+
+@pytest.mark.parametrize("n_updates", bu.UPDATE_SIZES)
+def test_bathor_elapsed_vs_updates(benchmark, n_updates):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(bu.FIXED_CFDS)
+    updates = bu.tpch_updates(bu.FIXED_BASE, n_updates)
+    updated = updates.apply_to(bu.tpch_relation(bu.FIXED_BASE))
+    benchmark.extra_info.update(
+        {"experiment": "Exp-7", "figure": "9(g)-(h)", "n_updates": n_updates}
+    )
+    bu.bench_batch_detect(benchmark, lambda: bu.horizontal_batch(generator, updated, cfds))

@@ -1,0 +1,30 @@
+"""Exp-8 / Fig. 9(i): elapsed time vs |Sigma| for horizontal partitions.
+
+Paper claim: incHor is almost linear in |Sigma|.
+"""
+
+import pytest
+
+import bench_utils as bu
+
+
+@pytest.mark.parametrize("n_cfds", bu.CFD_COUNTS)
+def test_inchor_elapsed_vs_cfds(benchmark, n_cfds):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(n_cfds)
+    relation = bu.tpch_relation(bu.FIXED_BASE)
+    updates = bu.tpch_updates(bu.FIXED_BASE, bu.FIXED_UPDATES)
+    benchmark.extra_info.update({"experiment": "Exp-8", "figure": "9(i)", "n_cfds": n_cfds})
+    bu.bench_incremental_apply(
+        benchmark, lambda: bu.horizontal_incremental(generator, relation, cfds), updates
+    )
+
+
+@pytest.mark.parametrize("n_cfds", bu.CFD_COUNTS)
+def test_bathor_elapsed_vs_cfds(benchmark, n_cfds):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(n_cfds)
+    updates = bu.tpch_updates(bu.FIXED_BASE, bu.FIXED_UPDATES)
+    updated = updates.apply_to(bu.tpch_relation(bu.FIXED_BASE))
+    benchmark.extra_info.update({"experiment": "Exp-8", "figure": "9(i)", "n_cfds": n_cfds})
+    bu.bench_batch_detect(benchmark, lambda: bu.horizontal_batch(generator, updated, cfds))

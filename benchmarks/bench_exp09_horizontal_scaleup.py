@@ -1,0 +1,31 @@
+"""Exp-9 / Fig. 9(j): scaleup of incHor when n, |D| and |delta-D| grow together.
+
+Paper claim: incHor has nearly ideal scaleup, like its vertical counterpart.
+"""
+
+import pytest
+
+import bench_utils as bu
+
+
+@pytest.mark.parametrize("n_partitions", bu.SCALEUP_PARTITIONS)
+def test_inchor_scaleup(benchmark, n_partitions):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(bu.FIXED_CFDS)
+    size = bu.SCALEUP_UNIT * n_partitions
+    relation = bu.tpch_relation(size)
+    updates = bu.tpch_updates(size, size)
+    benchmark.extra_info.update(
+        {
+            "experiment": "Exp-9",
+            "figure": "9(j)",
+            "n_partitions": n_partitions,
+            "n_base": size,
+            "n_updates": size,
+        }
+    )
+    bu.bench_incremental_apply(
+        benchmark,
+        lambda: bu.horizontal_incremental(generator, relation, cfds, n_partitions=n_partitions),
+        updates,
+    )

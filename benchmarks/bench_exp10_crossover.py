@@ -1,0 +1,64 @@
+"""Exp-10 / Fig. 11: incremental algorithms vs improved batch algorithms.
+
+Paper claim: incVer/incHor beat even the improved (index-assisted) batch
+algorithms until the update batch gets very large relative to |D|, where
+the curves cross.
+"""
+
+import pytest
+
+import bench_utils as bu
+
+
+@pytest.mark.parametrize("n_updates", bu.CROSSOVER_UPDATES)
+def test_incver_crossover(benchmark, n_updates):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(bu.FIXED_CFDS)
+    relation = bu.tpch_relation(bu.CROSSOVER_BASE)
+    updates = bu.tpch_updates(bu.CROSSOVER_BASE, n_updates, insert_fraction=0.6)
+    benchmark.extra_info.update(
+        {"experiment": "Exp-10", "figure": "11(a)", "n_updates": n_updates, "algorithm": "incVer"}
+    )
+    bu.bench_incremental_apply(
+        benchmark, lambda: bu.vertical_incremental(generator, relation, cfds), updates
+    )
+
+
+@pytest.mark.parametrize("n_updates", bu.CROSSOVER_UPDATES)
+def test_ibatver_crossover(benchmark, n_updates):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(bu.FIXED_CFDS)
+    relation = bu.tpch_relation(bu.CROSSOVER_BASE)
+    updates = bu.tpch_updates(bu.CROSSOVER_BASE, n_updates, insert_fraction=0.6)
+    benchmark.extra_info.update(
+        {"experiment": "Exp-10", "figure": "11(a)", "n_updates": n_updates, "algorithm": "ibatVer"}
+    )
+    detector = bu.vertical_improved_batch(generator, cfds)
+    benchmark(lambda: detector.detect(relation, updates))
+
+
+@pytest.mark.parametrize("n_updates", bu.CROSSOVER_UPDATES)
+def test_inchor_crossover(benchmark, n_updates):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(bu.FIXED_CFDS)
+    relation = bu.tpch_relation(bu.CROSSOVER_BASE)
+    updates = bu.tpch_updates(bu.CROSSOVER_BASE, n_updates, insert_fraction=0.6)
+    benchmark.extra_info.update(
+        {"experiment": "Exp-10", "figure": "11(b)", "n_updates": n_updates, "algorithm": "incHor"}
+    )
+    bu.bench_incremental_apply(
+        benchmark, lambda: bu.horizontal_incremental(generator, relation, cfds), updates
+    )
+
+
+@pytest.mark.parametrize("n_updates", bu.CROSSOVER_UPDATES)
+def test_ibathor_crossover(benchmark, n_updates):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(bu.FIXED_CFDS)
+    relation = bu.tpch_relation(bu.CROSSOVER_BASE)
+    updates = bu.tpch_updates(bu.CROSSOVER_BASE, n_updates, insert_fraction=0.6)
+    benchmark.extra_info.update(
+        {"experiment": "Exp-10", "figure": "11(b)", "n_updates": n_updates, "algorithm": "ibatHor"}
+    )
+    detector = bu.horizontal_improved_batch(generator, cfds)
+    benchmark(lambda: detector.detect(relation, updates))

@@ -1,0 +1,47 @@
+"""Exp-DBLP / Fig. 9(k)-(l): the DBLP workload, vertical partitions.
+
+Paper claim: the linear-in-|delta-D| and linear-in-|Sigma| behaviour of
+incVer also holds on the real-life DBLP data.
+"""
+
+import pytest
+
+import bench_utils as bu
+
+
+@pytest.mark.parametrize("n_updates", bu.DBLP_UPDATE_SIZES)
+def test_incver_dblp_vs_updates(benchmark, n_updates):
+    generator = bu.dblp()
+    cfds = bu.dblp_cfds(4)
+    relation = bu.dblp_relation(bu.DBLP_BASE)
+    updates = bu.dblp_updates(bu.DBLP_BASE, n_updates)
+    benchmark.extra_info.update(
+        {"experiment": "Exp-DBLP", "figure": "9(k)", "n_updates": n_updates}
+    )
+    bu.bench_incremental_apply(
+        benchmark, lambda: bu.vertical_incremental(generator, relation, cfds), updates
+    )
+
+
+@pytest.mark.parametrize("n_updates", bu.DBLP_UPDATE_SIZES)
+def test_batver_dblp_vs_updates(benchmark, n_updates):
+    generator = bu.dblp()
+    cfds = bu.dblp_cfds(4)
+    updates = bu.dblp_updates(bu.DBLP_BASE, n_updates)
+    updated = updates.apply_to(bu.dblp_relation(bu.DBLP_BASE))
+    benchmark.extra_info.update(
+        {"experiment": "Exp-DBLP", "figure": "9(k)", "n_updates": n_updates}
+    )
+    bu.bench_batch_detect(benchmark, lambda: bu.vertical_batch(generator, updated, cfds))
+
+
+@pytest.mark.parametrize("n_cfds", bu.DBLP_CFD_COUNTS)
+def test_incver_dblp_vs_cfds(benchmark, n_cfds):
+    generator = bu.dblp()
+    cfds = bu.dblp_cfds(n_cfds)
+    relation = bu.dblp_relation(bu.DBLP_BASE)
+    updates = bu.dblp_updates(bu.DBLP_BASE, 80)
+    benchmark.extra_info.update({"experiment": "Exp-DBLP", "figure": "9(l)", "n_cfds": n_cfds})
+    bu.bench_incremental_apply(
+        benchmark, lambda: bu.vertical_incremental(generator, relation, cfds), updates
+    )

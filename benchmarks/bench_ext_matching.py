@@ -1,0 +1,93 @@
+"""Extension benchmark: incremental matching-dependency detection.
+
+Not part of the paper's evaluation (MDs are its stated future work); the
+benchmark compares maintaining MD violations incrementally against
+recomputing them from scratch after every batch, and measures the effect
+of blocking on the batch detector.
+"""
+
+import pytest
+
+import bench_utils as bu
+from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.core.tuples import Tuple
+from repro.core.updates import Update, UpdateBatch
+from repro.similarity.detector import MDDetector
+from repro.similarity.incremental import IncrementalMDDetector
+from repro.similarity.md import MatchingDependency
+from repro.similarity.predicates import NormalizedStringMatch, NumericTolerance
+
+import random
+
+SCHEMA = Schema("CUST", ["cid", "name", "phone", "city", "balance"], key="cid")
+MDS = [
+    MatchingDependency(
+        [("name", NormalizedStringMatch()), ("phone", NumericTolerance(10))],
+        ["city"],
+        name="same_person_same_city",
+    ),
+    MatchingDependency(
+        [("name", NormalizedStringMatch())],
+        [("balance", NumericTolerance(5))],
+        name="same_name_same_balance",
+    ),
+]
+
+_FIRST = ["john", "maria", "wei", "fatima", "paul", "olga", "ken", "sara"]
+_LAST = ["smith", "garcia", "chen", "khan", "jones", "novak", "ito", "lee"]
+_CITIES = ["Edinburgh", "Glasgow", "London", "Madrid"]
+
+
+def _record(rng, cid):
+    name = f"{rng.choice(_FIRST)} {rng.choice(_LAST)}"
+    if rng.random() < 0.3:
+        name = name.title()
+    return Tuple(cid, {
+        "cid": cid,
+        "name": name,
+        "phone": rng.randrange(1000, 2000),
+        "city": rng.choice(_CITIES),
+        "balance": round(rng.uniform(0, 100), 2),
+    })
+
+
+def _base(n=300, seed=3):
+    rng = random.Random(seed)
+    return Relation(SCHEMA, [_record(rng, i + 1) for i in range(n)])
+
+
+def _updates(base, n=60, seed=4):
+    rng = random.Random(seed)
+    victims = rng.sample(sorted(base.tids()), n // 3)
+    updates = [Update.delete(base[tid]) for tid in victims]
+    updates += [Update.insert(_record(rng, 10_000 + i)) for i in range(n - len(victims))]
+    rng.shuffle(updates)
+    return UpdateBatch(updates)
+
+
+def test_incremental_md_apply(benchmark):
+    base = _base()
+    updates = _updates(base)
+    benchmark.extra_info.update({"experiment": "Ext-MD", "algorithm": "incremental"})
+
+    def setup():
+        return (IncrementalMDDetector(base, MDS), updates), {}
+
+    benchmark.pedantic(lambda det, batch: det.apply(batch), setup=setup, rounds=3, iterations=1)
+
+
+def test_batch_md_recompute_blocked(benchmark):
+    base = _base()
+    updated = _updates(base).apply_to(base)
+    benchmark.extra_info.update({"experiment": "Ext-MD", "algorithm": "batch_blocked"})
+    detector = MDDetector(MDS, use_blocking=True)
+    benchmark(lambda: detector.detect(updated))
+
+
+def test_batch_md_recompute_exhaustive(benchmark):
+    base = _base()
+    updated = _updates(base).apply_to(base)
+    benchmark.extra_info.update({"experiment": "Ext-MD", "algorithm": "batch_exhaustive"})
+    detector = MDDetector(MDS, use_blocking=False)
+    benchmark(lambda: detector.detect(updated))

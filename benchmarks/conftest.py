@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+The benchmarks live outside the ``tests`` package; this conftest makes
+the shared ``bench_utils`` module importable regardless of how pytest is
+invoked and groups benchmark output by the experiment each file
+reproduces.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

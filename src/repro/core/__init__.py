@@ -1,0 +1,36 @@
+"""Core data model of the reproduction.
+
+This subpackage contains everything that is independent of data
+distribution: relational schemas and tuples, conditional functional
+dependencies (CFDs) with their pattern-tuple semantics, the violation
+semantics ``V(phi, D)`` / ``V(Sigma, D)``, a centralized batch detector
+used as the correctness reference throughout the test suite, and the
+update (delta) model used by all incremental algorithms.
+"""
+
+from repro.core.schema import Attribute, Schema
+from repro.core.tuples import Tuple
+from repro.core.relation import Relation
+from repro.core.cfd import CFD, PatternTuple, UNNAMED, Tableau, merge_into_tableaux
+from repro.core.violations import ViolationSet, ViolationDelta
+from repro.core.detector import CentralizedDetector, detect_violations
+from repro.core.updates import Update, UpdateBatch, UpdateKind
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "Tuple",
+    "Relation",
+    "CFD",
+    "PatternTuple",
+    "UNNAMED",
+    "Tableau",
+    "merge_into_tableaux",
+    "ViolationSet",
+    "ViolationDelta",
+    "CentralizedDetector",
+    "detect_violations",
+    "Update",
+    "UpdateBatch",
+    "UpdateKind",
+]

@@ -1,0 +1,278 @@
+"""Conditional functional dependencies (CFDs).
+
+A CFD ``phi`` on relation ``R`` is a pair ``(X -> B, tp)`` where
+``X -> B`` is a standard functional dependency and ``tp`` is a *pattern
+tuple* over ``X`` and ``B`` whose entries are either constants or the
+unnamed variable '_' (Section 2.1 of the paper).  The match operator
+``~`` (written ``≍`` in the paper) compares a value with a pattern
+entry: they match when they are equal or when the pattern entry is '_'.
+
+Semantics: an instance ``D`` satisfies ``phi`` iff for all tuples
+``t, t'`` in ``D``, whenever ``t[X] = t'[X] ~ tp[X]`` then
+``t[B] = t'[B] ~ tp[B]``.
+
+The module also provides :class:`Tableau`, the equivalent representation
+``(X -> B, Tp)`` grouping several pattern tuples over the same embedded
+FD, which is what the paper's implementation uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.schema import Schema
+from repro.core.tuples import Tuple
+
+
+class CFDError(ValueError):
+    """Raised when a CFD definition is malformed."""
+
+
+class _Unnamed:
+    """The unnamed variable '_' used in pattern tuples.
+
+    A dedicated singleton (rather than the string ``"_"``) so that data
+    values are never accidentally interpreted as wildcards.
+    """
+
+    _instance: "_Unnamed | None" = None
+
+    def __new__(cls) -> "_Unnamed":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "_"
+
+    def __deepcopy__(self, memo: dict) -> "_Unnamed":  # pragma: no cover
+        return self
+
+
+#: Singleton wildcard used in pattern tuples.
+UNNAMED = _Unnamed()
+
+
+def pattern_matches(value: Any, pattern_entry: Any) -> bool:
+    """The match operator: ``value ~ pattern_entry``.
+
+    True when the pattern entry is the unnamed variable or equals the
+    value.  The paper extends the operator pointwise to tuples; callers
+    do that with :meth:`PatternTuple.matches`.
+    """
+    return pattern_entry is UNNAMED or value == pattern_entry
+
+
+@dataclass(frozen=True)
+class PatternTuple:
+    """A pattern tuple ``tp`` over a fixed list of attributes."""
+
+    entries: tuple[tuple[str, Any], ...]
+
+    def __init__(self, entries: Mapping[str, Any]):
+        object.__setattr__(self, "entries", tuple(entries.items()))
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(a for a, _ in self.entries)
+
+    def entry(self, attribute: str) -> Any:
+        for a, v in self.entries:
+            if a == attribute:
+                return v
+        raise CFDError(f"pattern tuple has no entry for attribute {attribute!r}")
+
+    def matches(self, t: Mapping[str, Any], attributes: Iterable[str] | None = None) -> bool:
+        """``t[attrs] ~ tp[attrs]`` pointwise (all attrs of the pattern by default)."""
+        attrs = tuple(attributes) if attributes is not None else self.attributes
+        return all(pattern_matches(t[a], self.entry(a)) for a in attrs)
+
+    def is_constant_on(self, attribute: str) -> bool:
+        """Whether the pattern pins ``attribute`` to a constant."""
+        return self.entry(attribute) is not UNNAMED
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{a}={'_' if v is UNNAMED else repr(v)}" for a, v in self.entries)
+        return f"PatternTuple({body})"
+
+
+class CFD:
+    """A conditional functional dependency ``(X -> B, tp)``.
+
+    Parameters
+    ----------
+    lhs:
+        The attributes ``X`` of the embedded FD.
+    rhs:
+        The single attribute ``B`` on the right-hand side.  (CFDs with a
+        multi-attribute RHS can always be normalised into one CFD per
+        RHS attribute; the paper, and this implementation, assume that
+        normal form.)
+    pattern:
+        Mapping from every attribute in ``X + [B]`` to either a constant
+        or :data:`UNNAMED`.  Attributes omitted from the mapping default
+        to :data:`UNNAMED`, so plain FDs can be written as
+        ``CFD(["A"], "B")``.
+    name:
+        Optional identifier used in violation reports; defaults to a
+        readable rendering of the rule.
+    """
+
+    __slots__ = ("lhs", "rhs", "pattern", "name")
+
+    def __init__(
+        self,
+        lhs: Sequence[str],
+        rhs: str,
+        pattern: Mapping[str, Any] | None = None,
+        name: str | None = None,
+    ):
+        lhs = tuple(lhs)
+        if not lhs:
+            raise CFDError("a CFD needs at least one LHS attribute")
+        if len(set(lhs)) != len(lhs):
+            raise CFDError(f"duplicate attributes in LHS {lhs}")
+        if rhs in lhs:
+            raise CFDError(f"RHS attribute {rhs!r} also appears in the LHS")
+        full_pattern = {a: UNNAMED for a in (*lhs, rhs)}
+        for attr, value in (pattern or {}).items():
+            if attr not in full_pattern:
+                raise CFDError(
+                    f"pattern attribute {attr!r} is not part of the CFD {lhs} -> {rhs}"
+                )
+            full_pattern[attr] = value
+        self.lhs = lhs
+        self.rhs = rhs
+        self.pattern = PatternTuple(full_pattern)
+        self.name = name or self._default_name()
+
+    # -- structure -------------------------------------------------------------
+
+    def _default_name(self) -> str:
+        def fmt(attr: str) -> str:
+            entry = self.pattern.entry(attr)
+            return attr if entry is UNNAMED else f"{attr}={entry!r}"
+
+        lhs = ", ".join(fmt(a) for a in self.lhs)
+        return f"[{lhs}] -> [{fmt(self.rhs)}]"
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """All attributes mentioned by the CFD (``X`` then ``B``)."""
+        return (*self.lhs, self.rhs)
+
+    def is_constant(self) -> bool:
+        """True for constant CFDs, i.e. ``tp[B]`` is a constant."""
+        return self.pattern.is_constant_on(self.rhs)
+
+    def is_variable(self) -> bool:
+        """True for variable CFDs, i.e. ``tp[B]`` is '_'."""
+        return not self.is_constant()
+
+    def is_plain_fd(self) -> bool:
+        """True when every pattern entry is '_', i.e. the CFD is a plain FD."""
+        return all(v is UNNAMED for _, v in self.pattern.entries)
+
+    def validate_against(self, schema: Schema) -> None:
+        """Raise :class:`CFDError` if the CFD mentions unknown attributes."""
+        for attr in self.attributes:
+            if attr not in schema:
+                raise CFDError(
+                    f"CFD {self.name!r} mentions attribute {attr!r} which is not in "
+                    f"schema {schema.name!r}"
+                )
+
+    # -- semantics ---------------------------------------------------------------
+
+    def lhs_matches(self, t: Mapping[str, Any]) -> bool:
+        """``t[X] ~ tp[X]``: the CFD applies to ``t``."""
+        return self.pattern.matches(t, self.lhs)
+
+    def rhs_matches(self, t: Mapping[str, Any]) -> bool:
+        """``t[B] ~ tp[B]``."""
+        return pattern_matches(t[self.rhs], self.pattern.entry(self.rhs))
+
+    def lhs_values(self, t: Tuple) -> tuple[Any, ...]:
+        """The key ``t[X]`` used to group tuples the CFD applies to."""
+        return t.values_for(self.lhs)
+
+    def single_tuple_violation(self, t: Mapping[str, Any]) -> bool:
+        """Whether ``t`` alone violates the CFD (possible only for constant CFDs).
+
+        Formally this is the case ``t' = t`` of the violation definition:
+        ``t[X] = t[X] ~ tp[X]`` and ``t[B] = t[B]`` but ``t[B]`` does not
+        match ``tp[B]``.
+        """
+        return self.lhs_matches(t) and not self.rhs_matches(t)
+
+    def pair_violates(self, t: Mapping[str, Any], other: Mapping[str, Any]) -> bool:
+        """Whether the pair ``(t, other)`` violates the CFD.
+
+        ``(t, t') |/= phi`` iff ``t[X] = t'[X] ~ tp[X]`` and either the
+        two tuples disagree on ``B`` or they agree but the shared value
+        does not match ``tp[B]``.
+        """
+        if not self.lhs_matches(t):
+            return False
+        for attr in self.lhs:
+            if t[attr] != other[attr]:
+                return False
+        if t[self.rhs] != other[self.rhs]:
+            return True
+        return not self.rhs_matches(t)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CFD({self.name})"
+
+    def __hash__(self) -> int:
+        return hash((self.lhs, self.rhs, self.pattern.entries))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CFD):
+            return NotImplemented
+        return (
+            self.lhs == other.lhs
+            and self.rhs == other.rhs
+            and self.pattern.entries == other.pattern.entries
+        )
+
+
+@dataclass
+class Tableau:
+    """The pattern-tableau form ``(X -> B, Tp)`` of a set of CFDs.
+
+    All member CFDs share the same embedded FD ``X -> B``; the tableau
+    stores their pattern tuples.  The paper notes that this equivalent
+    representation is what their implementation uses; we provide it for
+    the same reason (a detector can evaluate all rows of a tableau while
+    scanning the ``X``-groups once).
+    """
+
+    lhs: tuple[str, ...]
+    rhs: str
+    rows: list[PatternTuple]
+    name: str = ""
+
+    def cfds(self) -> list[CFD]:
+        """Expand the tableau back into individual CFDs."""
+        out = []
+        for i, row in enumerate(self.rows):
+            out.append(
+                CFD(self.lhs, self.rhs, row.as_dict(), name=f"{self.name or 'tableau'}#{i}")
+            )
+        return out
+
+
+def merge_into_tableaux(cfds: Iterable[CFD]) -> list[Tableau]:
+    """Group CFDs sharing an embedded FD into pattern tableaux."""
+    grouped: dict[tuple[tuple[str, ...], str], Tableau] = {}
+    for cfd in cfds:
+        key = (cfd.lhs, cfd.rhs)
+        if key not in grouped:
+            grouped[key] = Tableau(cfd.lhs, cfd.rhs, [], name=f"{'_'.join(cfd.lhs)}__{cfd.rhs}")
+        grouped[key].rows.append(cfd.pattern)
+    return list(grouped.values())

@@ -1,0 +1,81 @@
+"""Centralized (single-site) CFD violation detection.
+
+For a centralized database the paper notes that two SQL queries suffice
+to find ``V(Sigma, D)`` (one for the constant part, one for the variable
+part of each tableau).  :class:`CentralizedDetector` is the in-memory
+equivalent and serves two roles in this repository:
+
+* the *correctness reference* against which both distributed incremental
+  detectors are checked (property tests compare their results tuple for
+  tuple), and
+* the building block of the distributed batch baselines, which ship data
+  to a coordinator and then run centralized detection there.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable
+
+from repro.core.cfd import CFD
+from repro.core.relation import Relation
+from repro.core.tuples import Tuple
+from repro.core.violations import ViolationSet
+
+
+class CentralizedDetector:
+    """Batch detector for a set of CFDs over an in-memory relation."""
+
+    def __init__(self, cfds: Iterable[CFD]):
+        self._cfds = list(cfds)
+
+    @property
+    def cfds(self) -> list[CFD]:
+        return list(self._cfds)
+
+    # -- per-CFD detection -------------------------------------------------------
+
+    @staticmethod
+    def violations_of(cfd: CFD, tuples: Iterable[Tuple]) -> set[Any]:
+        """``V(phi, D)`` as a set of tids, for one CFD over arbitrary tuples.
+
+        Constant CFDs are violated by single tuples whose LHS matches
+        the pattern but whose RHS value differs from the constant.  For
+        variable CFDs, group tuples whose LHS matches the pattern by
+        their LHS values; every group holding two or more distinct RHS
+        values consists entirely of violations.
+        """
+        violating: set[Any] = set()
+        if cfd.is_constant():
+            for t in tuples:
+                if cfd.single_tuple_violation(t):
+                    violating.add(t.tid)
+            return violating
+
+        groups: dict[tuple[Any, ...], dict[Any, set[Any]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        for t in tuples:
+            if cfd.lhs_matches(t):
+                groups[cfd.lhs_values(t)][t[cfd.rhs]].add(t.tid)
+        for by_rhs in groups.values():
+            if len(by_rhs) > 1:
+                for tids in by_rhs.values():
+                    violating.update(tids)
+        return violating
+
+    # -- full detection -------------------------------------------------------------
+
+    def detect(self, relation: Relation | Iterable[Tuple]) -> ViolationSet:
+        """Compute ``V(Sigma, D)`` with per-CFD marks."""
+        tuples = list(relation)
+        violations = ViolationSet()
+        for cfd in self._cfds:
+            for tid in self.violations_of(cfd, tuples):
+                violations.add(tid, cfd.name)
+        return violations
+
+
+def detect_violations(cfds: Iterable[CFD], relation: Relation | Iterable[Tuple]) -> ViolationSet:
+    """Convenience wrapper: ``V(Sigma, D)`` for a set of CFDs over ``relation``."""
+    return CentralizedDetector(cfds).detect(relation)

@@ -1,0 +1,179 @@
+"""In-memory relations (instances of a schema).
+
+A :class:`Relation` stores tuples indexed by tid and supports the small
+set of operations the detection algorithms need: insertion, deletion,
+projection (for vertical fragmentation), selection (for horizontal
+fragmentation) and reconstruction by join/union.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.core.schema import Schema, SchemaError
+from repro.core.tuples import Tuple
+
+
+class RelationError(ValueError):
+    """Raised on malformed relation operations (duplicate tid, bad attrs)."""
+
+
+class Relation:
+    """A mutable set of tuples conforming to a :class:`Schema`.
+
+    Tuples are indexed by tid; membership tests, lookups, insertions and
+    deletions are all O(1).
+    """
+
+    def __init__(self, schema: Schema, tuples: Iterable[Tuple] = ()):
+        self._schema = schema
+        self._tuples: dict[Any, Tuple] = {}
+        for t in tuples:
+            self.insert(t)
+
+    # -- basic protocol --------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The relation's schema."""
+        return self._schema
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._tuples.values())
+
+    def __contains__(self, tid: Any) -> bool:
+        return tid in self._tuples
+
+    def get(self, tid: Any) -> Tuple | None:
+        """Return the tuple with identifier ``tid`` or ``None``."""
+        return self._tuples.get(tid)
+
+    def __getitem__(self, tid: Any) -> Tuple:
+        try:
+            return self._tuples[tid]
+        except KeyError:
+            raise RelationError(f"no tuple with tid {tid!r}") from None
+
+    def tids(self) -> set[Any]:
+        """The set of all tuple identifiers."""
+        return set(self._tuples)
+
+    # -- construction helpers ---------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls, schema: Schema, rows: Iterable[Mapping[str, Any]]
+    ) -> "Relation":
+        """Build a relation from dict-like rows; the key column is the tid."""
+        relation = cls(schema)
+        for row in rows:
+            tid = row[schema.key]
+            relation.insert(Tuple(tid, {a: row[a] for a in schema.attribute_names}))
+        return relation
+
+    # -- mutation ----------------------------------------------------------------
+
+    def _check(self, t: Tuple) -> None:
+        missing = [a for a in self._schema.attribute_names if a not in t]
+        if missing:
+            raise RelationError(
+                f"tuple {t.tid!r} is missing attributes {missing} of schema "
+                f"{self._schema.name!r}"
+            )
+        extra = [a for a in t if a not in self._schema]
+        if extra:
+            raise RelationError(
+                f"tuple {t.tid!r} carries attributes {extra} not in schema "
+                f"{self._schema.name!r}"
+            )
+
+    def insert(self, t: Tuple) -> None:
+        """Insert a tuple; its tid must be fresh."""
+        self._check(t)
+        if t.tid in self._tuples:
+            raise RelationError(f"duplicate tid {t.tid!r} in relation {self._schema.name!r}")
+        self._tuples[t.tid] = t
+
+    def delete(self, tid: Any) -> Tuple:
+        """Delete and return the tuple with identifier ``tid``."""
+        try:
+            return self._tuples.pop(tid)
+        except KeyError:
+            raise RelationError(f"cannot delete unknown tid {tid!r}") from None
+
+    def discard(self, tid: Any) -> Tuple | None:
+        """Delete the tuple with identifier ``tid`` if present."""
+        return self._tuples.pop(tid, None)
+
+    # -- algebra -------------------------------------------------------------------
+
+    def project(self, attributes: Iterable[str], name: str | None = None) -> "Relation":
+        """Vertical projection onto ``attributes`` (the key is kept)."""
+        fragment_schema = self._schema.project(attributes, name=name)
+        fragment = Relation(fragment_schema)
+        keep = fragment_schema.attribute_names
+        for t in self:
+            fragment.insert(t.project(keep))
+        return fragment
+
+    def select(
+        self, predicate: Callable[[Tuple], bool], name: str | None = None
+    ) -> "Relation":
+        """Horizontal selection of the tuples satisfying ``predicate``."""
+        fragment_schema = Schema(
+            name or f"{self._schema.name}_sel",
+            self._schema.attribute_names,
+            self._schema.key,
+        )
+        fragment = Relation(fragment_schema)
+        for t in self:
+            if predicate(t):
+                fragment.insert(t)
+        return fragment
+
+    def join(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Key join of two vertical fragments of the same relation.
+
+        Only tids present in both operands survive, matching the natural
+        join on the key attribute used by the paper for reconstruction.
+        """
+        attrs: list[str] = list(self._schema.attribute_names)
+        for a in other.schema.attribute_names:
+            if a not in attrs:
+                attrs.append(a)
+        joined_schema = Schema(name or self._schema.name, attrs, self._schema.key)
+        joined = Relation(joined_schema)
+        for t in self:
+            o = other.get(t.tid)
+            if o is not None:
+                joined.insert(t.merge(o))
+        return joined
+
+    def union(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Disjoint union of two horizontal fragments."""
+        if set(other.schema.attribute_names) != set(self._schema.attribute_names):
+            raise SchemaError("union requires identical attribute sets")
+        result = Relation(
+            Schema(
+                name or self._schema.name,
+                self._schema.attribute_names,
+                self._schema.key,
+            )
+        )
+        for t in self:
+            result.insert(t)
+        for t in other:
+            result.insert(t)
+        return result
+
+    def copy(self) -> "Relation":
+        """A shallow copy (tuples are immutable so sharing them is safe)."""
+        clone = Relation(self._schema)
+        clone._tuples = dict(self._tuples)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self._schema.name!r}, {len(self)} tuples)"

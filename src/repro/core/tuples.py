@@ -1,0 +1,105 @@
+"""Tuples of a relation.
+
+A :class:`Tuple` is an immutable mapping from attribute names to values
+together with a tuple identifier (``tid``).  The tid plays the role of
+the key attribute of the paper's schemas: it is globally unique within a
+relation, is preserved by both vertical and horizontal fragmentation,
+and is the unit in which violations are reported (``V(Sigma, D)`` is a
+set of tuples, identified by their tids).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+
+class Tuple(Mapping[str, Any]):
+    """An immutable, hashable relational tuple.
+
+    Parameters
+    ----------
+    tid:
+        Unique tuple identifier (the key value).
+    values:
+        Mapping from attribute name to value.  Values are treated as
+        opaque except for equality comparison, which is all the CFD
+        semantics requires.
+    """
+
+    __slots__ = ("_tid", "_values", "_hash")
+
+    def __init__(self, tid: Any, values: Mapping[str, Any]):
+        self._tid = tid
+        self._values = dict(values)
+        self._hash: int | None = None
+
+    # -- mapping protocol ----------------------------------------------------
+
+    def __getitem__(self, attribute: str) -> Any:
+        return self._values[attribute]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def tid(self) -> Any:
+        """The tuple identifier (key value)."""
+        return self._tid
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._tid, frozenset(self._values.items())))
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tuple):
+            return NotImplemented
+        return self._tid == other._tid and self._values == other._values
+
+    # -- projection and helpers ----------------------------------------------
+
+    def values_for(self, attributes: Iterable[str]) -> tuple[Any, ...]:
+        """Return the values of ``attributes`` in the given order.
+
+        This is the ``t[X]`` notation of the paper for a list of
+        attributes X.
+        """
+        return tuple(self._values[a] for a in attributes)
+
+    def project(self, attributes: Iterable[str]) -> "Tuple":
+        """Return a new tuple restricted to ``attributes`` (same tid)."""
+        return Tuple(self._tid, {a: self._values[a] for a in attributes})
+
+    def merge(self, other: "Tuple") -> "Tuple":
+        """Join two fragments of the same logical tuple (same tid)."""
+        if other.tid != self._tid:
+            raise ValueError(
+                f"cannot merge tuples with different tids: {self._tid!r} != {other.tid!r}"
+            )
+        merged = dict(self._values)
+        for attr, value in other.items():
+            if attr in merged and merged[attr] != value:
+                raise ValueError(
+                    f"conflicting values for attribute {attr!r} while merging tid {self._tid!r}"
+                )
+            merged[attr] = value
+        return Tuple(self._tid, merged)
+
+    def with_values(self, **updates: Any) -> "Tuple":
+        """Return a copy with some attribute values replaced."""
+        values = dict(self._values)
+        values.update(updates)
+        return Tuple(self._tid, values)
+
+    def as_dict(self) -> dict[str, Any]:
+        """A plain ``dict`` copy of the attribute values."""
+        return dict(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{k}={v!r}" for k, v in self._values.items())
+        return f"Tuple(tid={self._tid!r}, {cols})"

@@ -1,0 +1,178 @@
+"""Batch updates (deltas) to a database.
+
+The paper considers a batch update ``delta-D`` that is a list of tuple
+insertions and deletions; a modification is treated as a deletion
+followed by an insertion of the same tid.  ``delta-D+`` denotes the
+insertions and ``delta-D-`` the deletions.  Both incremental algorithms
+begin by removing updates "with the same tuple id and canceling each
+other" (line 1 of incVer / incHor); :meth:`UpdateBatch.normalized`
+implements that step.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.core.relation import Relation
+from repro.core.tuples import Tuple
+
+
+class UpdateKind(enum.Enum):
+    """The two primitive update kinds."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class Update:
+    """A single tuple insertion or deletion.
+
+    Deletions carry the full tuple (not just the tid) so that vertical
+    fragments and indices can be maintained without consulting the base
+    relation; this mirrors the paper's assumption that the update stream
+    identifies the affected tuples.
+    """
+
+    kind: UpdateKind
+    tuple: Tuple
+
+    @property
+    def tid(self) -> Any:
+        return self.tuple.tid
+
+    def is_insert(self) -> bool:
+        return self.kind is UpdateKind.INSERT
+
+    def is_delete(self) -> bool:
+        return self.kind is UpdateKind.DELETE
+
+    @staticmethod
+    def insert(t: Tuple) -> "Update":
+        return Update(UpdateKind.INSERT, t)
+
+    @staticmethod
+    def delete(t: Tuple) -> "Update":
+        return Update(UpdateKind.DELETE, t)
+
+
+class UpdateBatch:
+    """An ordered list of insertions and deletions (``delta-D``)."""
+
+    def __init__(self, updates: Iterable[Update] = ()):
+        self._updates: list[Update] = list(updates)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def of(cls, *updates: Update) -> "UpdateBatch":
+        return cls(updates)
+
+    @classmethod
+    def inserts(cls, tuples: Iterable[Tuple]) -> "UpdateBatch":
+        return cls(Update.insert(t) for t in tuples)
+
+    @classmethod
+    def deletes(cls, tuples: Iterable[Tuple]) -> "UpdateBatch":
+        return cls(Update.delete(t) for t in tuples)
+
+    @classmethod
+    def modification(cls, old: Tuple, new: Tuple) -> "UpdateBatch":
+        """A modification, represented as a deletion followed by an insertion."""
+        return cls([Update.delete(old), Update.insert(new)])
+
+    def append(self, update: Update) -> None:
+        self._updates.append(update)
+
+    def extend(self, updates: Iterable[Update]) -> None:
+        self._updates.extend(updates)
+
+    # -- views -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __iter__(self) -> Iterator[Update]:
+        return iter(self._updates)
+
+    def __getitem__(self, index: int) -> Update:
+        return self._updates[index]
+
+    @property
+    def insertions(self) -> list[Update]:
+        """``delta-D+``: the sub-list of insertions, in order."""
+        return [u for u in self._updates if u.is_insert()]
+
+    @property
+    def deletions(self) -> list[Update]:
+        """``delta-D-``: the sub-list of deletions, in order."""
+        return [u for u in self._updates if u.is_delete()]
+
+    def inserted_tuples(self) -> list[Tuple]:
+        return [u.tuple for u in self.insertions]
+
+    def deleted_tuples(self) -> list[Tuple]:
+        return [u.tuple for u in self.deletions]
+
+    def tids(self) -> set[Any]:
+        return {u.tid for u in self._updates}
+
+    # -- normalization -------------------------------------------------------------
+
+    def normalized(self) -> "UpdateBatch":
+        """Remove updates that cancel each other (same tid, insert/delete pairs).
+
+        An insertion followed by a deletion of the same tid cancels out
+        entirely.  A deletion followed by an insertion of the same tid
+        (a modification) is preserved as the ordered pair.  Repeated
+        operations of the same kind on the same tid are collapsed to the
+        last occurrence.
+        """
+        surviving: list[Update] = []
+        for update in self._updates:
+            cancelled = False
+            if update.is_delete():
+                for i in range(len(surviving) - 1, -1, -1):
+                    prior = surviving[i]
+                    if prior.tid == update.tid:
+                        if prior.is_insert():
+                            del surviving[i]
+                            cancelled = True
+                        break
+            if not cancelled:
+                for i in range(len(surviving) - 1, -1, -1):
+                    prior = surviving[i]
+                    if prior.tid == update.tid and prior.kind == update.kind:
+                        del surviving[i]
+                        break
+                surviving.append(update)
+        return UpdateBatch(surviving)
+
+    # -- application ------------------------------------------------------------------
+
+    def apply_to(self, relation: Relation) -> Relation:
+        """Return ``D (+) delta-D``: a copy of ``relation`` with the batch applied."""
+        updated = relation.copy()
+        for update in self._updates:
+            if update.is_insert():
+                updated.insert(update.tuple)
+            else:
+                updated.discard(update.tid)
+        return updated
+
+    def project(self, attributes: Sequence[str]) -> "UpdateBatch":
+        """``pi_Xi(delta-D)``: the batch restricted to a vertical fragment's attributes."""
+        return UpdateBatch(
+            Update(u.kind, u.tuple.project(attributes)) for u in self._updates
+        )
+
+    def select(self, predicate) -> "UpdateBatch":
+        """``sigma_Fi(delta-D)``: the batch restricted to a horizontal fragment."""
+        return UpdateBatch(u for u in self._updates if predicate(u.tuple))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        n_ins = len(self.insertions)
+        n_del = len(self.deletions)
+        return f"UpdateBatch(+{n_ins}, -{n_del})"

@@ -1,0 +1,216 @@
+"""Violation sets and deltas.
+
+``V(phi, D)`` is the set of tuples of ``D`` that violate the CFD
+``phi``; ``V(Sigma, D)`` is the union over all CFDs in ``Sigma``.  The
+paper requires violations to be "marked with those CFDs that they
+violate" when deltas for several CFDs are combined (Section 4), so a
+:class:`ViolationSet` maps each violating tid to the set of names of the
+CFDs it violates.
+
+:class:`ViolationDelta` carries the changes ``delta-V = delta-V+ union
+delta-V-`` produced by the incremental detectors, again per CFD.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+
+class ViolationSet:
+    """A set of violating tuples, each tagged with the CFDs it violates."""
+
+    def __init__(self, entries: Mapping[Any, Iterable[str]] | None = None):
+        self._by_tid: dict[Any, set[str]] = {}
+        if entries:
+            for tid, cfd_names in entries.items():
+                for name in cfd_names:
+                    self.add(tid, name)
+
+    # -- mutation -------------------------------------------------------------
+
+    def add(self, tid: Any, cfd_name: str) -> bool:
+        """Mark ``tid`` as violating ``cfd_name``.  Returns True if new."""
+        marks = self._by_tid.setdefault(tid, set())
+        if cfd_name in marks:
+            return False
+        marks.add(cfd_name)
+        return True
+
+    def remove(self, tid: Any, cfd_name: str) -> bool:
+        """Unmark ``tid`` for ``cfd_name``.  Returns True if it was marked."""
+        marks = self._by_tid.get(tid)
+        if not marks or cfd_name not in marks:
+            return False
+        marks.discard(cfd_name)
+        if not marks:
+            del self._by_tid[tid]
+        return True
+
+    def discard_tuple(self, tid: Any) -> set[str]:
+        """Drop every mark of ``tid`` (used when the tuple is deleted)."""
+        return self._by_tid.pop(tid, set())
+
+    def apply(self, delta: "ViolationDelta") -> None:
+        """Apply a delta in place: additions then removals."""
+        for tid, cfd_name in delta.added_pairs():
+            self.add(tid, cfd_name)
+        for tid, cfd_name in delta.removed_pairs():
+            self.remove(tid, cfd_name)
+
+    # -- queries ---------------------------------------------------------------
+
+    def __contains__(self, tid: Any) -> bool:
+        return tid in self._by_tid
+
+    def __len__(self) -> int:
+        return len(self._by_tid)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._by_tid)
+
+    def tids(self) -> set[Any]:
+        """All violating tuple identifiers."""
+        return set(self._by_tid)
+
+    def cfds_of(self, tid: Any) -> set[str]:
+        """The names of the CFDs that ``tid`` violates (empty if none)."""
+        return set(self._by_tid.get(tid, ()))
+
+    def violates(self, tid: Any, cfd_name: str) -> bool:
+        """Whether ``tid`` is marked as violating ``cfd_name``."""
+        return cfd_name in self._by_tid.get(tid, ())
+
+    def tids_for(self, cfd_name: str) -> set[Any]:
+        """All tids violating a given CFD, i.e. ``V(phi, D)``."""
+        return {tid for tid, marks in self._by_tid.items() if cfd_name in marks}
+
+    def as_dict(self) -> dict[Any, set[str]]:
+        """A copy of the tid -> {cfd names} mapping."""
+        return {tid: set(marks) for tid, marks in self._by_tid.items()}
+
+    def copy(self) -> "ViolationSet":
+        clone = ViolationSet()
+        clone._by_tid = {tid: set(marks) for tid, marks in self._by_tid.items()}
+        return clone
+
+    # -- comparison --------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ViolationSet):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ViolationSet({len(self._by_tid)} tuples)"
+
+
+class ViolationDelta:
+    """Changes to a violation set: ``delta-V+`` (added) and ``delta-V-`` (removed).
+
+    Both sides are per-CFD sets of tids.  The paper observes that
+    insertions only produce ``delta-V+`` and deletions only produce
+    ``delta-V-``; the incremental algorithms preserve that property and
+    the tests assert it.
+
+    The delta records the *net* effect: adding a (tid, CFD) mark that is
+    currently recorded as removed cancels the removal (and vice versa),
+    so a batch containing a deletion followed by a re-insertion of the
+    same group yields an empty net change and the delta can be applied
+    to the old violation set in any order.
+    """
+
+    def __init__(self) -> None:
+        self._added: dict[Any, set[str]] = {}
+        self._removed: dict[Any, set[str]] = {}
+
+    @staticmethod
+    def _discard(store: dict[Any, set[str]], tid: Any, cfd_name: str) -> bool:
+        names = store.get(tid)
+        if names and cfd_name in names:
+            names.discard(cfd_name)
+            if not names:
+                del store[tid]
+            return True
+        return False
+
+    # -- mutation ----------------------------------------------------------------
+
+    def add(self, tid: Any, cfd_name: str) -> None:
+        """Record that ``tid`` becomes a violation of ``cfd_name``."""
+        if self._discard(self._removed, tid, cfd_name):
+            return
+        self._added.setdefault(tid, set()).add(cfd_name)
+
+    def remove(self, tid: Any, cfd_name: str) -> None:
+        """Record that ``tid`` stops being a violation of ``cfd_name``."""
+        if self._discard(self._added, tid, cfd_name):
+            return
+        self._removed.setdefault(tid, set()).add(cfd_name)
+
+    def merge(self, other: "ViolationDelta") -> None:
+        """Fold another delta into this one (net semantics are preserved)."""
+        for tid, names in other._added.items():
+            for name in names:
+                self.add(tid, name)
+        for tid, names in other._removed.items():
+            for name in names:
+                self.remove(tid, name)
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def added(self) -> dict[Any, set[str]]:
+        """tid -> CFD names newly violated (``delta-V+``)."""
+        return {tid: set(names) for tid, names in self._added.items()}
+
+    @property
+    def removed(self) -> dict[Any, set[str]]:
+        """tid -> CFD names no longer violated (``delta-V-``)."""
+        return {tid: set(names) for tid, names in self._removed.items()}
+
+    def added_tids(self) -> set[Any]:
+        return set(self._added)
+
+    def removed_tids(self) -> set[Any]:
+        return set(self._removed)
+
+    def added_pairs(self) -> Iterator[tuple[Any, str]]:
+        for tid, names in self._added.items():
+            for name in names:
+                yield tid, name
+
+    def removed_pairs(self) -> Iterator[tuple[Any, str]]:
+        for tid, names in self._removed.items():
+            for name in names:
+                yield tid, name
+
+    def is_empty(self) -> bool:
+        return not self._added and not self._removed
+
+    def size(self) -> int:
+        """|delta-V| counted as the number of (tid, CFD) change pairs."""
+        return sum(len(v) for v in self._added.values()) + sum(
+            len(v) for v in self._removed.values()
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ViolationDelta):
+            return NotImplemented
+        return self.added == other.added and self.removed == other.removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ViolationDelta(+{len(self._added)}, -{len(self._removed)})"
+
+
+def diff_violations(old: ViolationSet, new: ViolationSet) -> ViolationDelta:
+    """Compute the delta turning ``old`` into ``new`` (reference helper)."""
+    delta = ViolationDelta()
+    old_map = old.as_dict()
+    new_map = new.as_dict()
+    for tid, names in new_map.items():
+        for name in names - old_map.get(tid, set()):
+            delta.add(tid, name)
+    for tid, names in old_map.items():
+        for name in names - new_map.get(tid, set()):
+            delta.remove(tid, name)
+    return delta

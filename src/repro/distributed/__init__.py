@@ -1,0 +1,35 @@
+"""Simulated distributed substrate.
+
+The paper runs on an Amazon EC2 cluster; this repository replaces the
+physical cluster with a deterministic in-process simulation.  Each
+fragment lives on a :class:`Site`; every cross-site transfer goes
+through a :class:`Network` object which records message counts, shipped
+eqids, shipped tuples and estimated bytes.  All of the paper's claims
+about *communication cost* are therefore measured exactly, and elapsed
+time comparisons (incremental vs batch) remain meaningful because the
+amount of computational work per algorithm is faithfully reproduced.
+"""
+
+from repro.distributed.message import Message, MessageKind
+from repro.distributed.network import Network, NetworkStats
+from repro.distributed.serialization import (
+    estimate_tuple_bytes,
+    estimate_value_bytes,
+    md5_digest,
+    tuple_fingerprint,
+)
+from repro.distributed.site import Site
+from repro.distributed.cluster import Cluster
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "Network",
+    "NetworkStats",
+    "Site",
+    "Cluster",
+    "estimate_tuple_bytes",
+    "estimate_value_bytes",
+    "md5_digest",
+    "tuple_fingerprint",
+]

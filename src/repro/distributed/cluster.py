@@ -1,0 +1,135 @@
+"""The simulated cluster: a set of sites sharing one network.
+
+A :class:`Cluster` is built from a materialized partition (vertical or
+horizontal) and is the object the detectors operate on.  It knows which
+partitioning produced it, owns the :class:`Network` used for all
+cross-site shipments, and can verify that the union/join of its
+fragments still reconstructs the logical database (used by tests).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+from repro.core.relation import Relation
+from repro.distributed.network import Network
+from repro.distributed.site import Site
+from repro.partition.horizontal import HorizontalPartition, HorizontalPartitioner
+from repro.partition.vertical import VerticalPartition, VerticalPartitioner
+
+
+class ClusterError(RuntimeError):
+    """Raised on invalid cluster configurations or unknown sites."""
+
+
+class Cluster:
+    """A set of sites plus the shared network."""
+
+    def __init__(
+        self,
+        partition: Union[VerticalPartition, HorizontalPartition],
+        network: Network | None = None,
+    ):
+        self._partition = partition
+        self._network = network or Network()
+        self._sites: dict[int, Site] = {}
+        for site_id, fragment in partition:
+            self._sites[site_id] = Site(site_id, fragment)
+        if not self._sites:
+            raise ClusterError("a cluster needs at least one site")
+
+    # -- construction helpers --------------------------------------------------------
+
+    @classmethod
+    def from_vertical(
+        cls,
+        partitioner: VerticalPartitioner,
+        relation: Relation,
+        network: Network | None = None,
+    ) -> "Cluster":
+        """Fragment ``relation`` vertically and host the fragments."""
+        return cls(partitioner.fragment(relation), network)
+
+    @classmethod
+    def from_horizontal(
+        cls,
+        partitioner: HorizontalPartitioner,
+        relation: Relation,
+        network: Network | None = None,
+    ) -> "Cluster":
+        """Fragment ``relation`` horizontally and host the fragments."""
+        return cls(partitioner.fragment(relation), network)
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    @property
+    def partition(self) -> Union[VerticalPartition, HorizontalPartition]:
+        return self._partition
+
+    def is_vertical(self) -> bool:
+        return isinstance(self._partition, VerticalPartition)
+
+    def is_horizontal(self) -> bool:
+        return isinstance(self._partition, HorizontalPartition)
+
+    @property
+    def vertical_partitioner(self) -> VerticalPartitioner:
+        if not self.is_vertical():
+            raise ClusterError("cluster is not vertically partitioned")
+        return self._partition.partitioner  # type: ignore[union-attr]
+
+    @property
+    def horizontal_partitioner(self) -> HorizontalPartitioner:
+        if not self.is_horizontal():
+            raise ClusterError("cluster is not horizontally partitioned")
+        return self._partition.partitioner  # type: ignore[union-attr]
+
+    def site(self, site_id: int) -> Site:
+        try:
+            return self._sites[site_id]
+        except KeyError:
+            raise ClusterError(f"no site with id {site_id}") from None
+
+    def sites(self) -> list[Site]:
+        return [self._sites[i] for i in sorted(self._sites)]
+
+    def site_ids(self) -> list[int]:
+        return sorted(self._sites)
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def __iter__(self) -> Iterator[Site]:
+        return iter(self.sites())
+
+    # -- global views (for verification only) --------------------------------------------
+
+    def reconstruct(self) -> Relation:
+        """Rebuild the logical database from the *current* site fragments.
+
+        Tests use this to check that detectors maintain fragments
+        correctly; detection algorithms themselves never call it (that
+        would be free data shipment).
+        """
+        if self.is_vertical():
+            partitioner = self.vertical_partitioner
+            rebuilt = VerticalPartition(
+                partitioner, {s.site_id: s.fragment for s in self.sites()}
+            )
+            return rebuilt.reconstruct()
+        partitioner = self.horizontal_partitioner
+        rebuilt = HorizontalPartition(
+            partitioner, {s.site_id: s.fragment for s in self.sites()}
+        )
+        return rebuilt.reconstruct()
+
+    def total_tuples(self) -> int:
+        return sum(len(site.fragment) for site in self.sites())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flavour = "vertical" if self.is_vertical() else "horizontal"
+        return f"Cluster({flavour}, {len(self._sites)} sites, {self.total_tuples()} stored tuples)"

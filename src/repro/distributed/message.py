@@ -1,0 +1,60 @@
+"""Messages exchanged between sites.
+
+The communication cost model of the paper counts the data shipped
+between sites (``M(i, j)`` — the tuples shipped from ``Si`` to ``Sj``).
+This module gives the shipment a concrete shape: every cross-site
+transfer is one :class:`Message` with a kind, a payload and a byte-size
+estimate.  The incremental vertical algorithm ships *eqids*; the batch
+baselines ship attribute columns or whole tuples; the horizontal
+algorithms ship tuples or their MD5 digests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class MessageKind(enum.Enum):
+    """Classification of shipped data, used by the experiment reports."""
+
+    #: An equivalence-class identifier (vertical incremental detection).
+    EQID = "eqid"
+    #: A whole tuple (horizontal detection, batch baselines).
+    TUPLE = "tuple"
+    #: A projection of a tuple onto some attributes (vertical baselines,
+    #: constant-CFD handling in incVer).
+    PARTIAL_TUPLE = "partial_tuple"
+    #: The MD5 digest of a tuple (horizontal MD5 optimization).
+    DIGEST = "digest"
+    #: A tuple identifier on its own.
+    TID = "tid"
+    #: Small coordination/control payloads (announcements, acks).
+    CONTROL = "control"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One cross-site shipment.
+
+    ``size_bytes`` is the estimated wire size of the payload;
+    ``units`` counts logical items (e.g. the number of eqids or tuples
+    in the payload) so experiments can report both bytes and item
+    counts, as the paper does (GB shipped in Fig. 9(c)/(h), number of
+    eqids in Fig. 10).
+    """
+
+    sender: int
+    receiver: int
+    kind: MessageKind
+    payload: Any
+    size_bytes: int
+    units: int = 1
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sender == self.receiver:
+            raise ValueError("messages must cross sites (sender == receiver)")
+        if self.size_bytes < 0 or self.units < 0:
+            raise ValueError("message sizes must be non-negative")

@@ -1,0 +1,154 @@
+"""The simulated network: shipment accounting.
+
+Every cross-site transfer made by any detector goes through a
+:class:`Network` instance.  The network delivers payloads synchronously
+(the receiver simply gets the Python object) and records, per message
+kind and per (sender, receiver) pair, how many messages, logical units
+and bytes were shipped.  :class:`NetworkStats` snapshots feed the
+experiment reports: Fig. 9(c)/(h) plot shipped bytes, Fig. 10 counts
+shipped eqids.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.distributed.message import Message, MessageKind
+
+
+@dataclass
+class NetworkStats:
+    """An immutable snapshot of the network counters."""
+
+    messages: int = 0
+    bytes: int = 0
+    units_by_kind: dict[str, int] = field(default_factory=dict)
+    bytes_by_kind: dict[str, int] = field(default_factory=dict)
+    messages_by_pair: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    @property
+    def eqids_shipped(self) -> int:
+        """Number of equivalence-class ids shipped (Fig. 10 metric)."""
+        return self.units_by_kind.get(MessageKind.EQID.value, 0)
+
+    @property
+    def tuples_shipped(self) -> int:
+        """Number of whole or partial tuples shipped."""
+        return self.units_by_kind.get(MessageKind.TUPLE.value, 0) + self.units_by_kind.get(
+            MessageKind.PARTIAL_TUPLE.value, 0
+        )
+
+    def diff(self, earlier: "NetworkStats") -> "NetworkStats":
+        """Counters accumulated since ``earlier`` was taken."""
+        units = {
+            k: v - earlier.units_by_kind.get(k, 0)
+            for k, v in self.units_by_kind.items()
+            if v - earlier.units_by_kind.get(k, 0)
+        }
+        nbytes = {
+            k: v - earlier.bytes_by_kind.get(k, 0)
+            for k, v in self.bytes_by_kind.items()
+            if v - earlier.bytes_by_kind.get(k, 0)
+        }
+        pairs = {
+            k: v - earlier.messages_by_pair.get(k, 0)
+            for k, v in self.messages_by_pair.items()
+            if v - earlier.messages_by_pair.get(k, 0)
+        }
+        return NetworkStats(
+            messages=self.messages - earlier.messages,
+            bytes=self.bytes - earlier.bytes,
+            units_by_kind=units,
+            bytes_by_kind=nbytes,
+            messages_by_pair=pairs,
+        )
+
+
+class Network:
+    """Synchronous message delivery with full shipment accounting."""
+
+    def __init__(self, record_messages: bool = False):
+        self._record_messages = record_messages
+        self._log: list[Message] = []
+        self._messages = 0
+        self._bytes = 0
+        self._units_by_kind: dict[str, int] = defaultdict(int)
+        self._bytes_by_kind: dict[str, int] = defaultdict(int)
+        self._messages_by_pair: dict[tuple[int, int], int] = defaultdict(int)
+
+    # -- shipping ----------------------------------------------------------------
+
+    def ship(self, message: Message) -> Any:
+        """Deliver ``message`` and account for it; returns the payload."""
+        self._messages += 1
+        self._bytes += message.size_bytes
+        self._units_by_kind[message.kind.value] += message.units
+        self._bytes_by_kind[message.kind.value] += message.size_bytes
+        self._messages_by_pair[(message.sender, message.receiver)] += 1
+        if self._record_messages:
+            self._log.append(message)
+        return message.payload
+
+    def send(
+        self,
+        sender: int,
+        receiver: int,
+        kind: MessageKind,
+        payload: Any,
+        size_bytes: int,
+        units: int = 1,
+        tag: str = "",
+    ) -> Any:
+        """Convenience wrapper building and shipping a :class:`Message`."""
+        return self.ship(Message(sender, receiver, kind, payload, size_bytes, units, tag))
+
+    def broadcast(
+        self,
+        sender: int,
+        receivers: Iterable[int],
+        kind: MessageKind,
+        payload: Any,
+        size_bytes: int,
+        units: int = 1,
+        tag: str = "",
+    ) -> None:
+        """Ship the same payload to several sites (one message per receiver)."""
+        for receiver in receivers:
+            if receiver != sender:
+                self.send(sender, receiver, kind, payload, size_bytes, units, tag)
+
+    # -- accounting --------------------------------------------------------------------
+
+    @property
+    def total_messages(self) -> int:
+        return self._messages
+
+    @property
+    def total_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def log(self) -> list[Message]:
+        """The recorded messages (only if ``record_messages=True``)."""
+        return list(self._log)
+
+    def stats(self) -> NetworkStats:
+        """A snapshot of the current counters."""
+        return NetworkStats(
+            messages=self._messages,
+            bytes=self._bytes,
+            units_by_kind=dict(self._units_by_kind),
+            bytes_by_kind=dict(self._bytes_by_kind),
+            messages_by_pair=dict(self._messages_by_pair),
+        )
+
+    def reset(self) -> None:
+        """Zero all counters (and drop the message log)."""
+        self._log.clear()
+        self._messages = 0
+        self._bytes = 0
+        self._units_by_kind.clear()
+        self._bytes_by_kind.clear()
+        self._messages_by_pair.clear()

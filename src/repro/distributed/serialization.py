@@ -1,0 +1,69 @@
+"""Serialization helpers and shipment-size estimation.
+
+The detection algorithms never serialize data for real (the cluster is
+simulated in-process), but the experiments report *data shipment* in
+bytes, so every message carries a size estimate computed here.  The
+module also implements the MD5 optimization of Section 6: instead of
+shipping an entire (possibly wide) tuple, a site may ship its 128-bit
+MD5 digest when the receiver only needs to test equality.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterable, Mapping
+
+#: Size, in bytes, of an equivalence-class identifier on the wire.
+EQID_BYTES = 8
+
+#: Size, in bytes, of an MD5 digest on the wire (128 bits).
+MD5_BYTES = 16
+
+#: Size, in bytes, of a tuple identifier on the wire.
+TID_BYTES = 8
+
+
+def estimate_value_bytes(value: Any) -> int:
+    """A deterministic byte-size estimate for a single attribute value."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    return len(str(value).encode("utf-8"))
+
+
+def estimate_tuple_bytes(values: Mapping[str, Any], attributes: Iterable[str] | None = None) -> int:
+    """Byte-size estimate for shipping a (partial) tuple.
+
+    ``attributes`` restricts the estimate to a projection; by default
+    every attribute of the mapping is counted.  A tid is always
+    included, matching what the algorithms actually send.
+    """
+    attrs = list(attributes) if attributes is not None else list(values)
+    return TID_BYTES + sum(estimate_value_bytes(values[a]) for a in attrs)
+
+
+def md5_digest(values: Mapping[str, Any], attributes: Iterable[str] | None = None) -> str:
+    """The MD5 digest of a tuple's values over ``attributes`` (schema order given by caller).
+
+    Used by the horizontal detector's MD5 optimization: equality of two
+    tuples on the digested attributes can be tested remotely by shipping
+    16 bytes instead of the full tuple.
+    """
+    attrs = list(attributes) if attributes is not None else sorted(values)
+    hasher = hashlib.md5()
+    for attr in attrs:
+        hasher.update(attr.encode("utf-8"))
+        hasher.update(b"\x00")
+        hasher.update(str(values[attr]).encode("utf-8"))
+        hasher.update(b"\x01")
+    return hasher.hexdigest()
+
+
+def tuple_fingerprint(values: Mapping[str, Any], attributes: Iterable[str]) -> tuple[str, int]:
+    """Digest plus wire size for the MD5-optimized shipment of a tuple."""
+    return md5_digest(values, attributes), TID_BYTES + MD5_BYTES

@@ -1,0 +1,179 @@
+"""Generate the EXPERIMENTS.md report from a full run of the harness.
+
+``python -m repro.experiments.report [small|report]`` runs every
+experiment at the chosen scale and writes the measured tables next to
+the paper's expectations.  The repository ships the output of a
+``report``-scale run as ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TextIO
+
+from repro.experiments.metrics import speedup
+from repro.experiments.runner import ExperimentRunner, RunConfig
+
+_HEADER = """# EXPERIMENTS — paper vs. this reproduction
+
+Reproduction of the evaluation of Fan, Li, Tang, Yu, *Incremental
+Detection of Inconsistencies in Distributed Data* (ICDE 2012 / TKDE
+2014), Section 7.
+
+The paper's numbers were measured on Amazon EC2 (10 High-Memory XL
+instances) with TPCH data of 2M-10M tuples (up to 10GB) and a 320MB DBLP
+extract.  This reproduction runs the same sweeps on a simulated cluster
+at laptop scale (hundreds to thousands of tuples), so the *absolute*
+numbers are not comparable; what is reproduced and checked is the
+*shape* of every curve — who wins, by roughly what factor, and where the
+trends bend.  Data shipment is measured exactly (bytes and eqids over
+the simulated network), elapsed times are wall-clock seconds of the
+respective algorithms.
+
+Every table below lists the paper's qualitative claim followed by the
+measured rows that support (or would falsify) it.
+
+One systematic difference to keep in mind when reading elapsed times: on
+EC2 the batch algorithms pay real wall-clock time for shipping gigabytes
+over the network, which is where much of their two-orders-of-magnitude
+disadvantage comes from; the simulated network here delivers messages
+for free in wall-clock terms (while counting every byte).  The elapsed
+time gap between incremental and batch detection therefore reflects only
+the computational asymmetry (work proportional to |dD| vs |D|), and the
+shipment columns carry the communication-cost part of the claim.
+"""
+
+_CLAIMS = {
+    "exp1": (
+        "Exp-1 / Fig. 9(a) — paper: incVer outperforms batVer by two orders of "
+        "magnitude and its elapsed time is insensitive to |D|, while batVer grows "
+        "with |D|."
+    ),
+    "exp2": (
+        "Exp-2 / Fig. 9(b)-(c) — paper: incVer grows almost linearly with |dD| "
+        "(11s at 2M to 79s at 10M) and ships far less data (1.6GB vs 17.6GB at 10M)."
+    ),
+    "exp3": (
+        "Exp-3 / Fig. 9(d) — paper: incVer scales almost linearly with |Sigma| "
+        "(35s at 25 CFDs to 72s at 125 CFDs) and stays well below batVer."
+    ),
+    "exp4": (
+        "Exp-4 / Fig. 9(e) — paper: incVer achieves nearly linear (ideal) scaleup "
+        "when n, |D| and |dD| grow together."
+    ),
+    "exp5": (
+        "Exp-5 / Fig. 10 — paper: the optimization of Section 5 saves 55.5% of the "
+        "eqid shipments on TPCH and 72.1% on DBLP."
+    ),
+    "exp6": (
+        "Exp-6 / Fig. 9(f) — paper: incHor outperforms batHor and is independent "
+        "of |D|."
+    ),
+    "exp7": (
+        "Exp-7 / Fig. 9(g)-(h) — paper: incHor grows almost linearly with |dD| "
+        "(19s at 2M to 93s at 10M) and ships far less data than batHor."
+    ),
+    "exp8": (
+        "Exp-8 / Fig. 9(i) — paper: incHor is almost linear in |Sigma| (43s at 25 "
+        "CFDs to 61s at 125)."
+    ),
+    "exp9": (
+        "Exp-9 / Fig. 9(j) — paper: incHor has nearly ideal scaleup."
+    ),
+    "exp10": (
+        "Exp-10 / Fig. 11 — paper: the incremental algorithms beat even the "
+        "improved batch algorithms until updates get very large (crossover around "
+        "|dD| ~ 8M for vertical and ~7.6M for horizontal, with |D| = 6M)."
+    ),
+    "exp11": (
+        "DBLP / Fig. 9(k)-(l) — paper: the same linear-in-|dD| and linear-in-|Sigma| "
+        "behaviour holds on the real-life DBLP data."
+    ),
+}
+
+
+def generate_experiments_report(
+    config: RunConfig | None = None, stream: TextIO | None = None
+) -> str:
+    """Run every experiment and return (and optionally stream) the markdown report."""
+    runner = ExperimentRunner(config or RunConfig.small())
+    out: list[str] = [_HEADER]
+
+    def emit(text: str) -> None:
+        out.append(text)
+        if stream is not None:
+            stream.write(text + "\n")
+            stream.flush()
+
+    exp1 = runner.exp1_vertical_dbsize()
+    emit(f"\n{_CLAIMS['exp1']}\n")
+    emit(exp1.as_markdown())
+    ratios = speedup(exp1.rows, "inc_elapsed_s", "bat_elapsed_s")
+    emit(
+        f"Measured: batVer/incVer elapsed-time ratio ranges "
+        f"{min(ratios):.1f}x–{max(ratios):.1f}x across the |D| sweep.\n"
+    )
+
+    exp2 = runner.exp2_vertical_updates()
+    emit(f"\n{_CLAIMS['exp2']}\n")
+    emit(exp2.as_markdown())
+
+    exp3 = runner.exp3_vertical_cfds()
+    emit(f"\n{_CLAIMS['exp3']}\n")
+    emit(exp3.as_markdown())
+
+    exp4 = runner.exp4_vertical_scaleup()
+    emit(f"\n{_CLAIMS['exp4']}\n")
+    emit(exp4.as_markdown())
+
+    exp5 = runner.exp5_optimization()
+    emit(f"\n{_CLAIMS['exp5']}\n")
+    emit(exp5.as_markdown())
+
+    exp6 = runner.exp6_horizontal_dbsize()
+    emit(f"\n{_CLAIMS['exp6']}\n")
+    emit(exp6.as_markdown())
+
+    exp7 = runner.exp7_horizontal_updates()
+    emit(f"\n{_CLAIMS['exp7']}\n")
+    emit(exp7.as_markdown())
+
+    exp8 = runner.exp8_horizontal_cfds()
+    emit(f"\n{_CLAIMS['exp8']}\n")
+    emit(exp8.as_markdown())
+
+    exp9 = runner.exp9_horizontal_scaleup()
+    emit(f"\n{_CLAIMS['exp9']}\n")
+    emit(exp9.as_markdown())
+
+    exp10 = runner.exp10_crossover()
+    emit(f"\n{_CLAIMS['exp10']}\n")
+    emit(exp10.as_markdown())
+
+    exp11_updates, exp11_cfds = runner.exp11_dblp()
+    emit(f"\n{_CLAIMS['exp11']}\n")
+    emit(exp11_updates.as_markdown())
+    emit(exp11_cfds.as_markdown())
+
+    emit("\n## Ablations\n")
+    emit(runner.ablation_md5().as_markdown())
+    emit(runner.ablation_optimized_plan().as_markdown())
+    return "\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: ``python -m repro.experiments.report [small|report] [outfile]``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    scale = argv[0] if argv else "small"
+    config = RunConfig.report() if scale == "report" else RunConfig.small()
+    report = generate_experiments_report(config, stream=sys.stderr)
+    if len(argv) > 1:
+        with open(argv[1], "w", encoding="utf-8") as handle:
+            handle.write(report)
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

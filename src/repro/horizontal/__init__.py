@@ -1,0 +1,24 @@
+"""Detection algorithms for horizontally partitioned data (Section 6).
+
+* :mod:`repro.horizontal.single` — the single-update insert/delete
+  protocol for a variable CFD that cannot be checked locally: the home
+  site inspects its local equivalence classes and, only when necessary,
+  broadcasts the updated tuple (or its MD5 digest) to the other sites.
+* :mod:`repro.horizontal.inchor` — ``incHor`` (Fig. 8): batch updates
+  and multiple CFDs with the local-checkability optimizations.
+* :mod:`repro.horizontal.bathor` — the batch baseline ``batHor``.
+* :mod:`repro.horizontal.ibathor` — the improved batch baseline
+  ``ibatHor`` of Exp-10.
+"""
+
+from repro.horizontal.single import GeneralCFDProtocol
+from repro.horizontal.inchor import HorizontalIncrementalDetector
+from repro.horizontal.bathor import HorizontalBatchDetector
+from repro.horizontal.ibathor import ImprovedHorizontalBatchDetector
+
+__all__ = [
+    "GeneralCFDProtocol",
+    "HorizontalIncrementalDetector",
+    "HorizontalBatchDetector",
+    "ImprovedHorizontalBatchDetector",
+]

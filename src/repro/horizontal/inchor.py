@@ -1,0 +1,200 @@
+"""``incHor``: incremental detection for horizontal partitions (Fig. 8).
+
+The detector keeps, at every site, a local group index per variable CFD
+(equivalence classes of the site's own tuples).  Batch updates are
+normalized and processed in order; per CFD one of three cases applies:
+
+1. *Constant CFDs* — violated by single tuples, always checked locally.
+2. *Locally checkable variable CFDs* — when every fragment's selection
+   predicate only mentions attributes of the CFD's LHS, two tuples from
+   different fragments can never agree on the LHS, so each site can run
+   the constant-time single-update logic on its own index with no
+   shipment at all.
+3. *General variable CFDs* — handled by the broadcast protocol of
+   :class:`~repro.horizontal.single.GeneralCFDProtocol`, which ships the
+   updated tuple (or its MD5 digest) at most once per update and skips
+   fragments whose predicate conflicts with the CFD's pattern.
+
+Communication is ``O(|delta-D|)`` (with the fixed factor n) and
+computation ``O(|delta-D| + |delta-V|)`` (Proposition 8).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.core.cfd import CFD, UNNAMED
+from repro.core.detector import CentralizedDetector
+from repro.core.updates import Update, UpdateBatch
+from repro.core.violations import ViolationDelta, ViolationSet
+from repro.distributed.cluster import Cluster
+from repro.horizontal.single import GeneralCFDProtocol
+from repro.indexes.idx import CFDIndex
+from repro.vertical.single import incremental_delete, incremental_insert
+
+
+class HorizontalIncrementalDetector:
+    """Incremental CFD violation detection over a horizontally partitioned cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        cfds: Iterable[CFD],
+        violations: ViolationSet | None = None,
+        use_md5: bool = True,
+    ):
+        if not cluster.is_horizontal():
+            raise ValueError("HorizontalIncrementalDetector requires a horizontal cluster")
+        self._cluster = cluster
+        self._network = cluster.network
+        self._partitioner = cluster.horizontal_partitioner
+        self._cfds = list(cfds)
+        schema = self._partitioner.schema
+        for cfd in self._cfds:
+            cfd.validate_against(schema)
+        self._use_md5 = use_md5
+
+        self._constant_cfds: list[CFD] = []
+        self._local_cfds: list[CFD] = []
+        self._general_cfds: list[CFD] = []
+        for cfd in self._cfds:
+            if cfd.is_constant():
+                self._constant_cfds.append(cfd)
+            elif self._is_locally_checkable(cfd):
+                self._local_cfds.append(cfd)
+            else:
+                self._general_cfds.append(cfd)
+
+        # Per-site local indices for every variable CFD (setup phase).
+        self._site_indices: dict[str, dict[int, CFDIndex]] = {}
+        for cfd in self._local_cfds + self._general_cfds:
+            per_site: dict[int, CFDIndex] = {}
+            for site in cluster.sites():
+                index = CFDIndex(cfd)
+                index.build_from(site.fragment)
+                per_site[site.site_id] = index
+            self._site_indices[cfd.name] = per_site
+
+        if violations is not None:
+            self._violations = violations.copy()
+        else:
+            self._violations = CentralizedDetector(self._cfds).detect(
+                cluster.reconstruct()
+            )
+
+        self._protocols: dict[str, GeneralCFDProtocol] = {}
+        for cfd in self._general_cfds:
+            self._protocols[cfd.name] = GeneralCFDProtocol(
+                cfd,
+                self._site_indices[cfd.name],
+                self._violations,
+                self._network,
+                eligible_sites=self._eligible_sites(cfd),
+                use_md5=use_md5,
+            )
+
+    # -- classification helpers --------------------------------------------------------
+
+    def _is_locally_checkable(self, cfd: CFD) -> bool:
+        """Case (2)(a) of Section 6: every fragment predicate only mentions LHS attributes."""
+        if self._partitioner.n_fragments == 1:
+            return True
+        lhs = set(cfd.lhs)
+        for frag in self._partitioner.fragments:
+            attrs = frag.predicate.attributes()
+            if not attrs or not attrs <= lhs:
+                return False
+        return True
+
+    def _eligible_sites(self, cfd: CFD) -> list[int]:
+        """Sites whose predicate does not conflict with the CFD's pattern constants."""
+        constants = {
+            a: cfd.pattern.entry(a)
+            for a in cfd.lhs
+            if cfd.pattern.entry(a) is not UNNAMED
+        }
+        eligible = []
+        for frag in self._partitioner.fragments:
+            if constants and frag.predicate.conflicts_with_constants(constants):
+                continue
+            eligible.append(frag.site)
+        return eligible
+
+    # -- public state --------------------------------------------------------------------
+
+    @property
+    def violations(self) -> ViolationSet:
+        """The current violation set ``V(Sigma, D)`` maintained by the detector."""
+        return self._violations
+
+    @property
+    def cfds(self) -> list[CFD]:
+        return list(self._cfds)
+
+    def index_for(self, cfd_name: str, site: int) -> CFDIndex:
+        """The local index of a variable CFD at a site (tests/diagnostics)."""
+        return self._site_indices[cfd_name][site]
+
+    # -- mark helpers ------------------------------------------------------------------------
+
+    def _mark(self, delta: ViolationDelta, tid: Any, cfd_name: str) -> None:
+        if self._violations.add(tid, cfd_name):
+            delta.add(tid, cfd_name)
+
+    def _unmark(self, delta: ViolationDelta, tid: Any, cfd_name: str) -> None:
+        if self._violations.remove(tid, cfd_name):
+            delta.remove(tid, cfd_name)
+
+    # -- per-update processing ------------------------------------------------------------------
+
+    def _process_constant(self, cfd: CFD, update: Update, delta: ViolationDelta) -> None:
+        t = update.tuple
+        if not cfd.single_tuple_violation(t):
+            return
+        if update.is_insert():
+            self._mark(delta, t.tid, cfd.name)
+        else:
+            self._unmark(delta, t.tid, cfd.name)
+
+    def _process_local(
+        self, cfd: CFD, update: Update, site_id: int, delta: ViolationDelta
+    ) -> None:
+        index = self._site_indices[cfd.name][site_id]
+        if update.is_insert():
+            for tid in incremental_insert(index, update.tuple):
+                self._mark(delta, tid, cfd.name)
+        else:
+            if index.applies_to(update.tuple):
+                for tid in incremental_delete(index, update.tuple):
+                    self._unmark(delta, tid, cfd.name)
+
+    def _process_general(
+        self, cfd: CFD, update: Update, site_id: int, delta: ViolationDelta
+    ) -> None:
+        protocol = self._protocols[cfd.name]
+        mark = lambda tid: self._mark(delta, tid, cfd.name)  # noqa: E731
+        unmark = lambda tid: self._unmark(delta, tid, cfd.name)  # noqa: E731
+        if update.is_insert():
+            protocol.insert(site_id, update.tuple, mark, unmark)
+        else:
+            protocol.delete(site_id, update.tuple, mark, unmark)
+
+    # -- the batch algorithm (Fig. 8) ---------------------------------------------------------------
+
+    def apply(self, updates: UpdateBatch) -> ViolationDelta:
+        """Process a batch of updates and return the net change ``delta-V``."""
+        delta = ViolationDelta()
+        for update in updates.normalized():
+            site_id = self._partitioner.route_tuple(update.tuple)
+            site = self._cluster.site(site_id)
+            if update.is_insert():
+                site.fragment.insert(update.tuple)
+            else:
+                site.fragment.discard(update.tid)
+            for cfd in self._constant_cfds:
+                self._process_constant(cfd, update, delta)
+            for cfd in self._local_cfds:
+                self._process_local(cfd, update, site_id, delta)
+            for cfd in self._general_cfds:
+                self._process_general(cfd, update, site_id, delta)
+        return delta

@@ -1,0 +1,74 @@
+"""Equivalence classes and their identifiers (eqids).
+
+Two tuples are equivalent w.r.t. an attribute set ``Y`` when they agree
+on all attributes of ``Y``; ``[t]_Y`` is the equivalence class of ``t``
+and ``id[t_Y]`` its identifier.  The vertical incremental algorithm
+never ships attribute values across sites — it ships these identifiers,
+which is how the communication cost becomes independent of value sizes
+and of |D| (Section 4).
+
+:class:`EqidRegistry` assigns eqids deterministically and is the shared
+"semantic" store behind every HEV hash table: an HEV over ``Y`` located
+at site ``S`` conceptually owns the portion of the registry keyed by
+``Y``; the registry itself performs no communication (shipment is
+accounted for by :class:`~repro.indexes.hev.HEVPlan`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Mapping
+
+
+class EqidRegistry:
+    """Assigns stable identifiers to equivalence classes ``[t]_Y``.
+
+    Identifiers are per attribute set: the eqid of ``[t]_{CC}`` and the
+    eqid of ``[t]_{CC, zip}`` live in different namespaces, exactly like
+    the separate HEV hash tables of the paper.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[tuple[str, ...], dict[tuple[Hashable, ...], int]] = {}
+        self._counters: dict[tuple[str, ...], int] = {}
+
+    @staticmethod
+    def _normalize(attributes: Iterable[str]) -> tuple[str, ...]:
+        return tuple(sorted(attributes))
+
+    def _key_for(self, attributes: tuple[str, ...], values: Mapping[str, Any]) -> tuple:
+        return tuple(values[a] for a in attributes)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def get_or_create(self, attributes: Iterable[str], values: Mapping[str, Any]) -> int:
+        """The eqid of ``[t]_Y`` for ``Y = attributes``, creating it if new."""
+        attrs = self._normalize(attributes)
+        table = self._tables.setdefault(attrs, {})
+        key = self._key_for(attrs, values)
+        eqid = table.get(key)
+        if eqid is None:
+            eqid = self._counters.get(attrs, 0) + 1
+            self._counters[attrs] = eqid
+            table[key] = eqid
+        return eqid
+
+    def lookup(self, attributes: Iterable[str], values: Mapping[str, Any]) -> int | None:
+        """The eqid of ``[t]_Y`` if the class has been seen, else None."""
+        attrs = self._normalize(attributes)
+        table = self._tables.get(attrs)
+        if table is None:
+            return None
+        return table.get(self._key_for(attrs, values))
+
+    def classes_for(self, attributes: Iterable[str]) -> int:
+        """How many distinct classes exist for an attribute set (diagnostics)."""
+        attrs = self._normalize(attributes)
+        return len(self._tables.get(attrs, {}))
+
+    def attribute_sets(self) -> list[tuple[str, ...]]:
+        """All attribute sets for which classes have been registered."""
+        return sorted(self._tables)
+
+    def clear(self) -> None:
+        self._tables.clear()
+        self._counters.clear()

@@ -1,0 +1,123 @@
+"""The IDX index of Section 4.
+
+For a variable CFD ``phi = (X -> B, tp)``, the IDX groups the tuples
+that the CFD applies to (those whose ``X`` values match ``tp[X]``) by
+their LHS equivalence class; inside each class it stores the distinct
+``B`` values and, per value, the set of tuple ids: this is exactly
+``set(t[X])`` of the paper — "for each ``[t]_X`` an IDX stores distinct
+values of the B attribute and their associated tuple ids".
+
+The same structure is used per site by the horizontal detector (keyed by
+local tuples only) and globally by the vertical detector (stored at the
+site the HEV plan assigns to the CFD).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Mapping
+
+from repro.core.cfd import CFD
+from repro.core.tuples import Tuple
+
+
+class IndexError_(RuntimeError):
+    """Raised when the index is asked to remove an unknown tuple."""
+
+
+class CFDIndex:
+    """Group index for one variable CFD: LHS key -> {RHS value -> {tids}}."""
+
+    def __init__(self, cfd: CFD):
+        if cfd.is_constant():
+            raise ValueError(
+                f"CFDIndex only applies to variable CFDs; {cfd.name!r} is constant"
+            )
+        self._cfd = cfd
+        self._groups: dict[tuple[Hashable, ...], dict[Any, set[Any]]] = {}
+
+    @property
+    def cfd(self) -> CFD:
+        return self._cfd
+
+    # -- keying --------------------------------------------------------------------
+
+    def lhs_key(self, t: Mapping[str, Any]) -> tuple[Hashable, ...]:
+        """The grouping key ``t[X]`` (the semantic content of ``id[t_X]``)."""
+        return tuple(t[a] for a in self._cfd.lhs)
+
+    def applies_to(self, t: Mapping[str, Any]) -> bool:
+        """Whether the CFD's pattern covers ``t`` (i.e. ``t[X] ~ tp[X]``)."""
+        return self._cfd.lhs_matches(t)
+
+    # -- queries -----------------------------------------------------------------------
+
+    def classes(self, lhs_key: tuple[Hashable, ...]) -> dict[Any, set[Any]]:
+        """``set(t[X])``: distinct B values of the group, each with its tids.
+
+        The returned mapping is a shallow copy; mutating it does not
+        affect the index.
+        """
+        group = self._groups.get(lhs_key, {})
+        return {value: set(tids) for value, tids in group.items()}
+
+    def class_count(self, lhs_key: tuple[Hashable, ...]) -> int:
+        """``|set(t[X])|``: how many distinct B values the group holds."""
+        return len(self._groups.get(lhs_key, ()))
+
+    def class_of(self, lhs_key: tuple[Hashable, ...], rhs_value: Any) -> set[Any]:
+        """``[t]_{X ∪ {B}}``: the tids sharing both the LHS key and the B value."""
+        return set(self._groups.get(lhs_key, {}).get(rhs_value, ()))
+
+    def group_size(self, lhs_key: tuple[Hashable, ...]) -> int:
+        """Total number of tuples in the LHS group."""
+        return sum(len(tids) for tids in self._groups.get(lhs_key, {}).values())
+
+    def groups(self) -> Iterable[tuple[tuple[Hashable, ...], dict[Any, set[Any]]]]:
+        """Iterate over (lhs_key, {rhs_value: tids}) pairs (diagnostics/tests)."""
+        for key, group in self._groups.items():
+            yield key, {value: set(tids) for value, tids in group.items()}
+
+    def __len__(self) -> int:
+        """Number of LHS groups currently indexed."""
+        return len(self._groups)
+
+    def total_tuples(self) -> int:
+        return sum(
+            len(tids) for group in self._groups.values() for tids in group.values()
+        )
+
+    # -- maintenance ----------------------------------------------------------------------
+
+    def add_tuple(self, t: Tuple) -> bool:
+        """Index ``t`` if the CFD applies to it.  Returns True if indexed."""
+        if not self.applies_to(t):
+            return False
+        self.add(self.lhs_key(t), t[self._cfd.rhs], t.tid)
+        return True
+
+    def add(self, lhs_key: tuple[Hashable, ...], rhs_value: Any, tid: Any) -> None:
+        self._groups.setdefault(lhs_key, {}).setdefault(rhs_value, set()).add(tid)
+
+    def remove_tuple(self, t: Tuple) -> bool:
+        """Remove ``t`` if the CFD applies to it.  Returns True if removed."""
+        if not self.applies_to(t):
+            return False
+        self.remove(self.lhs_key(t), t[self._cfd.rhs], t.tid)
+        return True
+
+    def remove(self, lhs_key: tuple[Hashable, ...], rhs_value: Any, tid: Any) -> None:
+        group = self._groups.get(lhs_key)
+        if not group or rhs_value not in group or tid not in group[rhs_value]:
+            raise IndexError_(
+                f"tuple {tid!r} not indexed under key {lhs_key!r} / value {rhs_value!r}"
+            )
+        group[rhs_value].discard(tid)
+        if not group[rhs_value]:
+            del group[rhs_value]
+        if not group:
+            del self._groups[lhs_key]
+
+    def build_from(self, tuples: Iterable[Tuple]) -> None:
+        """Index every applicable tuple of an iterable (initial build)."""
+        for t in tuples:
+            self.add_tuple(t)

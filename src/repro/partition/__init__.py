@@ -1,0 +1,41 @@
+"""Data fragmentation (Section 2.2 of the paper).
+
+Vertical partitioning projects the relation onto attribute sets (each
+fragment keeping the key) so that the original relation is the join of
+its fragments; horizontal partitioning selects disjoint subsets of the
+tuples via Boolean predicates so that the original relation is their
+union.  Replication schemes record which attributes are additionally
+available at which sites (used by the eqid-shipment planner).
+"""
+
+from repro.partition.predicates import (
+    AttributeEquals,
+    AttributeIn,
+    AttributeRange,
+    HashBucket,
+    Predicate,
+    TruePredicate,
+)
+from repro.partition.vertical import VerticalFragment, VerticalPartitioner, VerticalPartition
+from repro.partition.horizontal import (
+    HorizontalFragment,
+    HorizontalPartitioner,
+    HorizontalPartition,
+)
+from repro.partition.replication import ReplicationScheme
+
+__all__ = [
+    "Predicate",
+    "TruePredicate",
+    "AttributeEquals",
+    "AttributeIn",
+    "AttributeRange",
+    "HashBucket",
+    "VerticalFragment",
+    "VerticalPartitioner",
+    "VerticalPartition",
+    "HorizontalFragment",
+    "HorizontalPartitioner",
+    "HorizontalPartition",
+    "ReplicationScheme",
+]

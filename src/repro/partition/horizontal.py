@@ -1,0 +1,170 @@
+"""Horizontal fragmentation.
+
+``D`` is partitioned into ``(D1, ..., Dn)`` with ``Di = sigma_Fi(D)``
+for Boolean predicates ``Fi``; the fragments are pairwise disjoint, all
+share the base schema, and ``D`` is their union (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.core.tuples import Tuple
+from repro.core.updates import UpdateBatch
+from repro.partition.predicates import HashBucket, Predicate
+from repro.partition.vertical import PartitionError
+
+
+@dataclass(frozen=True)
+class HorizontalFragment:
+    """One horizontal fragment: a selection predicate assigned to a site."""
+
+    name: str
+    site: int
+    predicate: Predicate
+
+
+class HorizontalPartitioner:
+    """A horizontal partition scheme for a schema.
+
+    The scheme does not verify disjointness symbolically (predicates are
+    opaque callables); instead :meth:`fragment` and :meth:`route_tuple`
+    check it operationally and raise if a tuple matches several
+    fragments or none at all.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        fragments: Sequence[HorizontalFragment | Predicate],
+    ):
+        self._schema = schema
+        normalized: list[HorizontalFragment] = []
+        for i, frag in enumerate(fragments):
+            if isinstance(frag, HorizontalFragment):
+                normalized.append(frag)
+            else:
+                normalized.append(
+                    HorizontalFragment(f"{schema.name}_H{i + 1}", i, frag)
+                )
+        if not normalized:
+            raise PartitionError("need at least one horizontal fragment")
+        sites = [frag.site for frag in normalized]
+        if len(set(sites)) != len(sites):
+            raise PartitionError("each horizontal fragment must live on a distinct site")
+        self._fragments = tuple(normalized)
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def fragments(self) -> tuple[HorizontalFragment, ...]:
+        return self._fragments
+
+    @property
+    def n_fragments(self) -> int:
+        return len(self._fragments)
+
+    def sites(self) -> list[int]:
+        return [frag.site for frag in self._fragments]
+
+    def fragment_for_site(self, site: int) -> HorizontalFragment:
+        for frag in self._fragments:
+            if frag.site == site:
+                return frag
+        raise PartitionError(f"no horizontal fragment on site {site}")
+
+    # -- routing ---------------------------------------------------------------------
+
+    def route_tuple(self, t: Tuple) -> int:
+        """The unique site whose predicate accepts ``t``."""
+        matches = [frag.site for frag in self._fragments if frag.predicate(t)]
+        if not matches:
+            raise PartitionError(
+                f"tuple {t.tid!r} matches no horizontal fragment predicate"
+            )
+        if len(matches) > 1:
+            raise PartitionError(
+                f"tuple {t.tid!r} matches several fragments {matches}; horizontal "
+                "fragments must be disjoint"
+            )
+        return matches[0]
+
+    def fragment(self, relation: Relation) -> "HorizontalPartition":
+        """Split ``relation`` into per-site fragment relations."""
+        per_site: dict[int, Relation] = {
+            frag.site: Relation(
+                Schema(frag.name, self._schema.attribute_names, self._schema.key)
+            )
+            for frag in self._fragments
+        }
+        for t in relation:
+            per_site[self.route_tuple(t)].insert(t)
+        return HorizontalPartition(self, per_site)
+
+    def fragment_updates(self, updates: UpdateBatch) -> dict[int, UpdateBatch]:
+        """``delta-Di = sigma_Fi(delta-D)`` for every fragment."""
+        routed: dict[int, UpdateBatch] = {frag.site: UpdateBatch() for frag in self._fragments}
+        for update in updates:
+            routed[self.route_tuple(update.tuple)].append(update)
+        return routed
+
+
+class HorizontalPartition:
+    """The materialized result of horizontally fragmenting one relation."""
+
+    def __init__(
+        self, partitioner: HorizontalPartitioner, per_site: Mapping[int, Relation]
+    ):
+        self._partitioner = partitioner
+        self._per_site = dict(per_site)
+
+    @property
+    def partitioner(self) -> HorizontalPartitioner:
+        return self._partitioner
+
+    def fragment_at(self, site: int) -> Relation:
+        try:
+            return self._per_site[site]
+        except KeyError:
+            raise PartitionError(f"no fragment stored on site {site}") from None
+
+    def sites(self) -> list[int]:
+        return sorted(self._per_site)
+
+    def __iter__(self):
+        return iter(sorted(self._per_site.items()))
+
+    def reconstruct(self) -> Relation:
+        """Union all fragments back into the original relation."""
+        base = Relation(self._partitioner.schema)
+        for _, rel in sorted(self._per_site.items()):
+            for t in rel:
+                base.insert(t)
+        return base
+
+    def total_tuples(self) -> int:
+        return sum(len(rel) for rel in self._per_site.values())
+
+
+def hash_horizontal_scheme(
+    schema: Schema, n_fragments: int, attribute: str | None = None
+) -> HorizontalPartitioner:
+    """Build a horizontal scheme hashing ``attribute`` (default: the key) into buckets."""
+    if n_fragments <= 0:
+        raise PartitionError("need at least one fragment")
+    attr = attribute or schema.key
+    schema.validate_attributes([attr])
+    fragments = [
+        HorizontalFragment(
+            f"{schema.name}_H{i + 1}", i, HashBucket(attr, n_fragments, i)
+        )
+        for i in range(n_fragments)
+    ]
+    return HorizontalPartitioner(schema, fragments)

@@ -1,0 +1,176 @@
+"""Selection predicates ``Fi`` for horizontal fragmentation.
+
+A horizontal fragment is ``Di = sigma_Fi(D)``.  Besides evaluating a
+tuple, predicates expose just enough structure for the local-check
+optimizations of Section 6 of the paper:
+
+* :meth:`Predicate.attributes` — the attribute set ``X_Fi`` mentioned by
+  the predicate.  When ``X_Fi`` is a subset of a variable CFD's LHS,
+  that CFD can be checked locally (tuples in different fragments can
+  never agree on all LHS attributes).
+* :meth:`Predicate.conflicts_with_constants` — whether ``Fi ∧ F_phi``
+  is unsatisfiable for the constant pattern ``F_phi`` of a CFD, in which
+  case no tuple of the fragment can match the pattern and the fragment
+  can be skipped entirely.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable, Mapping
+
+
+class Predicate(ABC):
+    """A Boolean predicate over tuples, used as a fragmentation condition."""
+
+    @abstractmethod
+    def __call__(self, t: Mapping[str, Any]) -> bool:
+        """Evaluate the predicate on a tuple."""
+
+    @abstractmethod
+    def attributes(self) -> frozenset[str]:
+        """The attributes the predicate inspects (``X_Fi``)."""
+
+    def conflicts_with_constants(self, constants: Mapping[str, Any]) -> bool:
+        """Whether the predicate can never hold given attribute = constant bindings.
+
+        ``constants`` is the conjunction ``F_phi`` of ``A = a`` atoms
+        induced by a CFD's constant pattern entries.  Returning True
+        means ``Fi ∧ F_phi`` is unsatisfiable, so the fragment cannot
+        contain tuples matching the pattern.  The default is the safe
+        answer False (no conflict detected).
+        """
+        return False
+
+    def describe(self) -> str:
+        """Human-readable rendering used in logs and reports."""
+        return repr(self)
+
+
+class TruePredicate(Predicate):
+    """The always-true predicate (a single-fragment 'partition')."""
+
+    def __call__(self, t: Mapping[str, Any]) -> bool:
+        return True
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset()
+
+    def describe(self) -> str:
+        return "true"
+
+
+class AttributeEquals(Predicate):
+    """``attribute = value``, e.g. ``grade = 'A'`` in the paper's example."""
+
+    def __init__(self, attribute: str, value: Any):
+        self.attribute = attribute
+        self.value = value
+
+    def __call__(self, t: Mapping[str, Any]) -> bool:
+        return t[self.attribute] == self.value
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+    def conflicts_with_constants(self, constants: Mapping[str, Any]) -> bool:
+        return self.attribute in constants and constants[self.attribute] != self.value
+
+    def describe(self) -> str:
+        return f"{self.attribute} = {self.value!r}"
+
+
+class AttributeIn(Predicate):
+    """``attribute IN {values}``."""
+
+    def __init__(self, attribute: str, values: Iterable[Any]):
+        self.attribute = attribute
+        self.values = frozenset(values)
+
+    def __call__(self, t: Mapping[str, Any]) -> bool:
+        return t[self.attribute] in self.values
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+    def conflicts_with_constants(self, constants: Mapping[str, Any]) -> bool:
+        return self.attribute in constants and constants[self.attribute] not in self.values
+
+    def describe(self) -> str:
+        return f"{self.attribute} IN {sorted(map(repr, self.values))}"
+
+
+class AttributeRange(Predicate):
+    """``low <= attribute < high`` (half-open range partitioning)."""
+
+    def __init__(self, attribute: str, low: Any = None, high: Any = None):
+        if low is None and high is None:
+            raise ValueError("a range predicate needs at least one bound")
+        self.attribute = attribute
+        self.low = low
+        self.high = high
+
+    def __call__(self, t: Mapping[str, Any]) -> bool:
+        value = t[self.attribute]
+        if self.low is not None and value < self.low:
+            return False
+        if self.high is not None and value >= self.high:
+            return False
+        return True
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+    def conflicts_with_constants(self, constants: Mapping[str, Any]) -> bool:
+        if self.attribute not in constants:
+            return False
+        value = constants[self.attribute]
+        try:
+            if self.low is not None and value < self.low:
+                return True
+            if self.high is not None and value >= self.high:
+                return True
+        except TypeError:
+            return False
+        return False
+
+    def describe(self) -> str:
+        return f"{self.low!r} <= {self.attribute} < {self.high!r}"
+
+
+class HashBucket(Predicate):
+    """``hash(attribute) mod n == bucket`` — the generic disjoint partitioner.
+
+    Used by the workloads to spread tuples evenly over ``n`` sites when
+    no natural selection attribute exists (the paper's TPCH experiments
+    likewise hash-partition the joined table).
+    """
+
+    def __init__(self, attribute: str, n_buckets: int, bucket: int):
+        if n_buckets <= 0:
+            raise ValueError("n_buckets must be positive")
+        if not 0 <= bucket < n_buckets:
+            raise ValueError(f"bucket {bucket} out of range for {n_buckets} buckets")
+        self.attribute = attribute
+        self.n_buckets = n_buckets
+        self.bucket = bucket
+
+    @staticmethod
+    def _stable_hash(value: Any) -> int:
+        # hash() is salted per-process for str; use a deterministic digest so
+        # experiments are reproducible run to run.
+        if isinstance(value, int):
+            return value
+        acc = 0
+        for ch in str(value):
+            acc = (acc * 131 + ord(ch)) & 0x7FFFFFFF
+        return acc
+
+    def __call__(self, t: Mapping[str, Any]) -> bool:
+        return self._stable_hash(t[self.attribute]) % self.n_buckets == self.bucket
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+    def describe(self) -> str:
+        return f"hash({self.attribute}) % {self.n_buckets} == {self.bucket}"

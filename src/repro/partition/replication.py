@@ -1,0 +1,69 @@
+"""Replication schemes for vertically partitioned data.
+
+Section 5 of the paper observes that attribute replication — common in
+distributed data management for reliability — gives the HEV planner
+freedom in placing indices: an index over attributes ``{A, I}`` can be
+built at any site that stores both, which can save eqid shipments
+(Example 7, case (2)).  A :class:`ReplicationScheme` records, per
+attribute, the set of sites at which it is available, combining the
+primary placement from a :class:`VerticalPartitioner` with any extra
+replicas.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.partition.vertical import PartitionError, VerticalPartitioner
+
+
+class ReplicationScheme:
+    """Attribute -> set of sites where the attribute is stored."""
+
+    def __init__(self, partitioner: VerticalPartitioner, replicas: Mapping[str, Iterable[int]] | None = None):
+        self._partitioner = partitioner
+        self._sites_by_attr: dict[str, set[int]] = {}
+        for frag in partitioner.fragments:
+            for attr in frag.attributes:
+                self._sites_by_attr.setdefault(attr, set()).add(frag.site)
+        valid_sites = set(partitioner.sites())
+        for attr, sites in (replicas or {}).items():
+            partitioner.schema.validate_attributes([attr])
+            for site in sites:
+                if site not in valid_sites:
+                    raise PartitionError(
+                        f"replica site {site} for attribute {attr!r} is not a partition site"
+                    )
+                self._sites_by_attr.setdefault(attr, set()).add(site)
+
+    @property
+    def partitioner(self) -> VerticalPartitioner:
+        return self._partitioner
+
+    def sites_of(self, attribute: str) -> set[int]:
+        """All sites where ``attribute`` is available (primary + replicas)."""
+        try:
+            return set(self._sites_by_attr[attribute])
+        except KeyError:
+            raise PartitionError(f"attribute {attribute!r} is not stored anywhere") from None
+
+    def is_replicated(self, attribute: str) -> bool:
+        """Whether ``attribute`` is stored at more than one site."""
+        return len(self.sites_of(attribute)) > 1
+
+    def sites_with_all(self, attributes: Iterable[str]) -> set[int]:
+        """Sites that store every attribute in ``attributes``."""
+        attrs = list(attributes)
+        if not attrs:
+            return set(self._partitioner.sites())
+        common = self.sites_of(attrs[0])
+        for attr in attrs[1:]:
+            common &= self.sites_of(attr)
+        return common
+
+    def attributes_at(self, site: int) -> set[str]:
+        """All attributes available at ``site``."""
+        return {attr for attr, sites in self._sites_by_attr.items() if site in sites}
+
+    def as_dict(self) -> dict[str, set[int]]:
+        return {attr: set(sites) for attr, sites in self._sites_by_attr.items()}

@@ -1,0 +1,226 @@
+"""Vertical fragmentation.
+
+``D`` is partitioned into ``(D1, ..., Dn)`` with ``Di = pi_Xi(D)`` where
+each attribute set ``Xi`` contains the key, and ``D`` is reconstructed
+by joining the fragments on the key (Section 2.2).  Attributes may be
+*replicated*, i.e. appear in more than one fragment — the planner of
+Section 5 exploits replication to choose cheaper index locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.relation import Relation
+from repro.core.schema import Schema, SchemaError
+from repro.core.tuples import Tuple
+from repro.core.updates import UpdateBatch
+
+
+class PartitionError(ValueError):
+    """Raised when a partition scheme is inconsistent with its schema."""
+
+
+@dataclass(frozen=True)
+class VerticalFragment:
+    """One vertical fragment: a named attribute set assigned to a site."""
+
+    name: str
+    site: int
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise PartitionError(f"fragment {self.name!r} has no attributes")
+
+
+class VerticalPartitioner:
+    """A vertical partition scheme for a schema.
+
+    Parameters
+    ----------
+    schema:
+        The base relation schema.
+    fragments:
+        One entry per fragment: either a sequence of attribute names or
+        a :class:`VerticalFragment`.  The key attribute is added to
+        every fragment automatically.  Every non-key attribute must be
+        covered by at least one fragment; attributes may appear in more
+        than one fragment (replication).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        fragments: Sequence[VerticalFragment | Sequence[str]],
+    ):
+        self._schema = schema
+        normalized: list[VerticalFragment] = []
+        for i, frag in enumerate(fragments):
+            if isinstance(frag, VerticalFragment):
+                attrs = schema.validate_attributes(frag.attributes)
+                name, site = frag.name, frag.site
+            else:
+                attrs = schema.validate_attributes(frag)
+                name, site = f"{schema.name}_V{i + 1}", i
+            if schema.key not in attrs:
+                attrs = (schema.key, *attrs)
+            normalized.append(VerticalFragment(name, site, attrs))
+        covered = {a for frag in normalized for a in frag.attributes}
+        missing = [a for a in schema.attribute_names if a not in covered]
+        if missing:
+            raise PartitionError(
+                f"vertical partition does not cover attributes {missing} of schema "
+                f"{schema.name!r}"
+            )
+        sites = [frag.site for frag in normalized]
+        if len(set(sites)) != len(sites):
+            raise PartitionError("each vertical fragment must live on a distinct site")
+        self._fragments = tuple(normalized)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def fragments(self) -> tuple[VerticalFragment, ...]:
+        return self._fragments
+
+    @property
+    def n_fragments(self) -> int:
+        return len(self._fragments)
+
+    def sites(self) -> list[int]:
+        return [frag.site for frag in self._fragments]
+
+    def fragment_for_site(self, site: int) -> VerticalFragment:
+        for frag in self._fragments:
+            if frag.site == site:
+                return frag
+        raise PartitionError(f"no vertical fragment on site {site}")
+
+    def sites_with_attribute(self, attribute: str) -> list[int]:
+        """All sites holding ``attribute`` (more than one under replication)."""
+        return [frag.site for frag in self._fragments if attribute in frag.attributes]
+
+    def home_site(self, attribute: str) -> int:
+        """The first site holding ``attribute`` (its canonical location)."""
+        sites = self.sites_with_attribute(attribute)
+        if not sites:
+            raise PartitionError(f"attribute {attribute!r} is not stored anywhere")
+        return sites[0]
+
+    def is_local(self, attributes: Iterable[str]) -> int | None:
+        """Return a site storing *all* of ``attributes`` if one exists, else None.
+
+        This is the test for case (2) of Section 4: a variable CFD with
+        ``X ∪ {B} ⊆ Xi`` can be checked locally at site ``Si``.
+        """
+        wanted = set(attributes)
+        for frag in self._fragments:
+            if wanted <= set(frag.attributes):
+                return frag.site
+        return None
+
+    # -- fragmentation ---------------------------------------------------------------
+
+    def fragment(self, relation: Relation) -> "VerticalPartition":
+        """Split ``relation`` into per-site fragment relations."""
+        if relation.schema.attribute_names != self._schema.attribute_names:
+            raise PartitionError(
+                "relation schema does not match the partitioner's schema"
+            )
+        per_site: dict[int, Relation] = {}
+        for frag in self._fragments:
+            per_site[frag.site] = relation.project(frag.attributes, name=frag.name)
+        return VerticalPartition(self, per_site)
+
+    def fragment_tuple(self, t: Tuple) -> dict[int, Tuple]:
+        """Project a single tuple onto every fragment (site -> partial tuple)."""
+        return {
+            frag.site: t.project(frag.attributes) for frag in self._fragments
+        }
+
+    def fragment_updates(self, updates: UpdateBatch) -> dict[int, UpdateBatch]:
+        """``delta-Di = pi_Xi(delta-D)`` for every fragment."""
+        return {
+            frag.site: updates.project(frag.attributes) for frag in self._fragments
+        }
+
+
+class VerticalPartition:
+    """The materialized result of vertically fragmenting one relation."""
+
+    def __init__(self, partitioner: VerticalPartitioner, per_site: Mapping[int, Relation]):
+        self._partitioner = partitioner
+        self._per_site = dict(per_site)
+
+    @property
+    def partitioner(self) -> VerticalPartitioner:
+        return self._partitioner
+
+    def fragment_at(self, site: int) -> Relation:
+        try:
+            return self._per_site[site]
+        except KeyError:
+            raise PartitionError(f"no fragment stored on site {site}") from None
+
+    def sites(self) -> list[int]:
+        return sorted(self._per_site)
+
+    def __iter__(self):
+        return iter(sorted(self._per_site.items()))
+
+    def reconstruct(self) -> Relation:
+        """Join all fragments back into the original relation."""
+        sites = self.sites()
+        if not sites:
+            raise PartitionError("empty partition cannot be reconstructed")
+        result = self._per_site[sites[0]]
+        for site in sites[1:]:
+            result = result.join(self._per_site[site], name=self._partitioner.schema.name)
+        # Re-order attributes to the base schema for a faithful reconstruction.
+        base = Relation(self._partitioner.schema)
+        for t in result:
+            base.insert(
+                Tuple(t.tid, {a: t[a] for a in self._partitioner.schema.attribute_names})
+            )
+        return base
+
+    def total_tuples(self) -> int:
+        """Total number of (partial) tuples stored across all sites."""
+        return sum(len(rel) for rel in self._per_site.values())
+
+
+def even_vertical_scheme(
+    schema: Schema, n_fragments: int, replicate: Mapping[str, Sequence[int]] | None = None
+) -> VerticalPartitioner:
+    """Build a vertical scheme spreading non-key attributes evenly over sites.
+
+    ``replicate`` optionally maps attribute names to extra site indices
+    on which they should also be stored.
+    """
+    if n_fragments <= 0:
+        raise PartitionError("need at least one fragment")
+    non_key = schema.non_key_attributes()
+    if n_fragments > len(non_key):
+        n_fragments = max(1, len(non_key))
+    buckets: list[list[str]] = [[] for _ in range(n_fragments)]
+    for i, attr in enumerate(non_key):
+        buckets[i % n_fragments].append(attr)
+    if replicate:
+        for attr, extra_sites in replicate.items():
+            schema.validate_attributes([attr])
+            for site in extra_sites:
+                if not 0 <= site < n_fragments:
+                    raise PartitionError(f"replication site {site} out of range")
+                if attr not in buckets[site]:
+                    buckets[site].append(attr)
+    fragments = [
+        VerticalFragment(f"{schema.name}_V{i + 1}", i, tuple([schema.key, *attrs]))
+        for i, attrs in enumerate(buckets)
+    ]
+    return VerticalPartitioner(schema, fragments)

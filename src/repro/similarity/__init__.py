@@ -1,0 +1,51 @@
+"""Extension: matching dependencies (MDs) with similarity predicates.
+
+The paper's conclusion lists as future work extending the approach "to
+support constraints defined in terms of similarity predicates (e.g.,
+matching dependencies for record matching) beyond equality comparison,
+for which hash-based indices may not work and more robust indexing
+techniques need to be explored."  This subpackage implements that
+extension for the centralized / single-site setting:
+
+* :mod:`repro.similarity.predicates` — similarity predicates (exact,
+  normalized string, numeric tolerance, Jaccard over token sets,
+  Levenshtein edit distance), each optionally exposing *blocking keys*
+  that replace the equality hash buckets of CFD detection;
+* :mod:`repro.similarity.md` — matching dependencies ``(X ~ X) -> (Y = Y)``
+  and their violation semantics over tuple pairs;
+* :mod:`repro.similarity.blocking` — the blocking index standing in for
+  HEV/IDX when equality hashing no longer applies;
+* :mod:`repro.similarity.detector` — the exhaustive pairwise reference
+  detector;
+* :mod:`repro.similarity.incremental` — an incremental MD violation
+  detector whose per-update cost is proportional to the number of
+  blocking candidates, with exact maintenance of the violation set via
+  per-tuple partner counts.
+"""
+
+from repro.similarity.predicates import (
+    EditDistanceSimilarity,
+    ExactMatch,
+    JaccardSimilarity,
+    NormalizedStringMatch,
+    NumericTolerance,
+    SimilarityPredicate,
+)
+from repro.similarity.md import MatchingDependency
+from repro.similarity.blocking import BlockingIndex
+from repro.similarity.detector import MDDetector, detect_md_violations
+from repro.similarity.incremental import IncrementalMDDetector
+
+__all__ = [
+    "SimilarityPredicate",
+    "ExactMatch",
+    "NormalizedStringMatch",
+    "NumericTolerance",
+    "JaccardSimilarity",
+    "EditDistanceSimilarity",
+    "MatchingDependency",
+    "BlockingIndex",
+    "MDDetector",
+    "detect_md_violations",
+    "IncrementalMDDetector",
+]

@@ -1,0 +1,99 @@
+"""Blocking index for matching dependencies.
+
+CFD detection hashes tuples into equivalence classes; similarity is not
+transitive, so an MD detector instead uses *blocking*: every tuple is
+filed, per LHS attribute, under the blocking keys of its value, and two
+tuples need to be compared only if they share a key on **every** LHS
+attribute (predicate completeness guarantees that similar values share a
+key, so the conjunction over attributes never loses a genuine match).
+
+The index stores only tuple ids; the detectors keep the tuples
+themselves.  Maintenance is O(#keys) per insert/delete, candidate lookup
+is the intersection of per-attribute key-bucket unions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Mapping
+
+from repro.similarity.md import MatchingDependency
+
+
+class BlockingIndex:
+    """Per-MD blocking index: LHS attribute -> blocking key -> tuple ids."""
+
+    def __init__(self, md: MatchingDependency):
+        self._md = md
+        self._buckets: dict[str, dict[Hashable, set[Any]]] = {
+            attr: {} for attr in md.lhs_attributes
+        }
+        self._keys_by_tid: dict[Any, dict[str, set[Hashable]]] = {}
+
+    @property
+    def md(self) -> MatchingDependency:
+        return self._md
+
+    def __len__(self) -> int:
+        return len(self._keys_by_tid)
+
+    def __contains__(self, tid: Any) -> bool:
+        return tid in self._keys_by_tid
+
+    # -- maintenance ------------------------------------------------------------------
+
+    def add(self, tid: Any, t: Mapping[str, Any]) -> None:
+        """Index a tuple under its blocking keys."""
+        if tid in self._keys_by_tid:
+            raise ValueError(f"tuple {tid!r} is already indexed")
+        per_attr = self._md.block_keys(t)
+        self._keys_by_tid[tid] = per_attr
+        for attr, keys in per_attr.items():
+            buckets = self._buckets[attr]
+            for key in keys:
+                buckets.setdefault(key, set()).add(tid)
+
+    def remove(self, tid: Any) -> None:
+        """Drop a tuple from every bucket it appears in."""
+        per_attr = self._keys_by_tid.pop(tid, None)
+        if per_attr is None:
+            raise KeyError(f"tuple {tid!r} is not indexed")
+        for attr, keys in per_attr.items():
+            buckets = self._buckets[attr]
+            for key in keys:
+                bucket = buckets.get(key)
+                if bucket is not None:
+                    bucket.discard(tid)
+                    if not bucket:
+                        del buckets[key]
+
+    def build_from(self, tuples: Iterable[tuple[Any, Mapping[str, Any]]]) -> None:
+        for tid, t in tuples:
+            self.add(tid, t)
+
+    # -- candidate lookup ----------------------------------------------------------------
+
+    def candidates(self, t: Mapping[str, Any], exclude: Any = None) -> set[Any]:
+        """Tuple ids that could possibly satisfy the MD's LHS against ``t``.
+
+        For every LHS attribute, collect the union of the buckets of
+        ``t``'s keys; the candidates are the intersection over the
+        attributes.  Tuples outside the result are guaranteed not to be
+        LHS-similar to ``t``.
+        """
+        result: set[Any] | None = None
+        for attr, keys in self._md.block_keys(t).items():
+            buckets = self._buckets[attr]
+            union: set[Any] = set()
+            for key in keys:
+                union |= buckets.get(key, set())
+            result = union if result is None else (result & union)
+            if not result:
+                return set()
+        assert result is not None
+        if exclude is not None:
+            result.discard(exclude)
+        return result
+
+    def bucket_sizes(self) -> dict[str, int]:
+        """Number of buckets per LHS attribute (diagnostics for selectivity)."""
+        return {attr: len(buckets) for attr, buckets in self._buckets.items()}

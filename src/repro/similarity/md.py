@@ -1,0 +1,130 @@
+"""Matching dependencies (MDs) and their violation semantics.
+
+A matching dependency over a relation R has the form
+
+    (A1 ~1 A1, ..., Am ~m Am)  ->  (B1 = B1, ..., Bk = Bk)
+
+read as: whenever two tuples are pairwise similar on every LHS attribute
+(under the per-attribute similarity predicates ~i), they should agree —
+or at least match — on every RHS attribute.  MDs generalise FDs/CFDs
+from equality to similarity and are the constraint class the paper's
+conclusion points to for record matching.
+
+For *error detection* (this repository's concern) we use MDs the same
+way CFDs are used: a pair of tuples that satisfies the LHS similarities
+but fails an RHS match is an inconsistency, and every tuple involved in
+at least one such pair is reported as a violation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.schema import Schema
+from repro.similarity.predicates import ExactMatch, SimilarityPredicate
+
+
+class MDError(ValueError):
+    """Raised when a matching dependency is malformed."""
+
+
+class MatchingDependency:
+    """A matching dependency ``(X ~ X) -> (Y = Y)``.
+
+    Parameters
+    ----------
+    lhs:
+        A sequence of ``(attribute, predicate)`` pairs; a bare attribute
+        name is shorthand for ``(attribute, ExactMatch())``.
+    rhs:
+        The attributes the matched tuples must agree on; each may also
+        carry its own predicate (``(attribute, predicate)``), defaulting
+        to exact equality.
+    name:
+        Identifier used in violation reports.
+    """
+
+    def __init__(
+        self,
+        lhs: Sequence[tuple[str, SimilarityPredicate] | str],
+        rhs: Sequence[tuple[str, SimilarityPredicate] | str] | str,
+        name: str | None = None,
+    ):
+        self.lhs: tuple[tuple[str, SimilarityPredicate], ...] = tuple(
+            self._normalize_item(item) for item in lhs
+        )
+        if isinstance(rhs, str):
+            rhs = [rhs]
+        self.rhs: tuple[tuple[str, SimilarityPredicate], ...] = tuple(
+            self._normalize_item(item) for item in rhs
+        )
+        if not self.lhs:
+            raise MDError("a matching dependency needs at least one LHS attribute")
+        if not self.rhs:
+            raise MDError("a matching dependency needs at least one RHS attribute")
+        lhs_attrs = [a for a, _ in self.lhs]
+        if len(set(lhs_attrs)) != len(lhs_attrs):
+            raise MDError(f"duplicate attributes in MD LHS: {lhs_attrs}")
+        rhs_attrs = [a for a, _ in self.rhs]
+        if set(rhs_attrs) & set(lhs_attrs):
+            raise MDError("MD RHS attributes must not repeat LHS attributes")
+        self.name = name or self._default_name()
+
+    @staticmethod
+    def _normalize_item(
+        item: tuple[str, SimilarityPredicate] | str
+    ) -> tuple[str, SimilarityPredicate]:
+        if isinstance(item, str):
+            return item, ExactMatch()
+        attribute, predicate = item
+        if not isinstance(predicate, SimilarityPredicate):
+            raise MDError(f"{predicate!r} is not a SimilarityPredicate")
+        return attribute, predicate
+
+    def _default_name(self) -> str:
+        lhs = ", ".join(f"{a} {p.describe()}" for a, p in self.lhs)
+        rhs = ", ".join(f"{a} {p.describe()}" for a, p in self.rhs)
+        return f"[{lhs}] => [{rhs}]"
+
+    # -- structure ------------------------------------------------------------------
+
+    @property
+    def lhs_attributes(self) -> tuple[str, ...]:
+        return tuple(a for a, _ in self.lhs)
+
+    @property
+    def rhs_attributes(self) -> tuple[str, ...]:
+        return tuple(a for a, _ in self.rhs)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return (*self.lhs_attributes, *self.rhs_attributes)
+
+    def validate_against(self, schema: Schema) -> None:
+        """Raise :class:`MDError` if the MD mentions unknown attributes."""
+        for attr in self.attributes:
+            if attr not in schema:
+                raise MDError(
+                    f"MD {self.name!r} mentions attribute {attr!r} not in schema {schema.name!r}"
+                )
+
+    # -- semantics -------------------------------------------------------------------------
+
+    def lhs_matches(self, left: Mapping[str, Any], right: Mapping[str, Any]) -> bool:
+        """Whether the two tuples are similar on every LHS attribute."""
+        return all(pred.similar(left[attr], right[attr]) for attr, pred in self.lhs)
+
+    def rhs_matches(self, left: Mapping[str, Any], right: Mapping[str, Any]) -> bool:
+        """Whether the two tuples match on every RHS attribute."""
+        return all(pred.similar(left[attr], right[attr]) for attr, pred in self.rhs)
+
+    def pair_violates(self, left: Mapping[str, Any], right: Mapping[str, Any]) -> bool:
+        """Whether the (unordered) pair of tuples is an inconsistency w.r.t. this MD."""
+        return self.lhs_matches(left, right) and not self.rhs_matches(left, right)
+
+    def block_keys(self, t: Mapping[str, Any]) -> dict[str, set]:
+        """Per-LHS-attribute blocking keys for a tuple (used by the blocking index)."""
+        return {attr: pred.block_keys(t[attr]) for attr, pred in self.lhs}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MatchingDependency({self.name})"

@@ -1,0 +1,216 @@
+"""Similarity predicates for matching dependencies.
+
+A similarity predicate decides whether two attribute values "match"
+(approximately agree).  Unlike the equality comparison underlying CFDs,
+similarity is generally not transitive, so values cannot be grouped into
+equivalence classes and the HEV/IDX machinery does not apply directly.
+What replaces the equality hash bucket is a *blocking key*: every
+predicate maps a value to a small set of keys such that
+
+    if ``similar(a, b)`` then ``block_keys(a) ∩ block_keys(b) != ∅``.
+
+That completeness contract lets an index restrict candidate comparisons
+to tuples sharing a key without ever missing a genuine match.  The
+fallback implementation uses a single universal key (no pruning, always
+complete); predicates with better structure override it.
+"""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+from typing import Any, Hashable
+
+
+class SimilarityPredicate(ABC):
+    """Decides whether two attribute values approximately match."""
+
+    #: The key every value falls back to when no sharper blocking exists.
+    UNIVERSAL_KEY: Hashable = ("*",)
+
+    @abstractmethod
+    def similar(self, left: Any, right: Any) -> bool:
+        """Whether the two values match under this predicate."""
+
+    def block_keys(self, value: Any) -> set[Hashable]:
+        """Blocking keys for ``value``.
+
+        Completeness contract: two similar values always share at least
+        one key.  The default is a single universal key, which prunes
+        nothing but is always correct.
+        """
+        return {self.UNIVERSAL_KEY}
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+class ExactMatch(SimilarityPredicate):
+    """Plain equality — the degenerate case that CFDs use."""
+
+    def similar(self, left: Any, right: Any) -> bool:
+        return left == right
+
+    def block_keys(self, value: Any) -> set[Hashable]:
+        return {("=", value)}
+
+    def describe(self) -> str:
+        return "="
+
+
+class NormalizedStringMatch(SimilarityPredicate):
+    """Case-, whitespace- and punctuation-insensitive string equality.
+
+    Typical for names and addresses: ``"J.  Smith"`` matches
+    ``"j smith"``.  Blocking on the normal form is exact, so the index
+    prunes as well as a hash on the raw value would for equality.
+    """
+
+    _STRIP = re.compile(r"[^a-z0-9 ]+")
+    _SPACES = re.compile(r"\s+")
+
+    def normalize(self, value: Any) -> str:
+        text = str(value).lower()
+        text = self._STRIP.sub(" ", text)
+        return self._SPACES.sub(" ", text).strip()
+
+    def similar(self, left: Any, right: Any) -> bool:
+        return self.normalize(left) == self.normalize(right)
+
+    def block_keys(self, value: Any) -> set[Hashable]:
+        return {("~s", self.normalize(value))}
+
+    def describe(self) -> str:
+        return "normalized="
+
+
+class NumericTolerance(SimilarityPredicate):
+    """``|left - right| <= tolerance`` for numeric values.
+
+    Blocking buckets the number line into tolerance-wide cells and emits
+    the value's cell plus both neighbours; values within the tolerance
+    have cell indices that differ by at most two (the bound is tight when
+    the difference equals the tolerance across a cell boundary), so they
+    always share a key.  Non-numeric values never match anything numeric.
+    """
+
+    def __init__(self, tolerance: float):
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        self.tolerance = float(tolerance)
+
+    @staticmethod
+    def _as_number(value: Any) -> float | None:
+        if isinstance(value, bool):
+            return None
+        if isinstance(value, (int, float)):
+            return float(value)
+        try:
+            return float(str(value))
+        except (TypeError, ValueError):
+            return None
+
+    def similar(self, left: Any, right: Any) -> bool:
+        a, b = self._as_number(left), self._as_number(right)
+        if a is None or b is None:
+            return False
+        return abs(a - b) <= self.tolerance
+
+    def block_keys(self, value: Any) -> set[Hashable]:
+        number = self._as_number(value)
+        if number is None:
+            return {("num", None)}
+        cell = int(number // self.tolerance)
+        return {("num", cell - 1), ("num", cell), ("num", cell + 1)}
+
+    def describe(self) -> str:
+        return f"within {self.tolerance}"
+
+
+class JaccardSimilarity(SimilarityPredicate):
+    """Jaccard similarity over whitespace tokens, thresholded.
+
+    ``similar(a, b)`` iff ``|tokens(a) ∩ tokens(b)| / |tokens(a) ∪ tokens(b)| >= threshold``.
+    Every token is a blocking key: two token sets with a non-zero Jaccard
+    coefficient share at least one token, so blocking is complete for any
+    positive threshold.
+    """
+
+    def __init__(self, threshold: float = 0.5):
+        if not 0 < threshold <= 1:
+            raise ValueError("threshold must lie in (0, 1]")
+        self.threshold = threshold
+
+    @staticmethod
+    def tokens(value: Any) -> frozenset[str]:
+        return frozenset(str(value).lower().split())
+
+    def similar(self, left: Any, right: Any) -> bool:
+        a, b = self.tokens(left), self.tokens(right)
+        if not a and not b:
+            return True
+        union = a | b
+        if not union:
+            return False
+        return len(a & b) / len(union) >= self.threshold
+
+    def block_keys(self, value: Any) -> set[Hashable]:
+        toks = self.tokens(value)
+        if not toks:
+            return {("tok", "")}
+        return {("tok", token) for token in toks}
+
+    def describe(self) -> str:
+        return f"jaccard>={self.threshold}"
+
+
+class EditDistanceSimilarity(SimilarityPredicate):
+    """Levenshtein edit distance, thresholded.
+
+    ``similar(a, b)`` iff the edit distance between the two strings is at
+    most ``max_distance``.  Robust blocking for edit distance (q-gram
+    count filtering, length filtering) is exactly the "more robust
+    indexing techniques" the paper defers to future work; this predicate
+    keeps the always-complete universal blocking key, so incremental
+    detection still works but compares an update against every candidate
+    in the block.
+    """
+
+    def __init__(self, max_distance: int = 1):
+        if max_distance < 0:
+            raise ValueError("max_distance must be non-negative")
+        self.max_distance = max_distance
+
+    @staticmethod
+    def distance(left: str, right: str, cutoff: int | None = None) -> int:
+        """Levenshtein distance with an optional early-exit cutoff."""
+        a, b = str(left), str(right)
+        if a == b:
+            return 0
+        if len(a) > len(b):
+            a, b = b, a
+        if cutoff is not None and len(b) - len(a) > cutoff:
+            return cutoff + 1
+        previous = list(range(len(a) + 1))
+        for i, cb in enumerate(b, start=1):
+            current = [i]
+            best = i
+            for j, ca in enumerate(a, start=1):
+                cost = 0 if ca == cb else 1
+                value = min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+                current.append(value)
+                if value < best:
+                    best = value
+            if cutoff is not None and best > cutoff:
+                return cutoff + 1
+            previous = current
+        return previous[-1]
+
+    def similar(self, left: Any, right: Any) -> bool:
+        return self.distance(str(left), str(right), cutoff=self.max_distance) <= self.max_distance
+
+    def describe(self) -> str:
+        return f"edit<={self.max_distance}"

@@ -1,0 +1,26 @@
+"""Detection algorithms for vertically partitioned data (Sections 4 and 5).
+
+* :mod:`repro.vertical.single` — the single-update routines ``incVIns``
+  and ``incVDel`` (Fig. 4), expressed over the IDX group index.
+* :mod:`repro.vertical.incver` — ``incVer`` (Fig. 5): batch updates and
+  multiple CFDs, with eqid shipments charged through the HEV plan.
+* :mod:`repro.vertical.batver` — the batch baseline ``batVer`` following
+  Fan et al. (ICDE 2010): ship relevant attribute columns to a
+  coordinator per CFD and detect there.
+* :mod:`repro.vertical.ibatver` — the improved batch baseline ``ibatVer``
+  of Exp-10, which reuses the incremental insertion machinery to build
+  the violation set from scratch.
+"""
+
+from repro.vertical.single import incremental_insert, incremental_delete
+from repro.vertical.incver import VerticalIncrementalDetector
+from repro.vertical.batver import VerticalBatchDetector
+from repro.vertical.ibatver import ImprovedVerticalBatchDetector
+
+__all__ = [
+    "incremental_insert",
+    "incremental_delete",
+    "VerticalIncrementalDetector",
+    "VerticalBatchDetector",
+    "ImprovedVerticalBatchDetector",
+]

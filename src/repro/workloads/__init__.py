@@ -1,0 +1,28 @@
+"""Workloads: datasets, rules and update streams used by the evaluation.
+
+* :mod:`repro.workloads.emp` — the paper's EMP running example (Figs. 1-3).
+* :mod:`repro.workloads.tpch` — a deterministic synthetic generator for
+  a denormalised TPCH-like wide table (the paper joins all TPCH tables
+  into one relation); stands in for the 2M-10M tuple EC2 datasets.
+* :mod:`repro.workloads.dblp` — a synthetic bibliography relation that
+  plays the role of the paper's DBLP extract.
+* :mod:`repro.workloads.rules` — CFD generation following the paper's
+  methodology: design FDs first, then add constant patterns.
+* :mod:`repro.workloads.updates` — batch update generation (the paper
+  uses 80% insertions / 20% deletions).
+"""
+
+from repro.workloads.emp import EmpWorkload
+from repro.workloads.rules import FDSpec, generate_cfds
+from repro.workloads.tpch import TPCHGenerator
+from repro.workloads.dblp import DBLPGenerator
+from repro.workloads.updates import generate_updates
+
+__all__ = [
+    "EmpWorkload",
+    "FDSpec",
+    "generate_cfds",
+    "TPCHGenerator",
+    "DBLPGenerator",
+    "generate_updates",
+]

@@ -1,0 +1,180 @@
+"""A synthetic DBLP-like bibliography workload.
+
+The paper's second dataset is a 320MB relation extracted from the DBLP
+XML dump (100K-500K tuples).  This generator produces a structurally
+similar publication relation: each row describes one paper with venue,
+venue type, publisher, research area and editor attributes; the venue
+determines its type, publisher and area on clean data, and a fraction of
+rows carries injected errors.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.core.tuples import Tuple
+from repro.partition.horizontal import HorizontalPartitioner, hash_horizontal_scheme
+from repro.partition.vertical import VerticalPartitioner, even_vertical_scheme
+from repro.workloads.rules import FDSpec
+
+_VENUES = [
+    ("SIGMOD", "conference", "ACM", "databases"),
+    ("VLDB", "conference", "VLDB Endowment", "databases"),
+    ("ICDE", "conference", "IEEE", "databases"),
+    ("PODS", "conference", "ACM", "theory"),
+    ("EDBT", "conference", "OpenProceedings", "databases"),
+    ("TODS", "journal", "ACM", "databases"),
+    ("TKDE", "journal", "IEEE", "databases"),
+    ("VLDBJ", "journal", "Springer", "databases"),
+    ("JACM", "journal", "ACM", "theory"),
+    ("KDD", "conference", "ACM", "data mining"),
+    ("ICDM", "conference", "IEEE", "data mining"),
+    ("WWW", "conference", "ACM", "web"),
+    ("WSDM", "conference", "ACM", "web"),
+    ("CIKM", "conference", "ACM", "information retrieval"),
+    ("SIGIR", "conference", "ACM", "information retrieval"),
+    ("NIPS", "conference", "Curran", "machine learning"),
+    ("ICML", "conference", "PMLR", "machine learning"),
+    ("JMLR", "journal", "Microtome", "machine learning"),
+    ("SOSP", "conference", "ACM", "systems"),
+    ("OSDI", "conference", "USENIX", "systems"),
+]
+_PUBLISHER_COUNTRY = {
+    "ACM": "USA", "IEEE": "USA", "VLDB Endowment": "USA", "Springer": "Germany",
+    "OpenProceedings": "Germany", "Curran": "USA", "PMLR": "UK",
+    "Microtome": "USA", "USENIX": "USA",
+}
+_FIRST = ["Alice", "Bob", "Carol", "David", "Erika", "Frank", "Grace", "Hiro",
+          "Ivan", "Jun", "Klara", "Luis", "Maria", "Nikos", "Olga", "Pedro"]
+_LAST = ["Ahmed", "Brown", "Chen", "Dimitriou", "Evans", "Fischer", "Garcia",
+         "Huang", "Ito", "Johnson", "Kumar", "Lee", "Martinez", "Novak", "Olsen", "Petrov"]
+
+
+class DBLPGenerator:
+    """Deterministic generator for the bibliography relation."""
+
+    _CORRUPTIBLE = ["vtype", "publisher", "area", "country", "editor"]
+
+    def __init__(self, seed: int = 11, error_rate: float = 0.05):
+        self.seed = seed
+        self.error_rate = error_rate
+        self.schema = Schema(
+            "DBLP",
+            [
+                "pid", "title", "author", "venue", "vtype", "publisher",
+                "area", "country", "year", "editor", "pages",
+            ],
+            key="pid",
+        )
+
+    # -- deterministic clean mappings -------------------------------------------------------
+
+    @staticmethod
+    def _pick(options: list, key: str) -> object:
+        acc = 0
+        for ch in key:
+            acc = (acc * 733 + ord(ch)) & 0x7FFFFFFF
+        return options[acc % len(options)]
+
+    def _editor_for(self, venue: str, year: int) -> str:
+        first = self._pick(_FIRST, f"{venue}{year}e1")
+        last = self._pick(_LAST, f"{venue}{year}e2")
+        return f"{first} {last}"
+
+    def _clean_row(self, tid: int, rng: random.Random) -> dict:
+        venue, vtype, publisher, area = rng.choice(_VENUES)
+        year = rng.randint(1995, 2011)
+        author = f"{rng.choice(_FIRST)} {rng.choice(_LAST)}"
+        start = rng.randint(1, 600)
+        return {
+            "pid": tid,
+            "title": f"On the {rng.choice(['Complexity', 'Design', 'Evaluation', 'Semantics', 'Optimization'])} "
+                     f"of {rng.choice(['Queries', 'Dependencies', 'Views', 'Streams', 'Graphs'])} #{tid}",
+            "author": author,
+            "venue": venue,
+            "vtype": vtype,
+            "publisher": publisher,
+            "area": area,
+            "country": _PUBLISHER_COUNTRY[publisher],
+            "year": year,
+            "editor": self._editor_for(venue, year),
+            "pages": f"{start}-{start + rng.randint(8, 24)}",
+        }
+
+    def _inject_error(self, row: dict, rng: random.Random) -> None:
+        attribute = rng.choice(self._CORRUPTIBLE)
+        domains = {
+            "vtype": ["conference", "journal", "workshop"],
+            "publisher": sorted(_PUBLISHER_COUNTRY),
+            "area": sorted({v[3] for v in _VENUES}),
+            "country": sorted(set(_PUBLISHER_COUNTRY.values())) + ["Unknown"],
+            "editor": [f"{f} {l}" for f in _FIRST[:4] for l in _LAST[:4]],
+        }
+        domain = domains[attribute]
+        wrong = rng.choice(domain)
+        if wrong == row[attribute]:
+            wrong = domain[(domain.index(wrong) + 1) % len(domain)]
+        row[attribute] = wrong
+
+    # -- public generation API ---------------------------------------------------------------------
+
+    def tuples(self, start_tid: int, count: int) -> list[Tuple]:
+        """Generate ``count`` tuples with consecutive tids starting at ``start_tid``."""
+        out = []
+        for tid in range(start_tid, start_tid + count):
+            rng = random.Random(f"{self.seed}:{tid}")
+            row = self._clean_row(tid, rng)
+            if rng.random() < self.error_rate:
+                self._inject_error(row, rng)
+            out.append(Tuple(tid, row))
+        return out
+
+    def relation(self, n_tuples: int) -> Relation:
+        """The base relation with tids ``1 .. n_tuples``."""
+        return Relation(self.schema, self.tuples(1, n_tuples))
+
+    # -- embedded dependencies ---------------------------------------------------------------------------
+
+    def fd_specs(self) -> list[FDSpec]:
+        """The functional dependencies that hold on clean data by construction."""
+        venues = [v for v, _, _, _ in _VENUES]
+        venue_type = [({"venue": v}, t) for v, t, _, _ in _VENUES]
+        venue_pub = [({"venue": v}, p) for v, _, p, _ in _VENUES]
+        venue_area = [({"venue": v}, a) for v, _, _, a in _VENUES]
+        pub_country = [({"publisher": p}, c) for p, c in _PUBLISHER_COUNTRY.items()]
+        return [
+            FDSpec.build(["venue"], "vtype", {"venue": venues}, venue_type),
+            FDSpec.build(["venue"], "publisher", {"venue": venues}, venue_pub),
+            FDSpec.build(["venue"], "area", {"venue": venues}, venue_area),
+            FDSpec.build(["publisher"], "country", {"publisher": sorted(_PUBLISHER_COUNTRY)}, pub_country),
+            FDSpec.build(
+                ["venue", "year"], "editor",
+                {"venue": venues, "year": list(range(1995, 2012))},
+            ),
+            # FDs with redundant LHS attributes (supersets of embedded FDs) give the
+            # Section 5 optimizer shared prefixes to exploit.
+            FDSpec.build(
+                ["venue", "year", "vtype"], "editor",
+                {"venue": venues, "year": list(range(1995, 2012))},
+            ),
+            FDSpec.build(
+                ["venue", "year", "publisher"], "editor",
+                {"venue": venues, "year": list(range(1995, 2012))},
+            ),
+            FDSpec.build(
+                ["venue", "area"], "publisher",
+                {"venue": venues},
+            ),
+        ]
+
+    # -- default partition schemes ------------------------------------------------------------------------
+
+    def vertical_partitioner(self, n_fragments: int = 10) -> VerticalPartitioner:
+        """Spread the non-key attributes evenly over ``n_fragments`` sites."""
+        return even_vertical_scheme(self.schema, n_fragments)
+
+    def horizontal_partitioner(self, n_fragments: int = 10) -> HorizontalPartitioner:
+        """Hash-partition rows over ``n_fragments`` sites by the publication id."""
+        return hash_horizontal_scheme(self.schema, n_fragments)

@@ -1,0 +1,120 @@
+"""The EMP running example of the paper (Figs. 1-3, Examples 1-9).
+
+The module reproduces relation ``D0`` (tuples t1-t5, plus t6 used in
+Example 2), the CFDs ``phi1`` and ``phi2`` of Fig. 1, the vertical
+partitioning into ``DV1, DV2, DV3`` and the horizontal partitioning into
+``DH1, DH2, DH3``.  The paper-example tests and the ``employee_audit``
+example are built on top of it.
+"""
+
+from __future__ import annotations
+
+from repro.core.cfd import CFD
+from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.core.tuples import Tuple
+from repro.partition.horizontal import HorizontalFragment, HorizontalPartitioner
+from repro.partition.predicates import AttributeEquals
+from repro.partition.vertical import VerticalFragment, VerticalPartitioner
+
+
+class EmpWorkload:
+    """The EMP schema, data, CFDs and partition schemes of the paper."""
+
+    def __init__(self) -> None:
+        self.schema = Schema(
+            "EMP",
+            [
+                "id",
+                "name",
+                "sex",
+                "grade",
+                "street",
+                "city",
+                "zip",
+                "CC",
+                "AC",
+                "phn",
+                "salary",
+                "hd",
+            ],
+            key="id",
+        )
+
+    # -- data (Fig. 2) -------------------------------------------------------------
+
+    @staticmethod
+    def _row(tid, name, sex, grade, street, city, zip_, cc, ac, phn, salary, hd):
+        return Tuple(
+            tid,
+            {
+                "id": tid,
+                "name": name,
+                "sex": sex,
+                "grade": grade,
+                "street": street,
+                "city": city,
+                "zip": zip_,
+                "CC": cc,
+                "AC": ac,
+                "phn": phn,
+                "salary": salary,
+                "hd": hd,
+            },
+        )
+
+    def tuples(self) -> dict[str, Tuple]:
+        """The six tuples of Fig. 2, keyed ``t1`` .. ``t6``."""
+        return {
+            "t1": self._row(1, "Mike", "M", "A", "Mayfield", "NYC", "EH4 8LE", 44, 131, "8693784", "65k", "01/10/2005"),
+            "t2": self._row(2, "Sam", "M", "A", "Preston", "EDI", "EH2 4HF", 44, 131, "8765432", "65k", "01/05/2009"),
+            "t3": self._row(3, "Molina", "F", "B", "Mayfield", "EDI", "EH4 8LE", 44, 131, "3456789", "80k", "01/03/2010"),
+            "t4": self._row(4, "Philip", "M", "B", "Mayfield", "EDI", "EH4 8LE", 44, 131, "2909209", "85k", "01/05/2010"),
+            "t5": self._row(5, "Adam", "M", "C", "Crichton", "EDI", "EH4 8LE", 44, 131, "7478626", "120k", "01/05/1995"),
+            "t6": self._row(6, "George", "M", "C", "Mayfield", "EDI", "EH4 8LE", 44, 131, "9595858", "120k", "01/07/1993"),
+        }
+
+    def relation(self, include_t6: bool = False) -> Relation:
+        """``D0``: tuples t1-t5 (t6 is inserted by Example 2 when requested)."""
+        rows = self.tuples()
+        keys = ["t1", "t2", "t3", "t4", "t5"] + (["t6"] if include_t6 else [])
+        return Relation(self.schema, [rows[k] for k in keys])
+
+    # -- CFDs (Fig. 1) -----------------------------------------------------------------
+
+    def phi1(self) -> CFD:
+        """``phi1: ([CC = 44, zip] -> [street])`` — a variable CFD."""
+        return CFD(["CC", "zip"], "street", {"CC": 44}, name="phi1")
+
+    def phi2(self) -> CFD:
+        """``phi2: ([CC = 44, AC = 131] -> [city = 'EDI'])`` — a constant CFD."""
+        return CFD(["CC", "AC"], "city", {"CC": 44, "AC": 131, "city": "EDI"}, name="phi2")
+
+    def cfds(self) -> list[CFD]:
+        """``Sigma0 = {phi1, phi2}``."""
+        return [self.phi1(), self.phi2()]
+
+    # -- partition schemes (Fig. 2) ---------------------------------------------------------
+
+    def vertical_partitioner(self) -> VerticalPartitioner:
+        """``DV1(id, name, sex, grade)``, ``DV2(id, street, city, zip)``,
+        ``DV3(id, CC, AC, phn, salary, hd)``."""
+        return VerticalPartitioner(
+            self.schema,
+            [
+                VerticalFragment("DV1", 0, ("id", "name", "sex", "grade")),
+                VerticalFragment("DV2", 1, ("id", "street", "city", "zip")),
+                VerticalFragment("DV3", 2, ("id", "CC", "AC", "phn", "salary", "hd")),
+            ],
+        )
+
+    def horizontal_partitioner(self) -> HorizontalPartitioner:
+        """``DH1 (grade = 'A')``, ``DH2 (grade = 'B')``, ``DH3 (grade = 'C')``."""
+        return HorizontalPartitioner(
+            self.schema,
+            [
+                HorizontalFragment("DH1", 0, AttributeEquals("grade", "A")),
+                HorizontalFragment("DH2", 1, AttributeEquals("grade", "B")),
+                HorizontalFragment("DH3", 2, AttributeEquals("grade", "C")),
+            ],
+        )

@@ -1,0 +1,119 @@
+"""CFD generation following the paper's methodology.
+
+Section 7: "CFDs were designed manually.  We first designed functional
+dependencies (FDs), and then produced CFDs by adding patterns (i.e.,
+conditions) to the FDs."  Each workload generator publishes its embedded
+FDs as :class:`FDSpec` objects (the dependencies that hold on clean data
+by construction); :func:`generate_cfds` then derives an arbitrary number
+of CFDs from them:
+
+* plain FDs (all-wildcard pattern tuples),
+* variable CFDs with a constant condition on one LHS attribute,
+* constant CFDs binding both a LHS condition and the RHS value to a
+  consistent pair observed in the clean mapping.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.cfd import CFD
+
+
+@dataclass(frozen=True)
+class FDSpec:
+    """One functional dependency embedded in a workload's clean data.
+
+    Parameters
+    ----------
+    lhs / rhs:
+        The embedded FD ``lhs -> rhs``.
+    lhs_domains:
+        For each LHS attribute, a sample of values appearing in the data
+        (used to generate constant conditions).
+    consistent_pairs:
+        Samples of ``({lhs attr: value, ...}, rhs value)`` that hold on
+        clean data; used to generate constant CFDs whose violations are
+        genuine errors rather than artifacts of the rule.
+    """
+
+    lhs: tuple[str, ...]
+    rhs: str
+    lhs_domains: tuple[tuple[str, tuple[Any, ...]], ...] = ()
+    consistent_pairs: tuple[tuple[tuple[tuple[str, Any], ...], Any], ...] = ()
+
+    @staticmethod
+    def build(
+        lhs: Sequence[str],
+        rhs: str,
+        lhs_domains: Mapping[str, Iterable[Any]] | None = None,
+        consistent_pairs: Iterable[tuple[Mapping[str, Any], Any]] = (),
+    ) -> "FDSpec":
+        domains = tuple(
+            (attr, tuple(values)) for attr, values in (lhs_domains or {}).items()
+        )
+        pairs = tuple(
+            (tuple(sorted(cond.items())), rhs_value) for cond, rhs_value in consistent_pairs
+        )
+        return FDSpec(tuple(lhs), rhs, domains, pairs)
+
+    def domain_of(self, attribute: str) -> tuple[Any, ...]:
+        for attr, values in self.lhs_domains:
+            if attr == attribute:
+                return values
+        return ()
+
+
+def generate_cfds(
+    specs: Sequence[FDSpec],
+    count: int,
+    seed: int = 0,
+    constant_fraction: float = 0.2,
+) -> list[CFD]:
+    """Derive ``count`` CFDs from the workload's embedded FDs.
+
+    The first pass over the specs emits the plain FDs; subsequent passes
+    add constant conditions on LHS attributes (variable CFDs) and, for a
+    ``constant_fraction`` of the rules, constant CFDs built from the
+    spec's consistent pairs.  The output is deterministic for a given
+    seed.
+    """
+    if count <= 0:
+        return []
+    if not specs:
+        raise ValueError("generate_cfds needs at least one FDSpec")
+    rng = random.Random(seed)
+    cfds: list[CFD] = []
+    seen: set[tuple] = set()
+    spec_cycle = 0
+    while len(cfds) < count:
+        spec = specs[spec_cycle % len(specs)]
+        spec_cycle += 1
+        index = len(cfds)
+        make_constant = (
+            spec.consistent_pairs and rng.random() < constant_fraction and spec_cycle > len(specs)
+        )
+        pattern: dict[str, Any] = {}
+        if make_constant:
+            condition, rhs_value = rng.choice(list(spec.consistent_pairs))
+            pattern.update(dict(condition))
+            pattern[spec.rhs] = rhs_value
+        elif spec_cycle > len(specs):
+            # A variable CFD with a constant condition on one LHS attribute.
+            candidates = [a for a in spec.lhs if spec.domain_of(a)]
+            if candidates:
+                attr = rng.choice(candidates)
+                pattern[attr] = rng.choice(list(spec.domain_of(attr)))
+        signature = (spec.lhs, spec.rhs, tuple(sorted(pattern.items())))
+        if signature in seen and spec_cycle > 4 * max(count, len(specs)):
+            # The domains are exhausted; accept a duplicate pattern rather
+            # than looping forever (the CFD still gets a fresh name).
+            pass
+        elif signature in seen:
+            continue
+        seen.add(signature)
+        name = f"cfd{index:03d}[{'_'.join(spec.lhs)}->{spec.rhs}]"
+        cfds.append(CFD(spec.lhs, spec.rhs, pattern, name=name))
+    return cfds

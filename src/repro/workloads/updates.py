@@ -1,0 +1,64 @@
+"""Batch update generation.
+
+Section 7: "Batch updates contain 80% insertions and 20% deletions,
+since insertions happen more often than deletions in practice."
+:func:`generate_updates` builds such a batch against an existing base
+relation: insertions are fresh tuples produced by the workload generator
+(continuing its tid sequence), deletions are sampled from the base
+relation without replacement.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from repro.core.relation import Relation
+from repro.core.tuples import Tuple
+from repro.core.updates import Update, UpdateBatch
+
+
+class TupleGenerator(Protocol):
+    """The minimal generator interface the update stream needs."""
+
+    def tuples(self, start_tid: int, count: int) -> list[Tuple]:  # pragma: no cover
+        ...
+
+
+def generate_updates(
+    base: Relation,
+    generator: TupleGenerator,
+    size: int,
+    insert_fraction: float = 0.8,
+    seed: int = 0,
+) -> UpdateBatch:
+    """A batch of ``size`` updates against ``base``.
+
+    ``insert_fraction`` of the batch are insertions of fresh tuples; the
+    rest are deletions of existing tuples (at most ``len(base)`` of
+    them).  The interleaving is shuffled deterministically so that
+    insertions and deletions are mixed as they would be in a real update
+    stream.
+    """
+    if size < 0:
+        raise ValueError("update batch size must be non-negative")
+    if not 0.0 <= insert_fraction <= 1.0:
+        raise ValueError("insert_fraction must lie in [0, 1]")
+    rng = random.Random(seed)
+    n_inserts = round(size * insert_fraction)
+    n_deletes = min(size - n_inserts, len(base))
+    n_inserts = size - n_deletes
+
+    max_tid = 0
+    for t in base:
+        if isinstance(t.tid, int) and t.tid > max_tid:
+            max_tid = t.tid
+    inserts = [Update.insert(t) for t in generator.tuples(max_tid + 1, n_inserts)]
+
+    existing = sorted(base, key=lambda t: str(t.tid))
+    victims = rng.sample(existing, n_deletes) if n_deletes else []
+    deletes = [Update.delete(t) for t in victims]
+
+    updates = inserts + deletes
+    rng.shuffle(updates)
+    return UpdateBatch(updates)

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.core.tuples import Tuple
+from repro.workloads.dblp import DBLPGenerator
+from repro.workloads.emp import EmpWorkload
+from repro.workloads.tpch import TPCHGenerator
+
+
+@pytest.fixture
+def emp() -> EmpWorkload:
+    """The paper's EMP running example."""
+    return EmpWorkload()
+
+
+@pytest.fixture
+def emp_relation(emp: EmpWorkload) -> Relation:
+    """D0 of Fig. 2 (tuples t1-t5)."""
+    return emp.relation()
+
+
+@pytest.fixture
+def emp_cfds(emp: EmpWorkload) -> list[CFD]:
+    """Sigma0 = {phi1, phi2} of Fig. 1."""
+    return emp.cfds()
+
+
+@pytest.fixture
+def tpch() -> TPCHGenerator:
+    """A small deterministic TPCH-like generator."""
+    return TPCHGenerator(seed=3, error_rate=0.08)
+
+
+@pytest.fixture
+def dblp() -> DBLPGenerator:
+    """A small deterministic DBLP-like generator."""
+    return DBLPGenerator(seed=5, error_rate=0.08)
+
+
+@pytest.fixture
+def simple_schema() -> Schema:
+    """A tiny 4-attribute schema used by unit tests."""
+    return Schema("R", ["k", "a", "b", "c"], key="k")
+
+
+def make_tuple(schema: Schema, tid, **values) -> Tuple:
+    """Helper to build a tuple for ``simple_schema``-style schemas."""
+    row = {schema.key: tid}
+    row.update(values)
+    return Tuple(tid, row)
+
+
+@pytest.fixture
+def simple_relation(simple_schema: Schema) -> Relation:
+    """A small relation over the simple schema with one FD violation on a -> b."""
+    rows = [
+        {"k": 1, "a": "x", "b": "1", "c": "p"},
+        {"k": 2, "a": "x", "b": "2", "c": "p"},
+        {"k": 3, "a": "y", "b": "3", "c": "q"},
+        {"k": 4, "a": "y", "b": "3", "c": "q"},
+        {"k": 5, "a": "z", "b": "4", "c": "r"},
+    ]
+    return Relation.from_rows(simple_schema, rows)

@@ -1,0 +1,59 @@
+"""Tests for the horizontal batch baselines (batHor and ibatHor)."""
+
+import pytest
+
+from repro.core.detector import detect_violations
+from repro.distributed.cluster import Cluster
+from repro.distributed.network import Network
+from repro.horizontal.bathor import HorizontalBatchDetector
+from repro.horizontal.ibathor import ImprovedHorizontalBatchDetector
+from repro.workloads.rules import generate_cfds
+from repro.workloads.tpch import TPCHGenerator
+from repro.workloads.updates import generate_updates
+
+
+class TestBatHor:
+    def test_matches_centralized_on_emp(self, emp, emp_relation, emp_cfds):
+        cluster = Cluster.from_horizontal(emp.horizontal_partitioner(), emp_relation)
+        assert HorizontalBatchDetector(cluster, emp_cfds).detect() == detect_violations(
+            emp_cfds, emp_relation
+        )
+
+    def test_requires_horizontal_cluster(self, emp, emp_relation, emp_cfds):
+        cluster = Cluster.from_vertical(emp.vertical_partitioner(), emp_relation)
+        with pytest.raises(ValueError):
+            HorizontalBatchDetector(cluster, emp_cfds)
+
+    def test_matches_centralized_on_tpch(self):
+        generator = TPCHGenerator(seed=4, error_rate=0.1)
+        cfds = generate_cfds(generator.fd_specs(), 8, seed=1)
+        relation = generator.relation(120)
+        cluster = Cluster.from_horizontal(generator.horizontal_partitioner(6), relation)
+        assert HorizontalBatchDetector(cluster, cfds).detect() == detect_violations(cfds, relation)
+
+    def test_ships_data_proportional_to_database_size(self):
+        generator = TPCHGenerator(seed=4, error_rate=0.05)
+        cfds = generate_cfds(generator.fd_specs(), 5, seed=1)
+        partitioner = generator.horizontal_partitioner(5)
+        sizes = []
+        for n in (50, 100, 200):
+            network = Network()
+            cluster = Cluster.from_horizontal(partitioner, generator.relation(n), network)
+            HorizontalBatchDetector(cluster, cfds).detect()
+            sizes.append(network.total_bytes)
+        assert sizes[0] < sizes[1] < sizes[2]
+
+
+class TestIbatHor:
+    def test_matches_centralized_on_updated_database(self):
+        generator = TPCHGenerator(seed=4, error_rate=0.1)
+        cfds = generate_cfds(generator.fd_specs(), 6, seed=1)
+        base = generator.relation(80)
+        updates = generate_updates(base, generator, 40, seed=2)
+        partitioner = generator.horizontal_partitioner(5)
+        result = ImprovedHorizontalBatchDetector(partitioner, cfds).detect(base, updates)
+        assert result == detect_violations(cfds, updates.apply_to(base))
+
+    def test_without_updates_equals_base_detection(self, emp, emp_relation, emp_cfds):
+        detector = ImprovedHorizontalBatchDetector(emp.horizontal_partitioner(), emp_cfds)
+        assert detector.detect(emp_relation) == detect_violations(emp_cfds, emp_relation)

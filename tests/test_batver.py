@@ -1,0 +1,64 @@
+"""Tests for the vertical batch baselines (batVer and ibatVer)."""
+
+import pytest
+
+from repro.core.detector import detect_violations
+from repro.core.updates import UpdateBatch
+from repro.distributed.cluster import Cluster
+from repro.distributed.network import Network
+from repro.vertical.batver import VerticalBatchDetector
+from repro.vertical.ibatver import ImprovedVerticalBatchDetector
+from repro.workloads.rules import generate_cfds
+from repro.workloads.tpch import TPCHGenerator
+from repro.workloads.updates import generate_updates
+
+
+class TestBatVer:
+    def test_matches_centralized_on_emp(self, emp, emp_relation, emp_cfds):
+        cluster = Cluster.from_vertical(emp.vertical_partitioner(), emp_relation)
+        result = VerticalBatchDetector(cluster, emp_cfds).detect()
+        assert result == detect_violations(emp_cfds, emp_relation)
+
+    def test_requires_vertical_cluster(self, emp, emp_relation, emp_cfds):
+        cluster = Cluster.from_horizontal(emp.horizontal_partitioner(), emp_relation)
+        with pytest.raises(ValueError):
+            VerticalBatchDetector(cluster, emp_cfds)
+
+    def test_ships_data_proportional_to_database_size(self):
+        generator = TPCHGenerator(seed=4, error_rate=0.05)
+        cfds = generate_cfds(generator.fd_specs(), 5, seed=1)
+        partitioner = generator.vertical_partitioner(5)
+        sizes = []
+        for n in (50, 100, 200):
+            network = Network()
+            cluster = Cluster.from_vertical(partitioner, generator.relation(n), network)
+            VerticalBatchDetector(cluster, cfds).detect()
+            sizes.append(network.total_bytes)
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_matches_centralized_on_tpch(self):
+        generator = TPCHGenerator(seed=4, error_rate=0.1)
+        cfds = generate_cfds(generator.fd_specs(), 8, seed=1)
+        relation = generator.relation(120)
+        cluster = Cluster.from_vertical(generator.vertical_partitioner(6), relation)
+        assert VerticalBatchDetector(cluster, cfds).detect() == detect_violations(cfds, relation)
+
+
+class TestIbatVer:
+    def test_matches_centralized_on_updated_database(self):
+        generator = TPCHGenerator(seed=4, error_rate=0.1)
+        cfds = generate_cfds(generator.fd_specs(), 6, seed=1)
+        base = generator.relation(80)
+        updates = generate_updates(base, generator, 40, seed=2)
+        partitioner = generator.vertical_partitioner(5)
+        result = ImprovedVerticalBatchDetector(partitioner, cfds).detect(base, updates)
+        assert result == detect_violations(cfds, updates.apply_to(base))
+
+    def test_without_updates_equals_base_detection(self, emp, emp_relation, emp_cfds):
+        detector = ImprovedVerticalBatchDetector(emp.vertical_partitioner(), emp_cfds)
+        assert detector.detect(emp_relation) == detect_violations(emp_cfds, emp_relation)
+
+    def test_exposes_its_network(self, emp, emp_relation, emp_cfds):
+        detector = ImprovedVerticalBatchDetector(emp.vertical_partitioner(), emp_cfds)
+        detector.detect(emp_relation)
+        assert detector.network.total_messages >= 0

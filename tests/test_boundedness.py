@@ -1,0 +1,96 @@
+"""Boundedness checks (Theorem 5 / Propositions 6 and 8).
+
+The incremental detectors' communication must depend only on |delta-D|
+(and |delta-V|), never on |D|: processing the same update batch against
+databases of growing size must ship the same number of eqids / messages.
+"""
+
+import pytest
+
+from repro.core.updates import UpdateBatch
+from repro.distributed.cluster import Cluster
+from repro.distributed.network import Network
+from repro.horizontal.inchor import HorizontalIncrementalDetector
+from repro.vertical.incver import VerticalIncrementalDetector
+from repro.workloads.rules import generate_cfds
+from repro.workloads.tpch import TPCHGenerator
+from repro.workloads.updates import generate_updates
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return TPCHGenerator(seed=12, error_rate=0.05)
+
+
+@pytest.fixture(scope="module")
+def cfds(generator):
+    return generate_cfds(generator.fd_specs(), 6, seed=1)
+
+
+class TestVerticalBoundedness:
+    def test_eqid_shipment_is_independent_of_database_size(self, generator, cfds):
+        updates = UpdateBatch.inserts(generator.tuples(10_000, 30))
+        shipped = []
+        for n_base in (50, 150, 400):
+            network = Network()
+            cluster = Cluster.from_vertical(
+                generator.vertical_partitioner(6), generator.relation(n_base), network
+            )
+            VerticalIncrementalDetector(cluster, cfds).apply(updates)
+            shipped.append(network.stats().eqids_shipped)
+        assert shipped[0] == shipped[1] == shipped[2]
+
+    def test_eqid_shipment_grows_linearly_with_updates(self, generator, cfds):
+        base = generator.relation(120)
+        partitioner = generator.vertical_partitioner(6)
+        per_size = {}
+        for n_updates in (20, 40):
+            network = Network()
+            cluster = Cluster.from_vertical(partitioner, base, network)
+            updates = UpdateBatch.inserts(generator.tuples(10_000, n_updates))
+            VerticalIncrementalDetector(cluster, cfds).apply(updates)
+            per_size[n_updates] = network.stats().eqids_shipped
+        assert per_size[40] == 2 * per_size[20]
+
+    def test_per_update_shipment_bounded_by_lhs_size(self, emp, emp_relation):
+        """Each unit update ships at most |X| eqids per variable CFD."""
+        network = Network()
+        cluster = Cluster.from_vertical(emp.vertical_partitioner(), emp_relation, network)
+        detector = VerticalIncrementalDetector(cluster, [emp.phi1()])
+        detector.apply(UpdateBatch.inserts([emp.tuples()["t6"]]))
+        assert network.stats().eqids_shipped <= len(emp.phi1().lhs)
+
+
+class TestHorizontalBoundedness:
+    def test_messages_bounded_independently_of_database_size(self, generator, cfds):
+        """Shipment is bounded by |delta-D| * (n - 1) per CFD and never grows with |D|."""
+        updates = UpdateBatch.inserts(generator.tuples(10_000, 30))
+        n_sites = 6
+        n_variable = sum(1 for c in cfds if c.is_variable())
+        bound = len(updates) * (n_sites - 1) * n_variable
+        messages = []
+        for n_base in (50, 150, 400):
+            network = Network()
+            cluster = Cluster.from_horizontal(
+                generator.horizontal_partitioner(n_sites), generator.relation(n_base), network
+            )
+            HorizontalIncrementalDetector(cluster, cfds).apply(updates)
+            messages.append(network.total_messages)
+        assert all(m <= bound for m in messages)
+        # A larger base only makes local resolution more likely for insertions.
+        assert messages[-1] <= messages[0]
+
+    def test_each_update_sent_to_other_sites_at_most_once_per_cfd(self, generator, cfds):
+        """O(|delta-D| * n) messages overall (Section 6 complexity analysis)."""
+        n_sites = 6
+        network = Network()
+        cluster = Cluster.from_horizontal(
+            generator.horizontal_partitioner(n_sites), generator.relation(100), network
+        )
+        detector = HorizontalIncrementalDetector(cluster, cfds)
+        updates = UpdateBatch.inserts(generator.tuples(10_000, 25))
+        detector.apply(updates)
+        general_cfds = sum(
+            1 for c in cfds if c.is_variable()
+        )
+        assert network.total_messages <= len(updates) * (n_sites - 1) * max(general_cfds, 1)

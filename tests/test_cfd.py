@@ -1,0 +1,201 @@
+"""Tests for repro.core.cfd: pattern tuples, CFD semantics, tableaux."""
+
+import pytest
+
+from repro.core.cfd import (
+    CFD,
+    CFDError,
+    PatternTuple,
+    Tableau,
+    UNNAMED,
+    merge_into_tableaux,
+    pattern_matches,
+)
+from repro.core.schema import Schema
+from repro.core.tuples import Tuple
+
+
+class TestMatchOperator:
+    def test_equal_constants_match(self):
+        assert pattern_matches(44, 44)
+
+    def test_different_constants_do_not_match(self):
+        assert not pattern_matches(44, 33)
+
+    def test_wildcard_matches_anything(self):
+        assert pattern_matches("EDI", UNNAMED)
+        assert pattern_matches(None, UNNAMED)
+
+    def test_unnamed_is_a_singleton(self):
+        from repro.core.cfd import _Unnamed
+
+        assert _Unnamed() is UNNAMED
+        assert repr(UNNAMED) == "_"
+
+
+class TestPatternTuple:
+    def test_entries_and_attributes(self):
+        tp = PatternTuple({"CC": 44, "zip": UNNAMED})
+        assert tp.attributes == ("CC", "zip")
+        assert tp.entry("CC") == 44
+        assert tp.entry("zip") is UNNAMED
+
+    def test_missing_entry_raises(self):
+        tp = PatternTuple({"CC": 44})
+        with pytest.raises(CFDError):
+            tp.entry("zip")
+
+    def test_matches_pointwise(self):
+        tp = PatternTuple({"CC": 44, "AC": 131})
+        assert tp.matches({"CC": 44, "AC": 131})
+        assert not tp.matches({"CC": 44, "AC": 999})
+
+    def test_matches_subset_of_attributes(self):
+        tp = PatternTuple({"CC": 44, "AC": 131})
+        assert tp.matches({"CC": 44, "AC": 999}, attributes=["CC"])
+
+    def test_is_constant_on(self):
+        tp = PatternTuple({"CC": 44, "zip": UNNAMED})
+        assert tp.is_constant_on("CC")
+        assert not tp.is_constant_on("zip")
+
+    def test_as_dict(self):
+        tp = PatternTuple({"CC": 44})
+        assert tp.as_dict() == {"CC": 44}
+
+
+class TestCFDConstruction:
+    def test_default_pattern_is_all_wildcards(self):
+        cfd = CFD(["a", "b"], "c")
+        assert cfd.is_plain_fd()
+        assert cfd.is_variable()
+
+    def test_constant_cfd_detection(self):
+        cfd = CFD(["CC", "AC"], "city", {"CC": 44, "AC": 131, "city": "EDI"})
+        assert cfd.is_constant()
+        assert not cfd.is_variable()
+
+    def test_variable_cfd_with_lhs_condition(self):
+        cfd = CFD(["CC", "zip"], "street", {"CC": 44})
+        assert cfd.is_variable()
+        assert not cfd.is_plain_fd()
+
+    def test_attributes(self):
+        cfd = CFD(["a", "b"], "c")
+        assert cfd.attributes == ("a", "b", "c")
+
+    def test_empty_lhs_rejected(self):
+        with pytest.raises(CFDError):
+            CFD([], "c")
+
+    def test_duplicate_lhs_rejected(self):
+        with pytest.raises(CFDError):
+            CFD(["a", "a"], "c")
+
+    def test_rhs_in_lhs_rejected(self):
+        with pytest.raises(CFDError):
+            CFD(["a", "b"], "a")
+
+    def test_pattern_on_unknown_attribute_rejected(self):
+        with pytest.raises(CFDError):
+            CFD(["a"], "b", {"z": 1})
+
+    def test_default_name_mentions_constants(self):
+        cfd = CFD(["CC", "zip"], "street", {"CC": 44})
+        assert "CC=44" in cfd.name
+        assert "street" in cfd.name
+
+    def test_custom_name(self):
+        assert CFD(["a"], "b", name="rule7").name == "rule7"
+
+    def test_equality_ignores_name(self):
+        assert CFD(["a"], "b", name="x") == CFD(["a"], "b", name="y")
+        assert CFD(["a"], "b") != CFD(["a"], "b", {"a": 1})
+
+    def test_hashable(self):
+        assert len({CFD(["a"], "b"), CFD(["a"], "b", name="other")}) == 1
+
+    def test_validate_against_schema(self):
+        schema = Schema("R", ["k", "a", "b"], key="k")
+        CFD(["a"], "b").validate_against(schema)
+        with pytest.raises(CFDError):
+            CFD(["a"], "z").validate_against(schema)
+
+
+class TestCFDSemantics:
+    @pytest.fixture
+    def phi1(self) -> CFD:
+        return CFD(["CC", "zip"], "street", {"CC": 44}, name="phi1")
+
+    @pytest.fixture
+    def phi2(self) -> CFD:
+        return CFD(["CC", "AC"], "city", {"CC": 44, "AC": 131, "city": "EDI"}, name="phi2")
+
+    def test_lhs_matches(self, phi1):
+        assert phi1.lhs_matches({"CC": 44, "zip": "EH4", "street": "x"})
+        assert not phi1.lhs_matches({"CC": 1, "zip": "EH4", "street": "x"})
+
+    def test_rhs_matches_variable_cfd_always(self, phi1):
+        assert phi1.rhs_matches({"CC": 44, "zip": "EH4", "street": "anything"})
+
+    def test_rhs_matches_constant_cfd(self, phi2):
+        assert phi2.rhs_matches({"CC": 44, "AC": 131, "city": "EDI"})
+        assert not phi2.rhs_matches({"CC": 44, "AC": 131, "city": "NYC"})
+
+    def test_lhs_values(self, phi1):
+        t = Tuple(1, {"CC": 44, "zip": "EH4", "street": "Mayfield"})
+        assert phi1.lhs_values(t) == (44, "EH4")
+
+    def test_single_tuple_violation_constant(self, phi2):
+        assert phi2.single_tuple_violation({"CC": 44, "AC": 131, "city": "NYC"})
+        assert not phi2.single_tuple_violation({"CC": 44, "AC": 131, "city": "EDI"})
+        assert not phi2.single_tuple_violation({"CC": 1, "AC": 131, "city": "NYC"})
+
+    def test_single_tuple_violation_variable_never(self, phi1):
+        assert not phi1.single_tuple_violation({"CC": 44, "zip": "EH4", "street": "x"})
+
+    def test_pair_violates_variable(self, phi1):
+        a = {"CC": 44, "zip": "EH4", "street": "Mayfield"}
+        b = {"CC": 44, "zip": "EH4", "street": "Crichton"}
+        c = {"CC": 44, "zip": "EH4", "street": "Mayfield"}
+        assert phi1.pair_violates(a, b)
+        assert not phi1.pair_violates(a, c)
+
+    def test_pair_violates_requires_pattern_match(self, phi1):
+        a = {"CC": 1, "zip": "EH4", "street": "Mayfield"}
+        b = {"CC": 1, "zip": "EH4", "street": "Crichton"}
+        assert not phi1.pair_violates(a, b)
+
+    def test_pair_violates_requires_lhs_agreement(self, phi1):
+        a = {"CC": 44, "zip": "EH4", "street": "Mayfield"}
+        b = {"CC": 44, "zip": "EH2", "street": "Crichton"}
+        assert not phi1.pair_violates(a, b)
+
+    def test_pair_violates_constant_same_rhs(self, phi2):
+        a = {"CC": 44, "AC": 131, "city": "NYC"}
+        assert phi2.pair_violates(a, dict(a))
+
+
+class TestTableau:
+    def test_merge_groups_by_embedded_fd(self):
+        cfds = [
+            CFD(["a"], "b", {"a": 1}),
+            CFD(["a"], "b", {"a": 2}),
+            CFD(["a", "c"], "b"),
+        ]
+        tableaux = merge_into_tableaux(cfds)
+        assert len(tableaux) == 2
+        sizes = sorted(len(t.rows) for t in tableaux)
+        assert sizes == [1, 2]
+
+    def test_tableau_expands_back_to_cfds(self):
+        original = [CFD(["a"], "b", {"a": 1}), CFD(["a"], "b", {"a": 2})]
+        (tableau,) = merge_into_tableaux(original)
+        expanded = tableau.cfds()
+        assert len(expanded) == 2
+        assert {c.pattern.entry("a") for c in expanded} == {1, 2}
+
+    def test_tableau_rows_are_pattern_tuples(self):
+        (tableau,) = merge_into_tableaux([CFD(["a"], "b", {"a": 1, "b": 2})])
+        assert isinstance(tableau, Tableau)
+        assert tableau.rows[0].entry("b") == 2

@@ -1,0 +1,119 @@
+"""Tests for the centralized reference detector."""
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.core.detector import CentralizedDetector, detect_violations
+from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.core.tuples import Tuple
+
+
+@pytest.fixture
+def schema():
+    return Schema("R", ["k", "a", "b", "c"], key="k")
+
+
+def rel(schema, rows):
+    return Relation.from_rows(schema, rows)
+
+
+class TestVariableCFDDetection:
+    def test_no_violations_when_fd_holds(self, schema):
+        relation = rel(schema, [
+            {"k": 1, "a": "x", "b": 1, "c": 0},
+            {"k": 2, "a": "x", "b": 1, "c": 0},
+            {"k": 3, "a": "y", "b": 2, "c": 0},
+        ])
+        assert detect_violations([CFD(["a"], "b")], relation).tids() == set()
+
+    def test_conflicting_group_all_violate(self, schema):
+        relation = rel(schema, [
+            {"k": 1, "a": "x", "b": 1, "c": 0},
+            {"k": 2, "a": "x", "b": 2, "c": 0},
+            {"k": 3, "a": "x", "b": 1, "c": 0},
+            {"k": 4, "a": "y", "b": 9, "c": 0},
+        ])
+        v = detect_violations([CFD(["a"], "b", name="fd")], relation)
+        assert v.tids() == {1, 2, 3}
+        assert v.tids_for("fd") == {1, 2, 3}
+
+    def test_pattern_restricts_applicability(self, schema):
+        relation = rel(schema, [
+            {"k": 1, "a": "x", "b": 1, "c": 0},
+            {"k": 2, "a": "x", "b": 2, "c": 0},
+            {"k": 3, "a": "y", "b": 1, "c": 0},
+            {"k": 4, "a": "y", "b": 2, "c": 0},
+        ])
+        v = detect_violations([CFD(["a"], "b", {"a": "y"})], relation)
+        assert v.tids() == {3, 4}
+
+    def test_multi_attribute_lhs(self, schema):
+        relation = rel(schema, [
+            {"k": 1, "a": "x", "b": 1, "c": "p"},
+            {"k": 2, "a": "x", "b": 2, "c": "p"},
+            {"k": 3, "a": "x", "b": 1, "c": "q"},
+        ])
+        v = detect_violations([CFD(["a", "c"], "b")], relation)
+        assert v.tids() == {1, 2}
+
+
+class TestConstantCFDDetection:
+    def test_single_tuple_violation(self, schema):
+        relation = rel(schema, [
+            {"k": 1, "a": "uk", "b": "london", "c": 0},
+            {"k": 2, "a": "uk", "b": "paris", "c": 0},
+            {"k": 3, "a": "fr", "b": "paris", "c": 0},
+        ])
+        cfd = CFD(["a"], "b", {"a": "uk", "b": "london"}, name="const")
+        v = detect_violations([cfd], relation)
+        assert v.tids() == {2}
+
+    def test_non_matching_lhs_never_violates(self, schema):
+        relation = rel(schema, [{"k": 1, "a": "de", "b": "berlin", "c": 0}])
+        cfd = CFD(["a"], "b", {"a": "uk", "b": "london"})
+        assert detect_violations([cfd], relation).tids() == set()
+
+
+class TestMultipleCFDs:
+    def test_marks_record_which_cfd_is_violated(self, schema):
+        relation = rel(schema, [
+            {"k": 1, "a": "x", "b": 1, "c": "bad"},
+            {"k": 2, "a": "x", "b": 2, "c": "ok"},
+        ])
+        fd = CFD(["a"], "b", name="fd")
+        const = CFD(["a"], "c", {"a": "x", "c": "ok"}, name="const")
+        v = detect_violations([fd, const], relation)
+        assert v.cfds_of(1) == {"fd", "const"}
+        assert v.cfds_of(2) == {"fd"}
+
+    def test_union_over_cfds(self, schema):
+        relation = rel(schema, [
+            {"k": 1, "a": "x", "b": 1, "c": "p"},
+            {"k": 2, "a": "x", "b": 1, "c": "q"},
+        ])
+        v = detect_violations([CFD(["a"], "b"), CFD(["a"], "c")], relation)
+        assert v.tids() == {1, 2}
+
+    def test_detector_exposes_cfds(self):
+        cfds = [CFD(["a"], "b")]
+        assert CentralizedDetector(cfds).cfds == cfds
+
+    def test_detect_accepts_iterable_of_tuples(self, schema):
+        tuples = [
+            Tuple(1, {"k": 1, "a": "x", "b": 1, "c": 0}),
+            Tuple(2, {"k": 2, "a": "x", "b": 2, "c": 0}),
+        ]
+        v = CentralizedDetector([CFD(["a"], "b")]).detect(tuples)
+        assert v.tids() == {1, 2}
+
+    def test_empty_relation_no_violations(self, schema):
+        assert detect_violations([CFD(["a"], "b")], Relation(schema)).tids() == set()
+
+
+class TestPaperExampleCentralized:
+    def test_fig1_violations(self, emp, emp_relation, emp_cfds):
+        v = detect_violations(emp_cfds, emp_relation)
+        assert v.tids_for("phi1") == {1, 3, 4, 5}
+        assert v.tids_for("phi2") == {1}
+        assert v.tids() == {1, 3, 4, 5}

@@ -1,0 +1,142 @@
+"""Edge cases and failure handling across the detectors."""
+
+import pytest
+
+from repro.core.cfd import CFD, CFDError
+from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.core.tuples import Tuple
+from repro.core.updates import Update, UpdateBatch
+from repro.core.violations import ViolationSet
+from repro.distributed.cluster import Cluster
+from repro.horizontal.inchor import HorizontalIncrementalDetector
+from repro.partition.horizontal import hash_horizontal_scheme
+from repro.partition.vertical import even_vertical_scheme
+from repro.vertical.incver import VerticalIncrementalDetector
+
+
+@pytest.fixture
+def schema():
+    return Schema("R", ["k", "a", "b", "c"], key="k")
+
+
+def row(tid, a="x", b="y", c="z"):
+    return Tuple(tid, {"k": tid, "a": a, "b": b, "c": c})
+
+
+@pytest.fixture
+def relation(schema):
+    return Relation(schema, [row(1), row(2, b="w"), row(3, a="q")])
+
+
+class TestEmptyInputs:
+    def test_vertical_detector_with_no_cfds(self, schema, relation):
+        cluster = Cluster.from_vertical(even_vertical_scheme(schema, 2), relation)
+        detector = VerticalIncrementalDetector(cluster, [])
+        delta = detector.apply(UpdateBatch.of(Update.insert(row(9))))
+        assert delta.is_empty()
+        assert len(detector.violations) == 0
+
+    def test_horizontal_detector_with_no_cfds(self, schema, relation):
+        cluster = Cluster.from_horizontal(hash_horizontal_scheme(schema, 2), relation)
+        detector = HorizontalIncrementalDetector(cluster, [])
+        delta = detector.apply(UpdateBatch.of(Update.insert(row(9))))
+        assert delta.is_empty()
+
+    def test_vertical_detector_on_empty_database(self, schema):
+        cluster = Cluster.from_vertical(even_vertical_scheme(schema, 3), Relation(schema))
+        detector = VerticalIncrementalDetector(cluster, [CFD(["a"], "b", name="fd")])
+        delta = detector.apply(UpdateBatch.inserts([row(1), row(2, b="w")]))
+        assert delta.added_tids() == {1, 2}
+
+    def test_horizontal_detector_on_empty_database(self, schema):
+        cluster = Cluster.from_horizontal(hash_horizontal_scheme(schema, 3), Relation(schema))
+        detector = HorizontalIncrementalDetector(cluster, [CFD(["a"], "b", name="fd")])
+        delta = detector.apply(UpdateBatch.inserts([row(1), row(2, b="w")]))
+        assert delta.added_tids() == {1, 2}
+
+    def test_empty_update_batch_is_a_noop(self, schema, relation):
+        cluster = Cluster.from_vertical(even_vertical_scheme(schema, 2), relation)
+        detector = VerticalIncrementalDetector(cluster, [CFD(["a"], "b", name="fd")])
+        before = detector.violations.copy()
+        assert detector.apply(UpdateBatch()).is_empty()
+        assert detector.violations == before
+
+
+class TestSingleSiteClusters:
+    def test_vertical_single_fragment_everything_is_local(self, schema, relation):
+        cluster = Cluster.from_vertical(even_vertical_scheme(schema, 1), relation)
+        detector = VerticalIncrementalDetector(cluster, [CFD(["a"], "b", name="fd")])
+        detector.apply(UpdateBatch.of(Update.insert(row(5, b="other"))))
+        assert cluster.network.total_messages == 0
+        assert detector.violations.tids_for("fd") == {1, 2, 5}
+
+    def test_horizontal_single_fragment_everything_is_local(self, schema, relation):
+        cluster = Cluster.from_horizontal(hash_horizontal_scheme(schema, 1), relation)
+        detector = HorizontalIncrementalDetector(cluster, [CFD(["a"], "b", name="fd")])
+        detector.apply(UpdateBatch.of(Update.insert(row(5, b="other"))))
+        assert cluster.network.total_messages == 0
+        assert detector.violations.tids_for("fd") == {1, 2, 5}
+
+
+class TestBadInputs:
+    def test_cfd_over_unknown_attribute_rejected_by_both_detectors(self, schema, relation):
+        bad = CFD(["a"], "nope", name="bad")
+        v_cluster = Cluster.from_vertical(even_vertical_scheme(schema, 2), relation)
+        with pytest.raises(CFDError):
+            VerticalIncrementalDetector(v_cluster, [bad])
+        h_cluster = Cluster.from_horizontal(hash_horizontal_scheme(schema, 2), relation)
+        with pytest.raises(CFDError):
+            HorizontalIncrementalDetector(h_cluster, [bad])
+
+    def test_given_violations_do_not_alias_callers_object(self, schema, relation):
+        cluster = Cluster.from_vertical(even_vertical_scheme(schema, 2), relation)
+        mine = ViolationSet({1: ["fd"]})
+        detector = VerticalIncrementalDetector(cluster, [CFD(["a"], "b", name="fd")], violations=mine)
+        detector.apply(UpdateBatch.of(Update.insert(row(7, a="q", b="different"))))
+        assert mine.as_dict() == {1: {"fd"}}
+
+
+class TestRepeatedAndInterleavedUpdates:
+    def test_insert_then_delete_same_tuple_across_batches(self, schema, relation):
+        cluster = Cluster.from_vertical(even_vertical_scheme(schema, 2), relation)
+        cfd = CFD(["a"], "b", name="fd")
+        detector = VerticalIncrementalDetector(cluster, [cfd])
+        extra = row(9, b="other")
+        added = detector.apply(UpdateBatch.of(Update.insert(extra)))
+        assert 9 in added.added_tids()
+        removed = detector.apply(UpdateBatch.of(Update.delete(extra)))
+        assert 9 in removed.removed_tids()
+        # back to the initial state
+        assert detector.violations.tids_for("fd") == {1, 2}
+
+    def test_cancelled_updates_touch_nothing(self, schema, relation):
+        cluster = Cluster.from_horizontal(hash_horizontal_scheme(schema, 2), relation)
+        cfd = CFD(["a"], "b", name="fd")
+        detector = HorizontalIncrementalDetector(cluster, [cfd])
+        before = detector.violations.copy()
+        extra = row(9, b="other")
+        delta = detector.apply(UpdateBatch.of(Update.insert(extra), Update.delete(extra)))
+        assert delta.is_empty()
+        assert detector.violations == before
+        assert cluster.network.total_messages == 0
+
+    def test_many_consecutive_batches_stay_consistent(self, schema):
+        from repro.core.detector import detect_violations
+
+        cfds = [CFD(["a"], "b", name="fd"), CFD(["a"], "c", {"a": "x", "c": "z"}, name="const")]
+        base = Relation(schema, [row(i, a="x" if i % 2 else "q") for i in range(1, 11)])
+        cluster = Cluster.from_horizontal(hash_horizontal_scheme(schema, 3), base)
+        detector = HorizontalIncrementalDetector(cluster, cfds)
+        current = base
+        next_tid = 100
+        for step in range(6):
+            victims = [t for t in current][: 2 + step % 3]
+            fresh = [row(next_tid + i, a="x", b=f"b{step}") for i in range(3)]
+            next_tid += 10
+            batch = UpdateBatch(
+                [Update.delete(t) for t in victims] + [Update.insert(t) for t in fresh]
+            )
+            detector.apply(batch)
+            current = batch.apply_to(current)
+            assert detector.violations == detect_violations(cfds, current)

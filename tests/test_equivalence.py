@@ -1,0 +1,62 @@
+"""Tests for the equivalence-class registry (eqids)."""
+
+from repro.indexes.equivalence import EqidRegistry
+
+
+class TestEqidRegistry:
+    def test_same_values_same_eqid(self):
+        reg = EqidRegistry()
+        a = reg.get_or_create(["CC", "zip"], {"CC": 44, "zip": "EH4"})
+        b = reg.get_or_create(["CC", "zip"], {"CC": 44, "zip": "EH4", "street": "x"})
+        assert a == b
+
+    def test_different_values_different_eqids(self):
+        reg = EqidRegistry()
+        a = reg.get_or_create(["CC"], {"CC": 44})
+        b = reg.get_or_create(["CC"], {"CC": 1})
+        assert a != b
+
+    def test_attribute_order_is_irrelevant(self):
+        reg = EqidRegistry()
+        a = reg.get_or_create(["zip", "CC"], {"CC": 44, "zip": "EH4"})
+        b = reg.get_or_create(["CC", "zip"], {"CC": 44, "zip": "EH4"})
+        assert a == b
+
+    def test_namespaces_are_per_attribute_set(self):
+        reg = EqidRegistry()
+        a = reg.get_or_create(["CC"], {"CC": 44})
+        b = reg.get_or_create(["zip"], {"zip": 44})
+        # Both are the first class of their respective namespace.
+        assert a == 1 and b == 1
+
+    def test_lookup_without_create(self):
+        reg = EqidRegistry()
+        assert reg.lookup(["CC"], {"CC": 44}) is None
+        created = reg.get_or_create(["CC"], {"CC": 44})
+        assert reg.lookup(["CC"], {"CC": 44}) == created
+        assert reg.lookup(["CC"], {"CC": 99}) is None
+
+    def test_classes_for_counts_distinct_classes(self):
+        reg = EqidRegistry()
+        reg.get_or_create(["a"], {"a": 1})
+        reg.get_or_create(["a"], {"a": 2})
+        reg.get_or_create(["a"], {"a": 1})
+        assert reg.classes_for(["a"]) == 2
+        assert reg.classes_for(["b"]) == 0
+
+    def test_attribute_sets(self):
+        reg = EqidRegistry()
+        reg.get_or_create(["b", "a"], {"a": 1, "b": 2})
+        assert reg.attribute_sets() == [("a", "b")]
+
+    def test_clear(self):
+        reg = EqidRegistry()
+        reg.get_or_create(["a"], {"a": 1})
+        reg.clear()
+        assert reg.lookup(["a"], {"a": 1}) is None
+        assert reg.classes_for(["a"]) == 0
+
+    def test_eqids_are_sequential_per_namespace(self):
+        reg = EqidRegistry()
+        ids = [reg.get_or_create(["a"], {"a": i}) for i in range(5)]
+        assert ids == [1, 2, 3, 4, 5]

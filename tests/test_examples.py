@@ -1,0 +1,49 @@
+"""The shipped examples must run end to end and print what they promise."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=True,
+    )
+    return result.stdout
+
+
+class TestExamples:
+    def test_examples_directory_has_at_least_three_scripts(self):
+        scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+        assert len(scripts) >= 3
+        assert "quickstart.py" in scripts
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "centralized detection" in out
+        assert "incremental detection (incVer)" in out
+        assert "eqids shipped" in out
+
+    def test_employee_audit_reproduces_example_2(self):
+        out = run_example("employee_audit.py")
+        assert "delta-V+ = [6]" in out
+        assert "delta-V- = [4]" in out
+        assert "messages shipped: 0" in out
+
+    def test_order_stream_monitoring(self):
+        out = run_example("order_stream_monitoring.py")
+        assert "wave 1" in out and "wave 5" in out
+        assert "incremental shipment" in out
+
+    def test_warehouse_index_planning(self):
+        out = run_example("warehouse_index_planning.py")
+        assert "optVer plan" in out
+        assert "identical violation sets" in out

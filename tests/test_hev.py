@@ -1,0 +1,108 @@
+"""Tests for HEV nodes and HEV plans (eqid shipment accounting)."""
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.distributed.network import Network
+from repro.indexes.equivalence import EqidRegistry
+from repro.indexes.hev import CFDPlanEntry, HEVNode, HEVPlan, PlanError, ShipmentCache
+
+
+class TestHEVNode:
+    def test_attributes_are_sorted_and_deduped(self):
+        node = HEVNode(("b", "a", "b"), 0)
+        assert node.attributes == ("a", "b")
+
+    def test_base_detection(self):
+        assert HEVNode(("a",), 0).is_base
+        assert not HEVNode(("a", "b"), 0).is_base
+
+    def test_label_default(self):
+        assert HEVNode(("b", "a"), 0).label == "H_a_b"
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            HEVNode((), 0)
+
+    def test_identity_equality(self):
+        a = HEVNode(("a",), 0)
+        b = HEVNode(("a",), 0)
+        assert a == a
+        assert a != b
+
+
+class TestShipmentCache:
+    def test_mark_and_query(self):
+        cache = ShipmentCache()
+        node = HEVNode(("a",), 0)
+        assert not cache.already_shipped(node, 1)
+        cache.mark(node, 1)
+        assert cache.already_shipped(node, 1)
+        assert not cache.already_shipped(node, 2)
+
+
+def build_plan():
+    """phi: ([a, b] -> c) with a@S0, b@S1, c@S2; chain a -> {a,b}@S1, IDX at S1."""
+    cfd = CFD(["a", "b"], "c", name="phi")
+    base_a = HEVNode(("a",), 0)
+    base_b = HEVNode(("b",), 1)
+    base_c = HEVNode(("c",), 2)
+    root = HEVNode(("a", "b"), 1)
+    root.inputs = [base_a, base_b]
+    entry = CFDPlanEntry(cfd, root, base_c)
+    plan = HEVPlan([base_a, base_b, base_c, root], {cfd.name: entry})
+    return cfd, plan
+
+
+class TestHEVPlan:
+    def test_entry_lookup(self):
+        cfd, plan = build_plan()
+        assert plan.entry_for("phi").idx_site == 1
+        assert plan.idx_site("phi") == 1
+        assert plan.cfd_names() == ["phi"]
+        with pytest.raises(PlanError):
+            plan.entry_for("nope")
+
+    def test_static_shipments_per_update(self):
+        _, plan = build_plan()
+        # base_a ships S0 -> S1, base_c ships S2 -> S1; base_b and root are local.
+        assert plan.eqid_shipments_per_update() == 2
+
+    def test_evaluate_keys_charges_network(self):
+        _, plan = build_plan()
+        network = Network()
+        lhs, rhs = plan.evaluate_keys("phi", {"a": 1, "b": 2, "c": 3}, network)
+        assert lhs == 1 and rhs == 1
+        assert network.stats().eqids_shipped == 2
+
+    def test_evaluate_keys_reuses_eqids(self):
+        _, plan = build_plan()
+        first = plan.evaluate_keys("phi", {"a": 1, "b": 2, "c": 3})
+        second = plan.evaluate_keys("phi", {"a": 1, "b": 2, "c": 9})
+        assert first[0] == second[0]
+        assert first[1] != second[1]
+
+    def test_shared_cache_dedupes_shipments(self):
+        cfd, plan = build_plan()
+        network = Network()
+        cache = ShipmentCache()
+        plan.evaluate_keys("phi", {"a": 1, "b": 2, "c": 3}, network, cache)
+        plan.evaluate_keys("phi", {"a": 1, "b": 2, "c": 3}, network, cache)
+        # With a shared per-update cache nothing is shipped twice.
+        assert network.stats().eqids_shipped == 2
+
+    def test_without_shared_cache_each_update_ships_again(self):
+        _, plan = build_plan()
+        network = Network()
+        plan.evaluate_keys("phi", {"a": 1, "b": 2, "c": 3}, network)
+        plan.evaluate_keys("phi", {"a": 1, "b": 2, "c": 3}, network)
+        assert network.stats().eqids_shipped == 4
+
+    def test_registry_can_be_shared(self):
+        registry = EqidRegistry()
+        cfd = CFD(["a"], "b", name="phi")
+        base_a = HEVNode(("a",), 0)
+        base_b = HEVNode(("b",), 0)
+        plan = HEVPlan([base_a, base_b], {"phi": CFDPlanEntry(cfd, base_a, base_b)}, registry)
+        plan.evaluate_keys("phi", {"a": 5, "b": 6})
+        assert registry.lookup(["a"], {"a": 5}) == 1

@@ -1,0 +1,141 @@
+"""Tests for the per-update broadcast protocol of horizontal detection."""
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.core.tuples import Tuple
+from repro.core.violations import ViolationSet
+from repro.distributed.network import Network
+from repro.horizontal.single import GeneralCFDProtocol
+from repro.indexes.idx import CFDIndex
+
+
+def t(tid, zip_="EH4", street="Mayfield", cc=44):
+    return Tuple(tid, {"CC": cc, "zip": zip_, "street": street})
+
+
+@pytest.fixture
+def phi1():
+    return CFD(["CC", "zip"], "street", {"CC": 44}, name="phi1")
+
+
+class Harness:
+    """A tiny two-site world around GeneralCFDProtocol for unit testing."""
+
+    def __init__(self, phi, use_md5=True):
+        self.phi = phi
+        self.network = Network()
+        self.violations = ViolationSet()
+        self.indices = {0: CFDIndex(phi), 1: CFDIndex(phi)}
+        self.protocol = GeneralCFDProtocol(
+            phi, self.indices, self.violations, self.network, [0, 1], use_md5=use_md5
+        )
+
+    def seed(self, site, tuples, marked=()):
+        for item in tuples:
+            self.indices[site].add_tuple(item)
+        for tid in marked:
+            self.violations.add(tid, self.phi.name)
+
+    def insert(self, site, item):
+        delta_added, delta_removed = set(), set()
+        self.protocol.insert(
+            site,
+            item,
+            mark=lambda tid: (self.violations.add(tid, self.phi.name), delta_added.add(tid)),
+            unmark=lambda tid: (self.violations.remove(tid, self.phi.name), delta_removed.add(tid)),
+        )
+        return delta_added, delta_removed
+
+    def delete(self, site, item):
+        delta_added, delta_removed = set(), set()
+        self.protocol.delete(
+            site,
+            item,
+            mark=lambda tid: (self.violations.add(tid, self.phi.name), delta_added.add(tid)),
+            unmark=lambda tid: (self.violations.remove(tid, self.phi.name), delta_removed.add(tid)),
+        )
+        return delta_added, delta_removed
+
+
+class TestInsertProtocol:
+    def test_insert_into_empty_world_broadcasts_but_adds_nothing(self, phi1):
+        world = Harness(phi1)
+        added, _ = world.insert(0, t(1))
+        assert added == set()
+        assert world.network.total_messages == 1  # one broadcast to the other site
+
+    def test_insert_matching_local_class_needs_no_broadcast(self, phi1):
+        world = Harness(phi1)
+        world.seed(0, [t(1)])
+        added, _ = world.insert(0, t(2))
+        assert added == set()
+        assert world.network.total_messages == 0
+
+    def test_insert_conflicting_with_known_violation_ships_nothing(self, phi1):
+        """Example 9: the conflicting local tuple is already a violation."""
+        world = Harness(phi1)
+        world.seed(0, [t(5, street="Crichton")], marked=[5])
+        added, _ = world.insert(0, t(6))
+        assert added == {6}
+        assert world.network.total_messages == 0
+
+    def test_insert_conflicting_with_clean_local_tuple_marks_group_and_broadcasts(self, phi1):
+        world = Harness(phi1)
+        world.seed(0, [t(1)])
+        world.seed(1, [t(2)])
+        added, _ = world.insert(0, t(3, street="Crichton"))
+        assert added == {1, 2, 3}
+        assert world.network.total_messages == 1
+
+    def test_insert_conflict_only_visible_remotely(self, phi1):
+        world = Harness(phi1)
+        world.seed(1, [t(9, street="Crichton")])
+        added, _ = world.insert(0, t(10))
+        assert added == {9, 10}
+        assert world.network.total_messages == 1
+
+    def test_non_matching_tuple_is_ignored(self, phi1):
+        world = Harness(phi1)
+        added, _ = world.insert(0, t(1, cc=99))
+        assert added == set()
+        assert world.network.total_messages == 0
+
+
+class TestDeleteProtocol:
+    def test_delete_clean_tuple_ships_nothing(self, phi1):
+        world = Harness(phi1)
+        world.seed(0, [t(1), t(2)])
+        added, removed = world.delete(0, t(2))
+        assert removed == set()
+        assert world.network.total_messages == 0
+
+    def test_delete_violation_with_local_classmate_only_removes_itself(self, phi1):
+        world = Harness(phi1)
+        world.seed(0, [t(1), t(2), t(3, street="Crichton")], marked=[1, 2, 3])
+        _, removed = world.delete(0, t(2))
+        assert removed == {2}
+        assert world.network.total_messages == 0
+
+    def test_delete_last_member_of_class_unmarks_remaining_class_everywhere(self, phi1):
+        world = Harness(phi1)
+        world.seed(0, [t(1, street="Crichton")], marked=[1])
+        world.seed(1, [t(2), t(3)], marked=[2, 3])
+        _, removed = world.delete(0, t(1, street="Crichton"))
+        assert removed == {1, 2, 3}
+        assert world.network.total_messages >= 1
+
+    def test_delete_when_class_survives_remotely(self, phi1):
+        world = Harness(phi1)
+        world.seed(0, [t(1)], marked=[1])
+        world.seed(1, [t(2), t(3, street="Crichton")], marked=[2, 3])
+        _, removed = world.delete(0, t(1))
+        assert removed == {1}
+
+    def test_md5_broadcast_is_smaller_than_full_tuple(self, phi1):
+        wide = Tuple(1, {"CC": 44, "zip": "EH4", "street": "Mayfield", **{f"pad{i}": "x" * 40 for i in range(10)}})
+        md5_world = Harness(CFD(["CC", "zip"], "street", {"CC": 44}, name="p"), use_md5=True)
+        full_world = Harness(CFD(["CC", "zip"], "street", {"CC": 44}, name="p"), use_md5=False)
+        md5_world.insert(0, wide)
+        full_world.insert(0, wide)
+        assert md5_world.network.total_bytes < full_world.network.total_bytes

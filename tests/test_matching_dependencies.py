@@ -1,0 +1,182 @@
+"""Tests for matching dependencies: semantics, blocking index, batch detection."""
+
+import pytest
+
+from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.core.tuples import Tuple
+from repro.similarity.blocking import BlockingIndex
+from repro.similarity.detector import MDDetector, detect_md_violations
+from repro.similarity.md import MatchingDependency, MDError
+from repro.similarity.predicates import (
+    EditDistanceSimilarity,
+    ExactMatch,
+    NormalizedStringMatch,
+    NumericTolerance,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema("CUST", ["cid", "name", "phone", "zip", "city"], key="cid")
+
+
+def cust(cid, name, phone, zip_="EH4", city="Edinburgh"):
+    return Tuple(cid, {"cid": cid, "name": name, "phone": phone, "zip": zip_, "city": city})
+
+
+@pytest.fixture
+def md_name_zip():
+    """If names roughly match and zips are equal, the city must agree."""
+    return MatchingDependency(
+        [("name", NormalizedStringMatch()), "zip"], ["city"], name="md1"
+    )
+
+
+class TestMatchingDependencyConstruction:
+    def test_bare_attribute_defaults_to_exact_match(self):
+        md = MatchingDependency(["a"], ["b"])
+        assert isinstance(md.lhs[0][1], ExactMatch)
+        assert isinstance(md.rhs[0][1], ExactMatch)
+
+    def test_rhs_string_shorthand(self):
+        md = MatchingDependency(["a"], "b")
+        assert md.rhs_attributes == ("b",)
+
+    def test_attributes(self):
+        md = MatchingDependency(["a", "b"], ["c"])
+        assert md.attributes == ("a", "b", "c")
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(MDError):
+            MatchingDependency([], ["b"])
+        with pytest.raises(MDError):
+            MatchingDependency(["a"], [])
+
+    def test_duplicate_lhs_rejected(self):
+        with pytest.raises(MDError):
+            MatchingDependency(["a", "a"], ["b"])
+
+    def test_rhs_overlapping_lhs_rejected(self):
+        with pytest.raises(MDError):
+            MatchingDependency(["a"], ["a"])
+
+    def test_bad_predicate_rejected(self):
+        with pytest.raises(MDError):
+            MatchingDependency([("a", "not a predicate")], ["b"])
+
+    def test_validate_against_schema(self, schema, md_name_zip):
+        md_name_zip.validate_against(schema)
+        with pytest.raises(MDError):
+            MatchingDependency(["nope"], ["city"]).validate_against(schema)
+
+    def test_default_name_mentions_predicates(self):
+        md = MatchingDependency([("name", NormalizedStringMatch())], ["city"])
+        assert "normalized=" in md.name
+
+
+class TestMatchingDependencySemantics:
+    def test_pair_violates(self, md_name_zip):
+        a = cust(1, "J. Smith", "111", city="Edinburgh")
+        b = cust(2, "j smith", "222", city="Glasgow")
+        c = cust(3, "j smith", "333", city="Edinburgh")
+        assert md_name_zip.pair_violates(a, b)
+        assert not md_name_zip.pair_violates(a, c)
+
+    def test_lhs_mismatch_never_violates(self, md_name_zip):
+        a = cust(1, "J. Smith", "111", zip_="EH4")
+        b = cust(2, "J. Smith", "222", zip_="G1", city="Glasgow")
+        assert not md_name_zip.pair_violates(a, b)
+
+    def test_numeric_tolerance_lhs(self):
+        md = MatchingDependency([("phone", NumericTolerance(5))], ["city"], name="m")
+        a = cust(1, "x", 100, city="A")
+        b = cust(2, "y", 103, city="B")
+        c = cust(3, "z", 200, city="B")
+        assert md.pair_violates(a, b)
+        assert not md.pair_violates(a, c)
+
+
+class TestBlockingIndex:
+    def test_add_remove_and_candidates(self, md_name_zip):
+        index = BlockingIndex(md_name_zip)
+        a, b, c = (
+            cust(1, "J. Smith", "1", zip_="EH4"),
+            cust(2, "j smith", "2", zip_="EH4"),
+            cust(3, "Someone Else", "3", zip_="EH4"),
+        )
+        for t in (a, b, c):
+            index.add(t.tid, t)
+        assert index.candidates(a, exclude=1) == {2}
+        index.remove(2)
+        assert index.candidates(a, exclude=1) == set()
+        assert len(index) == 2
+
+    def test_duplicate_add_rejected(self, md_name_zip):
+        index = BlockingIndex(md_name_zip)
+        t = cust(1, "x", "1")
+        index.add(1, t)
+        with pytest.raises(ValueError):
+            index.add(1, t)
+
+    def test_remove_unknown_rejected(self, md_name_zip):
+        with pytest.raises(KeyError):
+            BlockingIndex(md_name_zip).remove(99)
+
+    def test_candidates_require_overlap_on_every_lhs_attribute(self, md_name_zip):
+        index = BlockingIndex(md_name_zip)
+        index.add(1, cust(1, "J. Smith", "1", zip_="EH4"))
+        probe = cust(2, "J. Smith", "2", zip_="G1")
+        assert index.candidates(probe, exclude=2) == set()
+
+    def test_bucket_sizes(self, md_name_zip):
+        index = BlockingIndex(md_name_zip)
+        index.add(1, cust(1, "A", "1", zip_="EH4"))
+        index.add(2, cust(2, "B", "2", zip_="EH5"))
+        sizes = index.bucket_sizes()
+        assert sizes["name"] == 2 and sizes["zip"] == 2
+
+
+class TestBatchDetection:
+    @pytest.fixture
+    def customers(self, schema):
+        return Relation(
+            schema,
+            [
+                cust(1, "J. Smith", "1", city="Edinburgh"),
+                cust(2, "j smith", "2", city="Glasgow"),
+                cust(3, "J Smith", "3", city="Edinburgh"),
+                cust(4, "Maria Garcia", "4", city="Madrid"),
+            ],
+        )
+
+    def test_detects_conflicting_matches(self, customers, md_name_zip):
+        violations = detect_md_violations([md_name_zip], customers)
+        assert violations.tids() == {1, 2, 3}
+        assert violations.cfds_of(2) == {"md1"}
+
+    def test_blocked_equals_exhaustive(self, customers, md_name_zip):
+        blocked = MDDetector([md_name_zip], use_blocking=True).detect(customers)
+        exhaustive = MDDetector([md_name_zip], use_blocking=False).detect(customers)
+        assert blocked == exhaustive
+
+    def test_edit_distance_md(self, schema):
+        md = MatchingDependency(
+            [("name", EditDistanceSimilarity(1)), "zip"], ["phone"], name="md_edit"
+        )
+        relation = Relation(
+            schema,
+            [
+                cust(1, "Smith", "111"),
+                cust(2, "Smyth", "222"),
+                cust(3, "Completely Different", "333"),
+            ],
+        )
+        violations = detect_md_violations([md], relation)
+        assert violations.tids() == {1, 2}
+
+    def test_multiple_mds_are_marked_separately(self, customers, md_name_zip):
+        other = MatchingDependency(["zip"], ["city"], name="md2")
+        violations = detect_md_violations([md_name_zip, other], customers)
+        assert "md2" in violations.cfds_of(4)
+        assert violations.cfds_of(1) >= {"md1", "md2"}

@@ -1,0 +1,165 @@
+"""Tests for the incremental matching-dependency detector."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.core.tuples import Tuple
+from repro.core.updates import Update, UpdateBatch
+from repro.similarity.detector import MDDetector
+from repro.similarity.incremental import IncrementalMDDetector
+from repro.similarity.md import MatchingDependency
+from repro.similarity.predicates import NormalizedStringMatch, NumericTolerance
+
+SCHEMA = Schema("CUST", ["cid", "name", "amount", "city"], key="cid")
+
+
+def cust(cid, name, amount, city):
+    return Tuple(cid, {"cid": cid, "name": name, "amount": amount, "city": city})
+
+
+MDS = [
+    MatchingDependency([("name", NormalizedStringMatch())], ["city"], name="name_city"),
+    MatchingDependency([("amount", NumericTolerance(2))], ["city"], name="amount_city"),
+]
+
+
+@pytest.fixture
+def base():
+    return Relation(
+        SCHEMA,
+        [
+            cust(1, "J. Smith", 10, "Edinburgh"),
+            cust(2, "j smith", 50, "Glasgow"),
+            cust(3, "Maria Garcia", 11, "Edinburgh"),
+            cust(4, "P. Jones", 100, "London"),
+        ],
+    )
+
+
+class TestSetup:
+    def test_initial_violations(self, base):
+        detector = IncrementalMDDetector(base, MDS)
+        assert detector.violations.tids_for("name_city") == {1, 2}
+        # amounts 10 and 11 are within tolerance but cities differ? both Edinburgh -> no violation
+        assert detector.violations.tids_for("amount_city") == set()
+
+    def test_initial_violations_match_batch(self, base):
+        detector = IncrementalMDDetector(base, MDS)
+        assert detector.violations == MDDetector(MDS).detect(base)
+
+    def test_unknown_attribute_rejected(self, base):
+        bad = MatchingDependency(["nope"], ["city"])
+        with pytest.raises(Exception):
+            IncrementalMDDetector(base, [bad])
+
+    def test_partner_count_exposed(self, base):
+        detector = IncrementalMDDetector(base, MDS)
+        assert detector.partner_count("name_city", 1) == 1
+        assert detector.partner_count("name_city", 4) == 0
+
+
+class TestInsertDelete:
+    def test_insert_conflicting_record(self, base):
+        detector = IncrementalMDDetector(base, MDS)
+        delta = detector.apply(
+            UpdateBatch.of(Update.insert(cust(5, "maria garcia", 200, "Barcelona")))
+        )
+        assert delta.added == {3: {"name_city"}, 5: {"name_city"}}
+        assert detector.violations.tids_for("name_city") == {1, 2, 3, 5}
+
+    def test_insert_agreeing_record_changes_nothing(self, base):
+        detector = IncrementalMDDetector(base, MDS)
+        delta = detector.apply(
+            UpdateBatch.of(Update.insert(cust(5, "MARIA GARCIA", 300, "Edinburgh")))
+        )
+        assert delta.is_empty()
+
+    def test_delete_resolves_conflict(self, base):
+        detector = IncrementalMDDetector(base, MDS)
+        delta = detector.apply(UpdateBatch.of(Update.delete(base[2])))
+        assert delta.removed == {1: {"name_city"}, 2: {"name_city"}}
+        assert len(detector.violations) == 0
+
+    def test_delete_non_violating_tuple(self, base):
+        detector = IncrementalMDDetector(base, MDS)
+        delta = detector.apply(UpdateBatch.of(Update.delete(base[4])))
+        assert delta.is_empty()
+
+    def test_insert_then_delete_roundtrip(self, base):
+        detector = IncrementalMDDetector(base, MDS)
+        extra = cust(9, "p jones", 100.5, "Leeds")
+        detector.apply(UpdateBatch.of(Update.insert(extra)))
+        assert detector.violations.violates(9, "name_city")
+        assert detector.violations.violates(9, "amount_city")
+        detector.apply(UpdateBatch.of(Update.delete(extra)))
+        assert detector.violations == MDDetector(MDS).detect(base)
+
+    def test_duplicate_insert_rejected(self, base):
+        detector = IncrementalMDDetector(base, MDS)
+        with pytest.raises(ValueError):
+            detector.apply(UpdateBatch.of(Update.insert(base[1])))
+
+    def test_delete_unknown_rejected(self, base):
+        detector = IncrementalMDDetector(base, MDS)
+        with pytest.raises(ValueError):
+            detector.apply(UpdateBatch.of(Update.delete(cust(99, "x", 0, "y"))))
+
+    def test_recompute_matches_maintained_state(self, base):
+        detector = IncrementalMDDetector(base, MDS)
+        detector.apply(
+            UpdateBatch.of(
+                Update.insert(cust(5, "maria  garcia", 9, "Aberdeen")),
+                Update.delete(base[1]),
+            )
+        )
+        assert detector.violations == detector.recompute()
+
+
+_names = st.sampled_from(["ann lee", "Ann  Lee", "bob ray", "BOB RAY", "cat doe"])
+_cities = st.sampled_from(["X", "Y"])
+_amounts = st.integers(0, 8)
+
+
+@st.composite
+def md_scenarios(draw):
+    n = draw(st.integers(0, 8))
+    tuples = [
+        cust(i + 1, draw(_names), draw(_amounts), draw(_cities)) for i in range(n)
+    ]
+    ops = draw(st.integers(0, 6))
+    updates = []
+    live = {t.tid: t for t in tuples}
+    next_tid = n + 1
+    for _ in range(ops):
+        if live and draw(st.booleans()):
+            tid = draw(st.sampled_from(sorted(live)))
+            updates.append(Update.delete(live.pop(tid)))
+        else:
+            t = cust(next_tid, draw(_names), draw(_amounts), draw(_cities))
+            live[t.tid] = t
+            updates.append(Update.insert(t))
+            next_tid += 1
+    return Relation(SCHEMA, tuples), UpdateBatch(updates)
+
+
+class TestPropertyEquivalence:
+    @given(scenario=md_scenarios())
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_incremental_equals_batch_recomputation(self, scenario):
+        base, updates = scenario
+        detector = IncrementalMDDetector(base, MDS)
+        detector.apply(updates)
+        final = updates.apply_to(base)
+        assert detector.violations == MDDetector(MDS).detect(final)
+
+    @given(scenario=md_scenarios())
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_blocked_batch_equals_exhaustive_batch(self, scenario):
+        base, updates = scenario
+        final = updates.apply_to(base)
+        blocked = MDDetector(MDS, use_blocking=True).detect(final)
+        exhaustive = MDDetector(MDS, use_blocking=False).detect(final)
+        assert blocked == exhaustive

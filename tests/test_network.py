@@ -1,0 +1,95 @@
+"""Tests for the simulated network and its shipment accounting."""
+
+import pytest
+
+from repro.distributed.message import Message, MessageKind
+from repro.distributed.network import Network, NetworkStats
+
+
+class TestMessage:
+    def test_same_sender_receiver_rejected(self):
+        with pytest.raises(ValueError):
+            Message(1, 1, MessageKind.EQID, 7, 8)
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Message(0, 1, MessageKind.EQID, 7, -1)
+        with pytest.raises(ValueError):
+            Message(0, 1, MessageKind.EQID, 7, 8, units=-2)
+
+
+class TestNetworkAccounting:
+    def test_send_returns_payload(self):
+        net = Network()
+        assert net.send(0, 1, MessageKind.TUPLE, {"x": 1}, 20) == {"x": 1}
+
+    def test_counters(self):
+        net = Network()
+        net.send(0, 1, MessageKind.EQID, 1, 8)
+        net.send(1, 2, MessageKind.EQID, 2, 8)
+        net.send(0, 2, MessageKind.TUPLE, "t", 100)
+        stats = net.stats()
+        assert stats.messages == 3
+        assert stats.bytes == 116
+        assert stats.eqids_shipped == 2
+        assert stats.tuples_shipped == 1
+        assert stats.messages_by_pair[(0, 1)] == 1
+
+    def test_units_are_accumulated(self):
+        net = Network()
+        net.send(0, 1, MessageKind.EQID, [1, 2, 3], 24, units=3)
+        assert net.stats().eqids_shipped == 3
+
+    def test_partial_tuples_count_as_tuples(self):
+        net = Network()
+        net.send(0, 1, MessageKind.PARTIAL_TUPLE, "p", 10)
+        assert net.stats().tuples_shipped == 1
+
+    def test_broadcast_skips_sender(self):
+        net = Network()
+        net.broadcast(0, [0, 1, 2], MessageKind.CONTROL, "x", 4)
+        assert net.total_messages == 2
+
+    def test_reset(self):
+        net = Network()
+        net.send(0, 1, MessageKind.EQID, 1, 8)
+        net.reset()
+        assert net.total_messages == 0
+        assert net.total_bytes == 0
+        assert net.stats().eqids_shipped == 0
+
+    def test_message_log_optional(self):
+        silent = Network()
+        silent.send(0, 1, MessageKind.EQID, 1, 8)
+        assert silent.log == []
+        recording = Network(record_messages=True)
+        recording.send(0, 1, MessageKind.EQID, 1, 8)
+        assert len(recording.log) == 1
+        assert recording.log[0].kind is MessageKind.EQID
+
+
+class TestNetworkStatsDiff:
+    def test_diff_isolates_a_window(self):
+        net = Network()
+        net.send(0, 1, MessageKind.EQID, 1, 8)
+        before = net.stats()
+        net.send(0, 1, MessageKind.EQID, 2, 8)
+        net.send(1, 2, MessageKind.TUPLE, "t", 30)
+        window = net.stats().diff(before)
+        assert window.messages == 2
+        assert window.bytes == 38
+        assert window.eqids_shipped == 1
+        assert window.tuples_shipped == 1
+
+    def test_diff_of_identical_snapshots_is_zero(self):
+        net = Network()
+        net.send(0, 1, MessageKind.EQID, 1, 8)
+        stats = net.stats()
+        window = stats.diff(stats)
+        assert window.messages == 0
+        assert window.units_by_kind == {}
+
+    def test_default_stats_are_empty(self):
+        stats = NetworkStats()
+        assert stats.eqids_shipped == 0
+        assert stats.tuples_shipped == 0

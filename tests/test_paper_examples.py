@@ -1,0 +1,122 @@
+"""End-to-end checks of the running example of the paper (Figs. 1-3, Examples 1-9)."""
+
+import pytest
+
+from repro.core.detector import detect_violations
+from repro.core.updates import Update, UpdateBatch
+from repro.distributed.cluster import Cluster
+from repro.horizontal.bathor import HorizontalBatchDetector
+from repro.horizontal.inchor import HorizontalIncrementalDetector
+from repro.vertical.batver import VerticalBatchDetector
+from repro.vertical.incver import VerticalIncrementalDetector
+
+
+class TestExample1CentralizedViolations:
+    """Fig. 1: the violations of phi1 and phi2 in D0."""
+
+    def test_phi1_violations(self, emp, emp_relation):
+        v = detect_violations([emp.phi1()], emp_relation)
+        assert v.tids() == {1, 3, 4, 5}
+
+    def test_phi2_violations(self, emp, emp_relation):
+        v = detect_violations([emp.phi2()], emp_relation)
+        assert v.tids() == {1}
+
+    def test_t2_is_clean(self, emp, emp_relation, emp_cfds):
+        assert 2 not in detect_violations(emp_cfds, emp_relation)
+
+    def test_phi1_is_variable_and_phi2_is_constant(self, emp):
+        assert emp.phi1().is_variable()
+        assert emp.phi2().is_constant()
+
+
+class TestFig2Partitions:
+    def test_vertical_fragments_match_figure(self, emp):
+        partitioner = emp.vertical_partitioner()
+        assert partitioner.fragment_for_site(0).attributes == ("id", "name", "sex", "grade")
+        assert partitioner.fragment_for_site(1).attributes == ("id", "street", "city", "zip")
+        assert partitioner.fragment_for_site(2).attributes == (
+            "id", "CC", "AC", "phn", "salary", "hd",
+        )
+
+    def test_vertical_reconstruction(self, emp, emp_relation):
+        partition = emp.vertical_partitioner().fragment(emp_relation)
+        assert partition.reconstruct().tids() == {1, 2, 3, 4, 5}
+
+    def test_horizontal_fragments_match_figure(self, emp, emp_relation):
+        partition = emp.horizontal_partitioner().fragment(emp_relation)
+        assert partition.fragment_at(0).tids() == {1, 2}
+        assert partition.fragment_at(1).tids() == {3, 4}
+        assert partition.fragment_at(2).tids() == {5}
+
+
+class TestExample2Vertical:
+    """Example 2 / Example 6: incremental detection in the vertical partitions."""
+
+    @pytest.fixture
+    def detector(self, emp, emp_relation, emp_cfds):
+        cluster = Cluster.from_vertical(emp.vertical_partitioner(), emp_relation)
+        return cluster, VerticalIncrementalDetector(cluster, emp_cfds)
+
+    def test_insert_t6_yields_only_t6(self, emp, detector):
+        cluster, det = detector
+        delta = det.apply(UpdateBatch.of(Update.insert(emp.tuples()["t6"])))
+        assert delta.added == {6: {"phi1"}}
+        assert not delta.removed
+        assert cluster.network.stats().eqids_shipped <= 2 * len(det.cfds)
+
+    def test_variable_cfd_ships_only_eqids(self, emp, emp_relation):
+        """For phi1 alone, detection never ships tuples of D — only eqids (Section 4)."""
+        cluster = Cluster.from_vertical(emp.vertical_partitioner(), emp_relation)
+        det = VerticalIncrementalDetector(cluster, [emp.phi1()])
+        det.apply(UpdateBatch.of(Update.insert(emp.tuples()["t6"])))
+        stats = cluster.network.stats()
+        assert stats.tuples_shipped == 0
+        assert 0 < stats.eqids_shipped <= len(emp.phi1().lhs)
+
+    def test_delete_t4_after_insert_t6_removes_only_t4(self, emp, detector):
+        _, det = detector
+        tuples = emp.tuples()
+        det.apply(UpdateBatch.of(Update.insert(tuples["t6"])))
+        delta = det.apply(UpdateBatch.of(Update.delete(tuples["t4"])))
+        assert delta.removed == {4: {"phi1"}}
+        assert not delta.added
+
+    def test_final_state_matches_batch_recomputation(self, emp, emp_cfds, detector):
+        cluster, det = detector
+        tuples = emp.tuples()
+        det.apply(UpdateBatch.of(Update.insert(tuples["t6"]), Update.delete(tuples["t4"])))
+        batch = VerticalBatchDetector(cluster, emp_cfds).detect()
+        assert det.violations == batch
+        assert det.violations.tids_for("phi1") == {1, 3, 5, 6}
+
+
+class TestExample2Horizontal:
+    """Example 2 / Example 9: incremental detection in the horizontal partitions."""
+
+    @pytest.fixture
+    def detector(self, emp, emp_relation, emp_cfds):
+        cluster = Cluster.from_horizontal(emp.horizontal_partitioner(), emp_relation)
+        return cluster, HorizontalIncrementalDetector(cluster, emp_cfds)
+
+    def test_insert_t6_ships_nothing(self, emp, detector):
+        cluster, det = detector
+        delta = det.apply(UpdateBatch.of(Update.insert(emp.tuples()["t6"])))
+        assert delta.added == {6: {"phi1"}}
+        assert cluster.network.total_messages == 0
+
+    def test_delete_t4_ships_nothing(self, emp, detector):
+        cluster, det = detector
+        tuples = emp.tuples()
+        det.apply(UpdateBatch.of(Update.insert(tuples["t6"])))
+        delta = det.apply(UpdateBatch.of(Update.delete(tuples["t4"])))
+        assert delta.removed == {4: {"phi1"}}
+        assert cluster.network.total_messages == 0
+
+    def test_final_state_matches_batch_recomputation(self, emp, emp_cfds, detector):
+        cluster, det = detector
+        tuples = emp.tuples()
+        det.apply(UpdateBatch.of(Update.insert(tuples["t6"]), Update.delete(tuples["t4"])))
+        batch = HorizontalBatchDetector(cluster, emp_cfds).detect()
+        assert det.violations == batch
+        assert det.violations.tids_for("phi1") == {1, 3, 5, 6}

@@ -1,0 +1,108 @@
+"""Tests for the optVer planner and the naive chain plan."""
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.core.schema import Schema
+from repro.indexes.planner import HEVPlanner, naive_chain_plan
+from repro.partition.replication import ReplicationScheme
+from repro.partition.vertical import VerticalPartitioner
+from repro.workloads.rules import generate_cfds
+from repro.workloads.tpch import TPCHGenerator
+
+
+@pytest.fixture
+def schema():
+    # One attribute per site, mirroring Example 7 of the paper.
+    return Schema("Re", ["id", "A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K"], key="id")
+
+
+@pytest.fixture
+def partitioner(schema):
+    return VerticalPartitioner(
+        schema,
+        [["A"], ["B"], ["C"], ["D"], ["E", "F"], ["G", "H"], ["I"], ["J", "K"]],
+    )
+
+
+@pytest.fixture
+def example7_cfds():
+    return [
+        CFD(["A", "B", "C"], "E", name="phi1"),
+        CFD(["A", "C", "D"], "F", name="phi2"),
+        CFD(["A", "G"], "H", name="phi3"),
+        CFD(["A", "I", "J"], "K", name="phi4"),
+    ]
+
+
+class TestNaiveChainPlan:
+    def test_every_general_cfd_gets_an_entry(self, partitioner, example7_cfds):
+        plan = naive_chain_plan(example7_cfds, partitioner)
+        assert sorted(plan.cfd_names()) == ["phi1", "phi2", "phi3", "phi4"]
+
+    def test_constant_and_local_cfds_are_excluded(self, partitioner):
+        cfds = [
+            CFD(["A"], "B", {"A": 1, "B": 2}, name="const"),
+            CFD(["E"], "F", name="local"),
+            CFD(["A", "B"], "C", name="general"),
+        ]
+        plan = naive_chain_plan(cfds, partitioner)
+        assert plan.cfd_names() == ["general"]
+
+    def test_naive_shipments_match_paper_example(self, partitioner, example7_cfds):
+        # Fig. 6(a): 9 eqid shipments without sharing.
+        plan = naive_chain_plan(example7_cfds, partitioner)
+        assert plan.eqid_shipments_per_update() == 9
+
+    def test_single_attribute_lhs_uses_base_node(self, partitioner):
+        plan = naive_chain_plan([CFD(["A"], "K", name="simple")], partitioner)
+        entry = plan.entry_for("simple")
+        assert entry.lhs_node.is_base
+        assert entry.lhs_node.site == partitioner.home_site("A")
+
+
+class TestOptVerPlanner:
+    def test_optimized_never_worse_than_naive(self, partitioner, example7_cfds):
+        planner = HEVPlanner(partitioner)
+        comparison = planner.compare(example7_cfds)
+        assert comparison["with_optimization"] <= comparison["without_optimization"]
+
+    def test_replication_can_reduce_shipment(self, partitioner, example7_cfds):
+        # Replicating I at the site of (G, H) mirrors Fig. 6(b)/(c).
+        replication = ReplicationScheme(partitioner, {"I": [5]})
+        planner = HEVPlanner(partitioner, replication)
+        comparison = planner.compare(example7_cfds)
+        assert comparison["with_optimization"] <= comparison["without_optimization"]
+
+    def test_plan_serves_all_general_cfds(self, partitioner, example7_cfds):
+        plan = HEVPlanner(partitioner).plan(example7_cfds)
+        assert sorted(plan.cfd_names()) == ["phi1", "phi2", "phi3", "phi4"]
+
+    def test_plan_with_no_plannable_cfds_returns_naive_empty(self, partitioner):
+        plan = HEVPlanner(partitioner).plan([CFD(["E"], "F", name="local")])
+        assert plan.cfd_names() == []
+        assert plan.eqid_shipments_per_update() == 0
+
+    def test_shared_lhs_cfds_share_an_idx_node(self, partitioner):
+        cfds = [
+            CFD(["A", "B"], "C", name="r1"),
+            CFD(["A", "B"], "D", {"A": 1}, name="r2"),
+        ]
+        plan = HEVPlanner(partitioner).plan(cfds)
+        if set(plan.cfd_names()) == {"r1", "r2"}:
+            n1 = plan.entry_for("r1").lhs_node
+            n2 = plan.entry_for("r2").lhs_node
+            assert n1 is n2 or n1.attributes == n2.attributes
+
+    def test_tpch_workload_shows_savings(self):
+        generator = TPCHGenerator(seed=3)
+        cfds = generate_cfds(generator.fd_specs(), 30, seed=1)
+        partitioner = generator.vertical_partitioner(10)
+        comparison = HEVPlanner(partitioner).compare(cfds)
+        assert comparison["with_optimization"] < comparison["without_optimization"]
+
+    def test_evaluate_keys_with_optimized_plan(self, partitioner, example7_cfds):
+        plan = HEVPlanner(partitioner).plan(example7_cfds)
+        values = {a: f"v{a}" for a in "ABCDEFGHIJK"}
+        lhs, rhs = plan.evaluate_keys("phi1", values)
+        assert lhs >= 1 and rhs >= 1

@@ -1,0 +1,109 @@
+"""Tests for horizontal fragmentation predicates."""
+
+import pytest
+
+from repro.partition.predicates import (
+    AttributeEquals,
+    AttributeIn,
+    AttributeRange,
+    HashBucket,
+    TruePredicate,
+)
+
+
+class TestTruePredicate:
+    def test_always_true(self):
+        pred = TruePredicate()
+        assert pred({"a": 1})
+        assert pred({})
+
+    def test_no_attributes(self):
+        assert TruePredicate().attributes() == frozenset()
+
+    def test_never_conflicts(self):
+        assert not TruePredicate().conflicts_with_constants({"a": 1})
+
+    def test_describe(self):
+        assert TruePredicate().describe() == "true"
+
+
+class TestAttributeEquals:
+    def test_evaluation(self):
+        pred = AttributeEquals("grade", "A")
+        assert pred({"grade": "A"})
+        assert not pred({"grade": "B"})
+
+    def test_attributes(self):
+        assert AttributeEquals("grade", "A").attributes() == frozenset({"grade"})
+
+    def test_conflict_with_constants(self):
+        pred = AttributeEquals("grade", "A")
+        assert pred.conflicts_with_constants({"grade": "B"})
+        assert not pred.conflicts_with_constants({"grade": "A"})
+        assert not pred.conflicts_with_constants({"other": "B"})
+
+    def test_describe(self):
+        assert "grade" in AttributeEquals("grade", "A").describe()
+
+
+class TestAttributeIn:
+    def test_evaluation(self):
+        pred = AttributeIn("grade", {"A", "B"})
+        assert pred({"grade": "A"})
+        assert not pred({"grade": "C"})
+
+    def test_conflict(self):
+        pred = AttributeIn("grade", {"A", "B"})
+        assert pred.conflicts_with_constants({"grade": "C"})
+        assert not pred.conflicts_with_constants({"grade": "B"})
+
+    def test_attributes(self):
+        assert AttributeIn("x", [1]).attributes() == frozenset({"x"})
+
+
+class TestAttributeRange:
+    def test_half_open_semantics(self):
+        pred = AttributeRange("salary", 100, 200)
+        assert pred({"salary": 100})
+        assert pred({"salary": 199})
+        assert not pred({"salary": 200})
+        assert not pred({"salary": 99})
+
+    def test_open_ended_bounds(self):
+        assert AttributeRange("x", low=5)({"x": 1000})
+        assert AttributeRange("x", high=5)({"x": -1})
+
+    def test_requires_some_bound(self):
+        with pytest.raises(ValueError):
+            AttributeRange("x")
+
+    def test_conflict_with_constants(self):
+        pred = AttributeRange("x", 10, 20)
+        assert pred.conflicts_with_constants({"x": 5})
+        assert pred.conflicts_with_constants({"x": 25})
+        assert not pred.conflicts_with_constants({"x": 15})
+
+    def test_conflict_with_uncomparable_constant(self):
+        assert not AttributeRange("x", 10, 20).conflicts_with_constants({"x": "str"})
+
+
+class TestHashBucket:
+    def test_partition_is_total_and_disjoint(self):
+        n = 4
+        preds = [HashBucket("k", n, i) for i in range(n)]
+        for value in range(100):
+            matches = [p({"k": value}) for p in preds]
+            assert sum(matches) == 1
+
+    def test_string_values_are_deterministic(self):
+        pred = HashBucket("k", 3, 0)
+        assert pred({"k": "abc"}) == pred({"k": "abc"})
+
+    def test_invalid_bucket_configs(self):
+        with pytest.raises(ValueError):
+            HashBucket("k", 0, 0)
+        with pytest.raises(ValueError):
+            HashBucket("k", 3, 3)
+
+    def test_attributes(self):
+        assert HashBucket("k", 2, 1).attributes() == frozenset({"k"})

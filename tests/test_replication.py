@@ -1,0 +1,53 @@
+"""Tests for the replication scheme used by the HEV planner."""
+
+import pytest
+
+from repro.core.schema import Schema
+from repro.partition.replication import ReplicationScheme
+from repro.partition.vertical import PartitionError, VerticalPartitioner
+
+
+@pytest.fixture
+def partitioner():
+    schema = Schema("R", ["k", "a", "b", "c"], key="k")
+    return VerticalPartitioner(schema, [["a"], ["b"], ["c"]])
+
+
+class TestReplicationScheme:
+    def test_primary_placement(self, partitioner):
+        scheme = ReplicationScheme(partitioner)
+        assert scheme.sites_of("a") == {0}
+        assert scheme.sites_of("b") == {1}
+
+    def test_key_is_everywhere(self, partitioner):
+        scheme = ReplicationScheme(partitioner)
+        assert scheme.sites_of("k") == {0, 1, 2}
+
+    def test_extra_replicas(self, partitioner):
+        scheme = ReplicationScheme(partitioner, {"a": [2]})
+        assert scheme.sites_of("a") == {0, 2}
+        assert scheme.is_replicated("a")
+        assert not scheme.is_replicated("b")
+
+    def test_invalid_replica_site(self, partitioner):
+        with pytest.raises(PartitionError):
+            ReplicationScheme(partitioner, {"a": [99]})
+
+    def test_unknown_attribute(self, partitioner):
+        scheme = ReplicationScheme(partitioner)
+        with pytest.raises(PartitionError):
+            scheme.sites_of("zzz")
+
+    def test_sites_with_all(self, partitioner):
+        scheme = ReplicationScheme(partitioner, {"a": [1]})
+        assert scheme.sites_with_all(["a", "b"]) == {1}
+        assert scheme.sites_with_all(["a", "c"]) == set()
+        assert scheme.sites_with_all([]) == {0, 1, 2}
+
+    def test_attributes_at(self, partitioner):
+        scheme = ReplicationScheme(partitioner, {"c": [0]})
+        assert scheme.attributes_at(0) == {"k", "a", "c"}
+
+    def test_as_dict(self, partitioner):
+        mapping = ReplicationScheme(partitioner).as_dict()
+        assert mapping["b"] == {1}

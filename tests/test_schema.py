@@ -1,0 +1,111 @@
+"""Tests for repro.core.schema."""
+
+import pytest
+
+from repro.core.schema import Attribute, Schema, SchemaError
+
+
+class TestAttribute:
+    def test_name_and_default_domain(self):
+        attr = Attribute("city")
+        assert attr.name == "city"
+        assert attr.domain == "str"
+
+    def test_custom_domain(self):
+        assert Attribute("salary", domain="int").domain == "int"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_str(self):
+        assert str(Attribute("zip")) == "zip"
+
+    def test_equality_is_structural(self):
+        assert Attribute("a") == Attribute("a")
+        assert Attribute("a") != Attribute("b")
+
+
+class TestSchema:
+    def test_attribute_names_in_order(self):
+        schema = Schema("R", ["k", "a", "b"], key="k")
+        assert schema.attribute_names == ("k", "a", "b")
+
+    def test_accepts_attribute_objects(self):
+        schema = Schema("R", [Attribute("k"), Attribute("a", "int")], key="k")
+        assert schema.attribute("a").domain == "int"
+
+    def test_contains(self):
+        schema = Schema("R", ["k", "a"], key="k")
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_len_and_iter(self):
+        schema = Schema("R", ["k", "a", "b"], key="k")
+        assert len(schema) == 3
+        assert list(schema) == ["k", "a", "b"]
+
+    def test_position(self):
+        schema = Schema("R", ["k", "a", "b"], key="k")
+        assert schema.position("b") == 2
+
+    def test_position_unknown_attribute(self):
+        schema = Schema("R", ["k", "a"], key="k")
+        with pytest.raises(SchemaError):
+            schema.position("missing")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("R", ["k", "a", "a"], key="k")
+
+    def test_key_must_be_an_attribute(self):
+        with pytest.raises(SchemaError):
+            Schema("R", ["a", "b"], key="k")
+
+    def test_validate_attributes_passes_known(self):
+        schema = Schema("R", ["k", "a", "b"], key="k")
+        assert schema.validate_attributes(["a", "b"]) == ("a", "b")
+
+    def test_validate_attributes_rejects_unknown(self):
+        schema = Schema("R", ["k", "a"], key="k")
+        with pytest.raises(SchemaError):
+            schema.validate_attributes(["a", "nope"])
+
+    def test_non_key_attributes(self):
+        schema = Schema("R", ["k", "a", "b"], key="k")
+        assert schema.non_key_attributes() == ("a", "b")
+
+    def test_str_rendering(self):
+        schema = Schema("R", ["k", "a"], key="k")
+        assert str(schema) == "R(k, a)"
+
+
+class TestSchemaProjection:
+    def test_project_keeps_key(self):
+        schema = Schema("R", ["k", "a", "b", "c"], key="k")
+        fragment = schema.project(["b"])
+        assert fragment.attribute_names == ("k", "b")
+        assert fragment.key == "k"
+
+    def test_project_preserves_schema_order(self):
+        schema = Schema("R", ["k", "a", "b", "c"], key="k")
+        fragment = schema.project(["c", "a"])
+        assert fragment.attribute_names == ("k", "a", "c")
+
+    def test_project_custom_name(self):
+        schema = Schema("R", ["k", "a"], key="k")
+        assert schema.project(["a"], name="F1").name == "F1"
+
+    def test_project_default_name(self):
+        schema = Schema("R", ["k", "a"], key="k")
+        assert schema.project(["a"]).name == "R_frag"
+
+    def test_project_unknown_attribute(self):
+        schema = Schema("R", ["k", "a"], key="k")
+        with pytest.raises(SchemaError):
+            schema.project(["zzz"])
+
+    def test_project_key_only(self):
+        schema = Schema("R", ["k", "a"], key="k")
+        fragment = schema.project(["k"])
+        assert fragment.attribute_names == ("k",)

@@ -1,0 +1,67 @@
+"""Tests for shipment-size estimation and MD5 tuple coding."""
+
+from repro.distributed.serialization import (
+    EQID_BYTES,
+    MD5_BYTES,
+    TID_BYTES,
+    estimate_tuple_bytes,
+    estimate_value_bytes,
+    md5_digest,
+    tuple_fingerprint,
+)
+
+
+class TestValueSizes:
+    def test_none_and_bool(self):
+        assert estimate_value_bytes(None) == 1
+        assert estimate_value_bytes(True) == 1
+
+    def test_numbers(self):
+        assert estimate_value_bytes(12345) == 8
+        assert estimate_value_bytes(3.14) == 8
+
+    def test_strings_by_utf8_length(self):
+        assert estimate_value_bytes("abc") == 3
+        assert estimate_value_bytes("ü") == 2
+
+    def test_constants_are_positive(self):
+        assert EQID_BYTES > 0 and MD5_BYTES == 16 and TID_BYTES > 0
+
+
+class TestTupleSizes:
+    def test_estimate_includes_tid_overhead(self):
+        values = {"a": "xy", "b": 1}
+        assert estimate_tuple_bytes(values) == TID_BYTES + 2 + 8
+
+    def test_estimate_with_projection(self):
+        values = {"a": "xy", "b": 1}
+        assert estimate_tuple_bytes(values, ["a"]) == TID_BYTES + 2
+
+    def test_wider_tuples_cost_more(self):
+        narrow = estimate_tuple_bytes({"a": "xxxx"})
+        wide = estimate_tuple_bytes({"a": "xxxx", "b": "yyyy", "c": "zzzz"})
+        assert wide > narrow
+
+
+class TestMD5:
+    def test_digest_is_stable(self):
+        values = {"a": 1, "b": "x"}
+        assert md5_digest(values) == md5_digest(dict(values))
+
+    def test_digest_depends_on_values(self):
+        assert md5_digest({"a": 1}) != md5_digest({"a": 2})
+
+    def test_digest_depends_on_attribute_names(self):
+        assert md5_digest({"a": 1}) != md5_digest({"b": 1})
+
+    def test_digest_projection(self):
+        full = {"a": 1, "b": 2}
+        assert md5_digest(full, ["a"]) == md5_digest({"a": 1}, ["a"])
+
+    def test_digest_is_hex_of_128_bits(self):
+        assert len(md5_digest({"a": 1})) == 32
+
+    def test_fingerprint_size_is_fixed(self):
+        digest, size = tuple_fingerprint({"a": "a long string value " * 10}, ["a"])
+        assert size == TID_BYTES + MD5_BYTES
+        assert len(digest) == 32

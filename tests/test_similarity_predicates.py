@@ -1,0 +1,127 @@
+"""Tests for the similarity predicates and their blocking-key contracts."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity.predicates import (
+    EditDistanceSimilarity,
+    ExactMatch,
+    JaccardSimilarity,
+    NormalizedStringMatch,
+    NumericTolerance,
+)
+
+
+class TestExactMatch:
+    def test_similar(self):
+        pred = ExactMatch()
+        assert pred.similar("a", "a")
+        assert not pred.similar("a", "b")
+
+    def test_block_keys_are_the_value(self):
+        assert ExactMatch().block_keys("x") == {("=", "x")}
+
+
+class TestNormalizedStringMatch:
+    def test_case_and_punctuation_insensitive(self):
+        pred = NormalizedStringMatch()
+        assert pred.similar("J.  Smith", "j smith")
+        assert pred.similar("Main St.", "main st")
+        assert not pred.similar("J Smith", "J Smyth")
+
+    def test_normalize(self):
+        assert NormalizedStringMatch().normalize("  A-B  c ") == "a b c"
+
+    def test_blocking_matches_normal_form(self):
+        pred = NormalizedStringMatch()
+        assert pred.block_keys("J. Smith") == pred.block_keys("j smith")
+
+
+class TestNumericTolerance:
+    def test_within_tolerance(self):
+        pred = NumericTolerance(0.5)
+        assert pred.similar(1.0, 1.4)
+        assert pred.similar(1.0, 1.5)
+        assert not pred.similar(1.0, 1.6)
+
+    def test_accepts_numeric_strings(self):
+        assert NumericTolerance(1).similar("10", 10.5)
+
+    def test_non_numeric_never_similar(self):
+        pred = NumericTolerance(1)
+        assert not pred.similar("abc", 1)
+        assert not pred.similar(None, None)
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            NumericTolerance(0)
+
+    @given(a=st.floats(-1000, 1000), delta=st.floats(0, 0.5))
+    @settings(max_examples=100, deadline=None)
+    def test_blocking_is_complete(self, a, delta):
+        pred = NumericTolerance(0.5)
+        b = a + delta
+        if pred.similar(a, b):
+            assert pred.block_keys(a) & pred.block_keys(b)
+
+
+class TestJaccard:
+    def test_similar_token_sets(self):
+        pred = JaccardSimilarity(0.5)
+        assert pred.similar("data quality rules", "quality data rules")
+        assert pred.similar("data quality", "data quality tools") is True
+        assert not pred.similar("data quality", "graph processing")
+
+    def test_empty_values(self):
+        pred = JaccardSimilarity(0.5)
+        assert pred.similar("", "")
+        assert not pred.similar("", "x")
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            JaccardSimilarity(0)
+        with pytest.raises(ValueError):
+            JaccardSimilarity(1.2)
+
+    @given(
+        left=st.lists(st.sampled_from("abcdef"), max_size=6),
+        right=st.lists(st.sampled_from("abcdef"), max_size=6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_blocking_is_complete(self, left, right):
+        pred = JaccardSimilarity(0.3)
+        a, b = " ".join(left), " ".join(right)
+        if pred.similar(a, b):
+            assert pred.block_keys(a) & pred.block_keys(b)
+
+
+class TestEditDistance:
+    def test_distance_basics(self):
+        assert EditDistanceSimilarity.distance("kitten", "sitting") == 3
+        assert EditDistanceSimilarity.distance("abc", "abc") == 0
+        assert EditDistanceSimilarity.distance("", "abc") == 3
+
+    def test_cutoff_early_exit(self):
+        assert EditDistanceSimilarity.distance("aaaa", "bbbbbbbb", cutoff=2) == 3
+
+    def test_similar(self):
+        pred = EditDistanceSimilarity(1)
+        assert pred.similar("Smith", "Smyth")
+        assert not pred.similar("Smith", "Smythe's")
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            EditDistanceSimilarity(-1)
+
+    def test_universal_blocking_always_overlaps(self):
+        pred = EditDistanceSimilarity(2)
+        assert pred.block_keys("abc") & pred.block_keys("zzzzzz")
+
+    @given(a=st.text(alphabet="abc", max_size=6), b=st.text(alphabet="abc", max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_distance_is_symmetric_and_bounded(self, a, b):
+        d = EditDistanceSimilarity.distance(a, b)
+        assert d == EditDistanceSimilarity.distance(b, a)
+        assert d <= max(len(a), len(b))
+        assert (d == 0) == (a == b)

@@ -1,0 +1,103 @@
+"""Tests for sites and the simulated cluster."""
+
+import pytest
+
+from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.core.tuples import Tuple
+from repro.distributed.cluster import Cluster, ClusterError
+from repro.distributed.network import Network
+from repro.distributed.site import Site
+from repro.partition.horizontal import hash_horizontal_scheme
+from repro.partition.vertical import VerticalPartitioner
+
+
+@pytest.fixture
+def schema():
+    return Schema("R", ["k", "a", "b"], key="k")
+
+
+@pytest.fixture
+def relation(schema):
+    rows = [{"k": i, "a": f"a{i % 2}", "b": f"b{i}"} for i in range(1, 7)]
+    return Relation.from_rows(schema, rows)
+
+
+class TestSite:
+    def test_basic_properties(self, schema, relation):
+        site = Site(2, relation)
+        assert site.site_id == 2
+        assert site.name == "S3"
+        assert len(site.fragment) == 6
+
+    def test_state_with_factory(self, schema, relation):
+        site = Site(0, relation)
+        created = site.state("idx", factory=dict)
+        created["x"] = 1
+        assert site.state("idx")["x"] == 1
+        assert site.has_state("idx")
+
+    def test_state_missing_without_factory(self, schema, relation):
+        site = Site(0, relation)
+        with pytest.raises(KeyError):
+            site.state("nope")
+
+    def test_replace_fragment_clears_state(self, schema, relation):
+        site = Site(0, relation)
+        site.set_state("idx", 1)
+        site.replace_fragment(Relation(schema))
+        assert not site.has_state("idx")
+        assert len(site.fragment) == 0
+
+
+class TestVerticalCluster:
+    @pytest.fixture
+    def cluster(self, schema, relation):
+        partitioner = VerticalPartitioner(schema, [["a"], ["b"]])
+        return Cluster.from_vertical(partitioner, relation)
+
+    def test_flavour(self, cluster):
+        assert cluster.is_vertical()
+        assert not cluster.is_horizontal()
+        assert cluster.vertical_partitioner is not None
+        with pytest.raises(ClusterError):
+            cluster.horizontal_partitioner
+
+    def test_sites(self, cluster):
+        assert cluster.site_ids() == [0, 1]
+        assert len(cluster) == 2
+        assert [s.site_id for s in cluster] == [0, 1]
+        with pytest.raises(ClusterError):
+            cluster.site(9)
+
+    def test_reconstruct(self, cluster, relation):
+        rebuilt = cluster.reconstruct()
+        assert rebuilt.tids() == relation.tids()
+
+    def test_total_tuples(self, cluster, relation):
+        assert cluster.total_tuples() == 2 * len(relation)
+
+    def test_network_is_shared(self, schema, relation):
+        network = Network()
+        partitioner = VerticalPartitioner(schema, [["a"], ["b"]])
+        cluster = Cluster.from_vertical(partitioner, relation, network=network)
+        assert cluster.network is network
+
+
+class TestHorizontalCluster:
+    @pytest.fixture
+    def cluster(self, schema, relation):
+        partitioner = hash_horizontal_scheme(schema, 3)
+        return Cluster.from_horizontal(partitioner, relation)
+
+    def test_flavour(self, cluster):
+        assert cluster.is_horizontal()
+        with pytest.raises(ClusterError):
+            cluster.vertical_partitioner
+
+    def test_tuples_distributed_without_loss(self, cluster, relation):
+        assert cluster.total_tuples() == len(relation)
+        assert cluster.reconstruct().tids() == relation.tids()
+
+    def test_repr_mentions_flavour(self, cluster):
+        assert "horizontal" in repr(cluster)

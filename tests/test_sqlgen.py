@@ -1,0 +1,130 @@
+"""Tests for SQL-based centralized detection (the technique of Section 2.3)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cfd import CFD, merge_into_tableaux
+from repro.core.detector import detect_violations
+from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.core.sqlgen import (
+    SQLDetector,
+    constant_violation_query,
+    create_data_table_sql,
+    create_pattern_table_sql,
+    detect_violations_sql,
+    pattern_table_rows,
+    variable_violation_query,
+)
+from repro.core.tuples import Tuple
+
+
+@pytest.fixture
+def schema():
+    return Schema("R", ["k", "a", "b", "c"], key="k")
+
+
+def rel(schema, rows):
+    return Relation.from_rows(schema, rows)
+
+
+class TestSQLText:
+    def test_create_data_table(self):
+        sql = create_data_table_sql("data", ["k", "a"], "k")
+        assert 'CREATE TABLE "data"' in sql
+        assert 'PRIMARY KEY ("k")' in sql
+
+    def test_create_pattern_table(self):
+        assert 'CREATE TABLE "tp"' in create_pattern_table_sql("tp", ["a", "b"])
+
+    def test_pattern_rows_encode_wildcards(self):
+        (tableau,) = merge_into_tableaux(
+            [CFD(["a"], "b", {"a": 44}), CFD(["a"], "b", {"a": 1, "b": 2})]
+        )
+        rows = pattern_table_rows(tableau)
+        assert ("44", "_") in rows
+        assert ("1", "2") in rows
+
+    def test_constant_query_mentions_pattern_mismatch(self, schema):
+        (tableau,) = merge_into_tableaux([CFD(["a"], "b", {"a": "x", "b": "y"})])
+        sql = constant_violation_query("data", "tp", tableau, "k")
+        assert "<> '_'" in sql
+        assert 't."b" <> p."b"' in sql
+
+    def test_variable_query_uses_exists_pair_check(self, schema):
+        (tableau,) = merge_into_tableaux([CFD(["a"], "b")])
+        sql = variable_violation_query("data", "tp", tableau, "k")
+        assert "EXISTS" in sql
+        assert 't2."a" = t."a"' in sql
+        assert 't2."b" <> t."b"' in sql
+
+
+class TestSQLDetection:
+    def test_matches_in_memory_detector_on_fd(self, schema):
+        relation = rel(schema, [
+            {"k": 1, "a": "x", "b": 1, "c": 0},
+            {"k": 2, "a": "x", "b": 2, "c": 0},
+            {"k": 3, "a": "y", "b": 3, "c": 0},
+        ])
+        cfds = [CFD(["a"], "b", name="fd")]
+        assert detect_violations_sql(cfds, relation) == detect_violations(cfds, relation)
+
+    def test_matches_on_constant_cfd(self, schema):
+        relation = rel(schema, [
+            {"k": 1, "a": "uk", "b": "london", "c": 0},
+            {"k": 2, "a": "uk", "b": "paris", "c": 0},
+        ])
+        cfds = [CFD(["a"], "b", {"a": "uk", "b": "london"}, name="const")]
+        assert detect_violations_sql(cfds, relation) == detect_violations(cfds, relation)
+
+    def test_matches_on_emp_example(self, emp, emp_relation, emp_cfds):
+        assert detect_violations_sql(emp_cfds, emp_relation) == detect_violations(
+            emp_cfds, emp_relation
+        )
+
+    def test_two_queries_per_tableau(self, emp, emp_cfds):
+        detector = SQLDetector(emp_cfds)
+        assert len(detector.tableaux) == 2
+        for tableau in detector.tableaux:
+            constant_sql, variable_sql = detector.queries_for(tableau, "id")
+            assert constant_sql.startswith("SELECT")
+            assert variable_sql.startswith("SELECT")
+
+    def test_matches_on_tpch_sample(self, tpch):
+        from repro.workloads.rules import generate_cfds
+
+        relation = tpch.relation(120)
+        cfds = generate_cfds(tpch.fd_specs(), 8, seed=2)
+        assert detect_violations_sql(cfds, relation) == detect_violations(cfds, relation)
+
+    def test_empty_relation(self, schema):
+        assert len(detect_violations_sql([CFD(["a"], "b")], Relation(schema))) == 0
+
+
+_VALUES = st.sampled_from(["u", "v", "w"])
+_SCHEMA = Schema("R", ["k", "a", "b", "c"], key="k")
+_CFDS = [
+    CFD(["a"], "b", name="fd_ab"),
+    CFD(["a", "c"], "b", {"a": "u"}, name="cfd_acb"),
+    CFD(["c"], "a", {"c": "v", "a": "u"}, name="const_ca"),
+]
+
+
+@st.composite
+def relations(draw):
+    n = draw(st.integers(0, 10))
+    return Relation(
+        _SCHEMA,
+        [
+            Tuple(i, {"k": i, "a": draw(_VALUES), "b": draw(_VALUES), "c": draw(_VALUES)})
+            for i in range(1, n + 1)
+        ],
+    )
+
+
+class TestSQLProperty:
+    @given(relation=relations())
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_sql_equals_in_memory_detection(self, relation):
+        assert detect_violations_sql(_CFDS, relation) == detect_violations(_CFDS, relation)

@@ -1,0 +1,87 @@
+"""Tests for repro.core.tuples."""
+
+import pytest
+
+from repro.core.tuples import Tuple
+
+
+@pytest.fixture
+def t() -> Tuple:
+    return Tuple(1, {"k": 1, "a": "x", "b": 10})
+
+
+class TestTupleBasics:
+    def test_tid(self, t):
+        assert t.tid == 1
+
+    def test_getitem(self, t):
+        assert t["a"] == "x"
+        assert t["b"] == 10
+
+    def test_missing_attribute_raises(self, t):
+        with pytest.raises(KeyError):
+            t["missing"]
+
+    def test_len_and_iter(self, t):
+        assert len(t) == 3
+        assert set(t) == {"k", "a", "b"}
+
+    def test_mapping_protocol_get(self, t):
+        assert t.get("a") == "x"
+        assert t.get("zzz") is None
+
+    def test_equality(self):
+        assert Tuple(1, {"a": 1}) == Tuple(1, {"a": 1})
+        assert Tuple(1, {"a": 1}) != Tuple(2, {"a": 1})
+        assert Tuple(1, {"a": 1}) != Tuple(1, {"a": 2})
+
+    def test_equality_with_other_type(self, t):
+        assert t != "not a tuple"
+
+    def test_hashable_and_consistent(self):
+        a = Tuple(1, {"a": 1})
+        b = Tuple(1, {"a": 1})
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_as_dict_is_a_copy(self, t):
+        d = t.as_dict()
+        d["a"] = "changed"
+        assert t["a"] == "x"
+
+    def test_repr_contains_tid(self, t):
+        assert "tid=1" in repr(t)
+
+
+class TestTupleOperations:
+    def test_values_for(self, t):
+        assert t.values_for(["b", "a"]) == (10, "x")
+
+    def test_project(self, t):
+        p = t.project(["a"])
+        assert p.tid == 1
+        assert dict(p) == {"a": "x"}
+
+    def test_with_values(self, t):
+        u = t.with_values(a="y")
+        assert u["a"] == "y"
+        assert t["a"] == "x"
+        assert u.tid == t.tid
+
+    def test_merge_fragments(self):
+        left = Tuple(7, {"k": 7, "a": "x"})
+        right = Tuple(7, {"k": 7, "b": "y"})
+        merged = left.merge(right)
+        assert dict(merged) == {"k": 7, "a": "x", "b": "y"}
+
+    def test_merge_different_tids_rejected(self):
+        with pytest.raises(ValueError):
+            Tuple(1, {"a": 1}).merge(Tuple(2, {"b": 2}))
+
+    def test_merge_conflicting_values_rejected(self):
+        with pytest.raises(ValueError):
+            Tuple(1, {"a": 1}).merge(Tuple(1, {"a": 2}))
+
+    def test_merge_overlapping_consistent_values(self):
+        merged = Tuple(1, {"a": 1, "b": 2}).merge(Tuple(1, {"b": 2, "c": 3}))
+        assert dict(merged) == {"a": 1, "b": 2, "c": 3}

@@ -1,0 +1,151 @@
+"""Tests for vertical fragmentation."""
+
+import pytest
+
+from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.core.tuples import Tuple
+from repro.core.updates import Update, UpdateBatch
+from repro.partition.vertical import (
+    PartitionError,
+    VerticalFragment,
+    VerticalPartitioner,
+    even_vertical_scheme,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema("R", ["k", "a", "b", "c", "d"], key="k")
+
+
+@pytest.fixture
+def partitioner(schema):
+    return VerticalPartitioner(schema, [["a", "b"], ["c"], ["d"]])
+
+
+@pytest.fixture
+def relation(schema):
+    rows = [
+        {"k": i, "a": f"a{i}", "b": f"b{i % 2}", "c": f"c{i}", "d": i * 10}
+        for i in range(1, 6)
+    ]
+    return Relation.from_rows(schema, rows)
+
+
+class TestSchemeConstruction:
+    def test_key_added_to_every_fragment(self, partitioner, schema):
+        for frag in partitioner.fragments:
+            assert schema.key in frag.attributes
+
+    def test_sites_are_distinct(self, partitioner):
+        assert sorted(partitioner.sites()) == [0, 1, 2]
+
+    def test_all_attributes_must_be_covered(self, schema):
+        with pytest.raises(PartitionError):
+            VerticalPartitioner(schema, [["a"], ["b"]])
+
+    def test_unknown_attribute_rejected(self, schema):
+        from repro.core.schema import SchemaError
+
+        with pytest.raises(SchemaError):
+            VerticalPartitioner(schema, [["a", "zzz"], ["b", "c", "d"]])
+
+    def test_explicit_fragments_with_duplicate_sites_rejected(self, schema):
+        with pytest.raises(PartitionError):
+            VerticalPartitioner(
+                schema,
+                [
+                    VerticalFragment("F1", 0, ("k", "a", "b")),
+                    VerticalFragment("F2", 0, ("k", "c", "d")),
+                ],
+            )
+
+    def test_empty_fragment_rejected(self):
+        with pytest.raises(PartitionError):
+            VerticalFragment("F", 0, ())
+
+    def test_replication_allowed(self, schema):
+        partitioner = VerticalPartitioner(schema, [["a", "b"], ["b", "c", "d"]])
+        assert partitioner.sites_with_attribute("b") == [0, 1]
+
+
+class TestLookups:
+    def test_fragment_for_site(self, partitioner):
+        assert partitioner.fragment_for_site(1).attributes == ("k", "c")
+        with pytest.raises(PartitionError):
+            partitioner.fragment_for_site(99)
+
+    def test_home_site(self, partitioner):
+        assert partitioner.home_site("c") == 1
+        with pytest.raises(PartitionError):
+            partitioner.home_site("zzz")
+
+    def test_is_local(self, partitioner):
+        assert partitioner.is_local(["a", "b"]) == 0
+        assert partitioner.is_local(["a", "c"]) is None
+        assert partitioner.is_local(["k", "d"]) == 2
+
+
+class TestFragmentation:
+    def test_fragment_and_reconstruct(self, partitioner, relation):
+        partition = partitioner.fragment(relation)
+        rebuilt = partition.reconstruct()
+        assert rebuilt.tids() == relation.tids()
+        for t in relation:
+            assert dict(rebuilt[t.tid]) == dict(t)
+
+    def test_fragment_shapes(self, partitioner, relation):
+        partition = partitioner.fragment(relation)
+        frag0 = partition.fragment_at(0)
+        assert set(frag0.schema.attribute_names) == {"k", "a", "b"}
+        assert len(frag0) == len(relation)
+
+    def test_fragment_unknown_site(self, partitioner, relation):
+        partition = partitioner.fragment(relation)
+        with pytest.raises(PartitionError):
+            partition.fragment_at(7)
+
+    def test_total_tuples(self, partitioner, relation):
+        partition = partitioner.fragment(relation)
+        assert partition.total_tuples() == 3 * len(relation)
+
+    def test_wrong_schema_rejected(self, partitioner):
+        other = Relation(Schema("S", ["k", "x"], key="k"))
+        with pytest.raises(PartitionError):
+            partitioner.fragment(other)
+
+    def test_fragment_tuple(self, partitioner):
+        t = Tuple(9, {"k": 9, "a": "A", "b": "B", "c": "C", "d": "D"})
+        parts = partitioner.fragment_tuple(t)
+        assert set(parts) == {0, 1, 2}
+        assert dict(parts[1]) == {"k": 9, "c": "C"}
+
+    def test_fragment_updates(self, partitioner):
+        t = Tuple(9, {"k": 9, "a": "A", "b": "B", "c": "C", "d": "D"})
+        batches = partitioner.fragment_updates(UpdateBatch.of(Update.insert(t)))
+        assert set(batches) == {0, 1, 2}
+        assert set(batches[0][0].tuple) == {"k", "a", "b"}
+
+
+class TestEvenScheme:
+    def test_covers_all_attributes(self, schema):
+        partitioner = even_vertical_scheme(schema, 3)
+        covered = {a for f in partitioner.fragments for a in f.attributes}
+        assert covered == set(schema.attribute_names)
+
+    def test_caps_fragments_at_attribute_count(self, schema):
+        partitioner = even_vertical_scheme(schema, 50)
+        assert partitioner.n_fragments == len(schema.non_key_attributes())
+
+    def test_replication_argument(self, schema):
+        partitioner = even_vertical_scheme(schema, 2, replicate={"a": [1]})
+        assert sorted(partitioner.sites_with_attribute("a")) == [0, 1]
+
+    def test_invalid_replication_site(self, schema):
+        with pytest.raises(PartitionError):
+            even_vertical_scheme(schema, 2, replicate={"a": [9]})
+
+    def test_zero_fragments_rejected(self, schema):
+        with pytest.raises(PartitionError):
+            even_vertical_scheme(schema, 0)

@@ -1,0 +1,190 @@
+"""Tests for the workload generators (EMP, TPCH, DBLP, rules, updates)."""
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.core.detector import detect_violations
+from repro.workloads.dblp import DBLPGenerator
+from repro.workloads.rules import FDSpec, generate_cfds
+from repro.workloads.tpch import TPCHGenerator
+from repro.workloads.updates import generate_updates
+
+
+class TestEmpWorkload:
+    def test_relation_sizes(self, emp):
+        assert len(emp.relation()) == 5
+        assert len(emp.relation(include_t6=True)) == 6
+
+    def test_schema_matches_paper(self, emp):
+        assert emp.schema.key == "id"
+        assert len(emp.schema) == 12
+
+    def test_cfds(self, emp):
+        cfds = emp.cfds()
+        assert [c.name for c in cfds] == ["phi1", "phi2"]
+
+
+class TestTPCHGenerator:
+    def test_determinism(self):
+        a = TPCHGenerator(seed=1).relation(50)
+        b = TPCHGenerator(seed=1).relation(50)
+        assert [dict(t) for t in a] == [dict(t) for t in b]
+
+    def test_different_seeds_differ(self):
+        a = TPCHGenerator(seed=1).relation(50)
+        b = TPCHGenerator(seed=2).relation(50)
+        assert [dict(t) for t in a] != [dict(t) for t in b]
+
+    def test_tids_are_consecutive(self, tpch):
+        tuples = tpch.tuples(100, 10)
+        assert [t.tid for t in tuples] == list(range(100, 110))
+
+    def test_tuples_conform_to_schema(self, tpch):
+        relation = tpch.relation(20)
+        for t in relation:
+            assert set(t) == set(tpch.schema.attribute_names)
+
+    def test_clean_data_satisfies_embedded_fds(self):
+        generator = TPCHGenerator(seed=9, error_rate=0.0)
+        relation = generator.relation(200)
+        fds = [CFD(spec.lhs, spec.rhs) for spec in generator.fd_specs()]
+        assert len(detect_violations(fds, relation)) == 0
+
+    def test_dirty_data_contains_violations(self):
+        generator = TPCHGenerator(seed=9, error_rate=0.2)
+        relation = generator.relation(200)
+        fds = [CFD(spec.lhs, spec.rhs) for spec in generator.fd_specs()]
+        assert len(detect_violations(fds, relation)) > 0
+
+    def test_partitioners_cover_schema(self, tpch):
+        vertical = tpch.vertical_partitioner(10)
+        covered = {a for f in vertical.fragments for a in f.attributes}
+        assert covered == set(tpch.schema.attribute_names)
+        horizontal = tpch.horizontal_partitioner(10)
+        assert horizontal.n_fragments == 10
+
+
+class TestDBLPGenerator:
+    def test_determinism(self):
+        a = DBLPGenerator(seed=1).relation(40)
+        b = DBLPGenerator(seed=1).relation(40)
+        assert [dict(t) for t in a] == [dict(t) for t in b]
+
+    def test_clean_data_satisfies_embedded_fds(self):
+        generator = DBLPGenerator(seed=2, error_rate=0.0)
+        relation = generator.relation(150)
+        fds = [CFD(spec.lhs, spec.rhs) for spec in generator.fd_specs()]
+        assert len(detect_violations(fds, relation)) == 0
+
+    def test_dirty_data_contains_violations(self):
+        generator = DBLPGenerator(seed=2, error_rate=0.25)
+        relation = generator.relation(150)
+        fds = [CFD(spec.lhs, spec.rhs) for spec in generator.fd_specs()]
+        assert len(detect_violations(fds, relation)) > 0
+
+    def test_tuples_conform_to_schema(self, dblp):
+        for t in dblp.relation(20):
+            assert set(t) == set(dblp.schema.attribute_names)
+
+
+class TestRuleGeneration:
+    def test_exact_count(self, tpch):
+        assert len(generate_cfds(tpch.fd_specs(), 25, seed=1)) == 25
+
+    def test_zero_count(self, tpch):
+        assert generate_cfds(tpch.fd_specs(), 0) == []
+
+    def test_requires_specs(self):
+        with pytest.raises(ValueError):
+            generate_cfds([], 5)
+
+    def test_determinism(self, tpch):
+        a = generate_cfds(tpch.fd_specs(), 20, seed=3)
+        b = generate_cfds(tpch.fd_specs(), 20, seed=3)
+        assert [c.name for c in a] == [c.name for c in b]
+        assert a == b
+
+    def test_first_pass_is_plain_fds(self, tpch):
+        specs = tpch.fd_specs()
+        cfds = generate_cfds(specs, len(specs), seed=3)
+        assert all(c.is_plain_fd() for c in cfds)
+
+    def test_later_passes_add_patterns(self, tpch):
+        specs = tpch.fd_specs()
+        cfds = generate_cfds(specs, 4 * len(specs), seed=3)
+        assert any(not c.is_plain_fd() for c in cfds)
+
+    def test_constant_cfds_generated(self, tpch):
+        cfds = generate_cfds(tpch.fd_specs(), 60, seed=3, constant_fraction=0.5)
+        assert any(c.is_constant() for c in cfds)
+
+    def test_names_are_unique(self, tpch):
+        cfds = generate_cfds(tpch.fd_specs(), 50, seed=3)
+        assert len({c.name for c in cfds}) == 50
+
+    def test_generated_cfds_validate_against_schema(self, tpch):
+        for cfd in generate_cfds(tpch.fd_specs(), 40, seed=3):
+            cfd.validate_against(tpch.schema)
+
+    def test_constant_cfds_agree_with_clean_data(self):
+        """Constant CFDs are built from consistent pairs, so clean data never violates them."""
+        generator = TPCHGenerator(seed=9, error_rate=0.0)
+        relation = generator.relation(150)
+        cfds = [c for c in generate_cfds(generator.fd_specs(), 60, seed=3) if c.is_constant()]
+        assert cfds, "expected at least one constant CFD"
+        assert len(detect_violations(cfds, relation)) == 0
+
+
+class TestFDSpec:
+    def test_build_and_domains(self):
+        spec = FDSpec.build(["a", "b"], "c", {"a": [1, 2]}, [({"a": 1}, "x")])
+        assert spec.lhs == ("a", "b")
+        assert spec.domain_of("a") == (1, 2)
+        assert spec.domain_of("b") == ()
+        assert spec.consistent_pairs[0][1] == "x"
+
+
+class TestUpdateGeneration:
+    def test_size_and_mix(self, tpch):
+        base = tpch.relation(100)
+        updates = generate_updates(base, tpch, 50, insert_fraction=0.8, seed=1)
+        assert len(updates) == 50
+        assert len(updates.insertions) == 40
+        assert len(updates.deletions) == 10
+
+    def test_inserted_tids_are_fresh(self, tpch):
+        base = tpch.relation(100)
+        updates = generate_updates(base, tpch, 30, seed=1)
+        for u in updates.insertions:
+            assert u.tid not in base
+
+    def test_deleted_tuples_come_from_base(self, tpch):
+        base = tpch.relation(100)
+        updates = generate_updates(base, tpch, 30, seed=1)
+        for u in updates.deletions:
+            assert u.tid in base
+
+    def test_deletions_capped_at_base_size(self, tpch):
+        base = tpch.relation(10)
+        updates = generate_updates(base, tpch, 100, insert_fraction=0.0, seed=1)
+        assert len(updates.deletions) == 10
+        assert len(updates) == 100
+
+    def test_determinism(self, tpch):
+        base = tpch.relation(50)
+        a = generate_updates(base, tpch, 20, seed=5)
+        b = generate_updates(base, tpch, 20, seed=5)
+        assert [(u.kind, u.tid) for u in a] == [(u.kind, u.tid) for u in b]
+
+    def test_invalid_arguments(self, tpch):
+        base = tpch.relation(10)
+        with pytest.raises(ValueError):
+            generate_updates(base, tpch, -1)
+        with pytest.raises(ValueError):
+            generate_updates(base, tpch, 10, insert_fraction=1.5)
+
+    def test_applying_generated_updates_is_valid(self, tpch):
+        base = tpch.relation(60)
+        updates = generate_updates(base, tpch, 40, seed=2)
+        updated = updates.apply_to(base)
+        assert len(updated) == len(base) + len(updates.insertions) - len(updates.deletions)
