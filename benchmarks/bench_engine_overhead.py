@@ -1,0 +1,153 @@
+"""Guard: the DetectionEngine facade adds no measurable per-batch overhead.
+
+``DetectionSession.apply`` sits on the hot path of every scenario, so it
+must stay a constant-time shim over ``detector.apply``:
+
+* the *relative* check runs the same update batch through a direct
+  ``VerticalIncrementalDetector`` / ``HorizontalIncrementalDetector``
+  and through a session built on the same partitioner, and asserts the
+  best-of-N session time stays within noise of the best direct time;
+* the *absolute* check measures the wrapper itself (session.apply minus
+  the strategy's apply) on empty batches and asserts it costs
+  microseconds, independent of data size.
+
+Run with:  python benchmarks/bench_engine_overhead.py
+(or via pytest: python -m pytest benchmarks/bench_engine_overhead.py -o python_files='bench_*.py')
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.updates import UpdateBatch
+from repro.distributed.cluster import Cluster
+from repro.distributed.network import Network
+from repro.engine.session import session
+from repro.horizontal.inchor import HorizontalIncrementalDetector
+from repro.vertical.incver import VerticalIncrementalDetector
+from repro.workloads.rules import generate_cfds
+from repro.workloads.tpch import TPCHGenerator
+from repro.workloads.updates import generate_updates
+
+#: Best-of-N session time may exceed best-of-N direct time by this factor.
+#: The facade's true overhead is nanoseconds; the slack absorbs timer noise.
+RELATIVE_SLACK = 1.25
+#: Absolute per-call budget for the wrapper itself (seconds).
+WRAPPER_BUDGET_S = 50e-6
+
+ROUNDS = 5
+BASE_SIZE = 300
+N_UPDATES = 150
+N_CFDS = 8
+N_PARTITIONS = 6
+SEED = 11
+
+
+def _workload():
+    generator = TPCHGenerator(seed=SEED)
+    cfds = generate_cfds(generator.fd_specs(), N_CFDS, seed=SEED)
+    base = generator.relation(BASE_SIZE)
+    updates = generate_updates(base, generator, N_UPDATES, seed=SEED)
+    return generator, cfds, base, updates
+
+
+def _best_of(make_target, rounds=ROUNDS):
+    """Best wall-clock time of ``target()`` over fresh states per round."""
+    best = float("inf")
+    for _ in range(rounds):
+        target = make_target()
+        start = time.perf_counter()
+        target()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _relative_overhead(partitioning: str) -> tuple[float, float]:
+    generator, cfds, base, updates = _workload()
+    if partitioning == "vertical":
+        partitioner = generator.vertical_partitioner(N_PARTITIONS)
+
+        def make_direct():
+            cluster = Cluster.from_vertical(partitioner, base, network=Network())
+            detector = VerticalIncrementalDetector(cluster, cfds)
+            return lambda: detector.apply(updates)
+
+    else:
+        partitioner = generator.horizontal_partitioner(N_PARTITIONS)
+
+        def make_direct():
+            cluster = Cluster.from_horizontal(partitioner, base, network=Network())
+            detector = HorizontalIncrementalDetector(cluster, cfds)
+            return lambda: detector.apply(updates)
+
+    def make_session():
+        sess = (
+            session(base)
+            .partition(partitioner)
+            .rules(cfds)
+            .strategy("incremental")
+            .build()
+        )
+        return lambda: sess.apply(updates)
+
+    return _best_of(make_direct), _best_of(make_session)
+
+
+def test_vertical_session_apply_matches_direct_detector_speed():
+    direct, via_session = _relative_overhead("vertical")
+    assert via_session <= direct * RELATIVE_SLACK + WRAPPER_BUDGET_S, (
+        f"facade overhead on incVer: direct {direct * 1e3:.2f} ms, "
+        f"session {via_session * 1e3:.2f} ms"
+    )
+
+
+def test_horizontal_session_apply_matches_direct_detector_speed():
+    direct, via_session = _relative_overhead("horizontal")
+    assert via_session <= direct * RELATIVE_SLACK + WRAPPER_BUDGET_S, (
+        f"facade overhead on incHor: direct {direct * 1e3:.2f} ms, "
+        f"session {via_session * 1e3:.2f} ms"
+    )
+
+
+def test_wrapper_cost_is_microscopic_per_batch():
+    generator, cfds, base, _ = _workload()
+    sess = (
+        session(base)
+        .partition(generator.vertical_partitioner(N_PARTITIONS))
+        .rules(cfds)
+        .strategy("incremental")
+        .build()
+    )
+    empty = UpdateBatch()
+    calls = 2000
+    # Warm both paths, then time the session wrapper against the raw strategy.
+    sess.apply(empty)
+    sess.detector.apply(empty)
+    start = time.perf_counter()
+    for _ in range(calls):
+        sess.detector.apply(empty)
+    raw = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(calls):
+        sess.apply(empty)
+    wrapped = time.perf_counter() - start
+    per_call = max(0.0, wrapped - raw) / calls
+    assert per_call < WRAPPER_BUDGET_S, (
+        f"session.apply wrapper costs {per_call * 1e6:.1f} us per batch"
+    )
+
+
+def main() -> None:
+    for partitioning in ("vertical", "horizontal"):
+        direct, via_session = _relative_overhead(partitioning)
+        print(
+            f"{partitioning:10s}: direct {direct * 1e3:8.2f} ms | "
+            f"session {via_session * 1e3:8.2f} ms | "
+            f"ratio {via_session / direct:5.3f}"
+        )
+    test_wrapper_cost_is_microscopic_per_batch()
+    print("wrapper cost within budget")
+
+
+if __name__ == "__main__":
+    main()

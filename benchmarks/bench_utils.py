@@ -15,14 +15,13 @@ from functools import lru_cache
 from repro.core.updates import UpdateBatch
 from repro.distributed.cluster import Cluster
 from repro.distributed.network import Network
+from repro.engine.session import session
 from repro.horizontal.bathor import HorizontalBatchDetector
 from repro.horizontal.ibathor import ImprovedHorizontalBatchDetector
-from repro.horizontal.inchor import HorizontalIncrementalDetector
 from repro.indexes.planner import HEVPlanner
 from repro.partition.replication import ReplicationScheme
 from repro.vertical.batver import VerticalBatchDetector
 from repro.vertical.ibatver import ImprovedVerticalBatchDetector
-from repro.vertical.incver import VerticalIncrementalDetector
 from repro.workloads.dblp import DBLPGenerator
 from repro.workloads.rules import generate_cfds
 from repro.workloads.tpch import TPCHGenerator
@@ -91,11 +90,14 @@ def dblp_updates(base_size: int, n_updates: int) -> UpdateBatch:
 
 
 def vertical_incremental(generator, relation, cfds, n_partitions=N_PARTITIONS, plan=None):
-    """A fresh incVer detector (indices built, updates not yet applied)."""
-    cluster = Cluster.from_vertical(
-        generator.vertical_partitioner(n_partitions), relation, network=Network()
+    """A fresh incVer session (indices built, updates not yet applied)."""
+    return (
+        session(relation)
+        .partition(generator.vertical_partitioner(n_partitions))
+        .rules(list(cfds))
+        .strategy("incVer", plan=plan)
+        .build()
     )
-    return VerticalIncrementalDetector(cluster, list(cfds), plan=plan)
 
 
 def vertical_batch(generator, relation, cfds, n_partitions=N_PARTITIONS):
@@ -124,10 +126,15 @@ def optimized_plan(generator, cfds, n_partitions=N_PARTITIONS):
 def horizontal_incremental(
     generator, relation, cfds, n_partitions=N_PARTITIONS, use_md5=True, partitioner=None
 ):
-    """A fresh incHor detector (indices built, updates not yet applied)."""
+    """A fresh incHor session (indices built, updates not yet applied)."""
     partitioner = partitioner or generator.horizontal_partitioner(n_partitions)
-    cluster = Cluster.from_horizontal(partitioner, relation, network=Network())
-    return HorizontalIncrementalDetector(cluster, list(cfds), use_md5=use_md5)
+    return (
+        session(relation)
+        .partition(partitioner)
+        .rules(list(cfds))
+        .strategy("incHor", use_md5=use_md5)
+        .build()
+    )
 
 
 def horizontal_batch(generator, relation, cfds, n_partitions=N_PARTITIONS):

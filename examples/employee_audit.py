@@ -16,7 +16,7 @@ vertical partitioning (``DV1..DV3``) and the horizontal partitioning
 Run with:  python examples/employee_audit.py
 """
 
-from repro import Cluster, HorizontalIncrementalDetector, Update, UpdateBatch, VerticalIncrementalDetector, detect_violations
+from repro import Update, UpdateBatch, detect_violations, session
 from repro.workloads import EmpWorkload
 
 
@@ -28,37 +28,47 @@ def print_violations(label, violations):
 
 def run_vertical(emp, cfds):
     print("\n== vertical partitions DV1(id,name,sex,grade) / DV2(id,street,city,zip) / DV3(id,CC,AC,phn,salary,hd) ==")
-    cluster = Cluster.from_vertical(emp.vertical_partitioner(), emp.relation())
-    detector = VerticalIncrementalDetector(cluster, cfds)
+    sess = (
+        session(emp.relation())
+        .partition(emp.vertical_partitioner())
+        .rules(cfds)
+        .strategy("incremental")
+        .build()
+    )
     tuples = emp.tuples()
 
-    delta = detector.apply(UpdateBatch.of(Update.insert(tuples["t6"])))
-    stats = cluster.network.stats()
+    delta = sess.apply(UpdateBatch.of(Update.insert(tuples["t6"])))
+    stats = sess.network.stats()
     print(f"  insert t6  ->  delta-V+ = {sorted(delta.added_tids())}  "
           f"(eqids shipped: {stats.eqids_shipped}, tuples shipped: {stats.tuples_shipped})")
 
-    before = cluster.network.stats()
-    delta = detector.apply(UpdateBatch.of(Update.delete(tuples["t4"])))
-    window = cluster.network.stats().diff(before)
+    before = sess.network.stats()
+    delta = sess.apply(UpdateBatch.of(Update.delete(tuples["t4"])))
+    window = sess.network.stats().diff(before)
     print(f"  delete t4  ->  delta-V- = {sorted(delta.removed_tids())}  "
           f"(eqids shipped: {window.eqids_shipped})")
-    print_violations("violations after both updates", detector.violations)
+    print_violations("violations after both updates", sess.violations)
 
 
 def run_horizontal(emp, cfds):
     print("\n== horizontal partitions DH1(grade=A) / DH2(grade=B) / DH3(grade=C) ==")
-    cluster = Cluster.from_horizontal(emp.horizontal_partitioner(), emp.relation())
-    detector = HorizontalIncrementalDetector(cluster, cfds)
+    sess = (
+        session(emp.relation())
+        .partition(emp.horizontal_partitioner())
+        .rules(cfds)
+        .strategy("incremental")
+        .build()
+    )
     tuples = emp.tuples()
 
-    delta = detector.apply(UpdateBatch.of(Update.insert(tuples["t6"])))
+    delta = sess.apply(UpdateBatch.of(Update.insert(tuples["t6"])))
     print(f"  insert t6  ->  delta-V+ = {sorted(delta.added_tids())}  "
-          f"(messages shipped: {cluster.network.total_messages})")
+          f"(messages shipped: {sess.network.total_messages})")
 
-    delta = detector.apply(UpdateBatch.of(Update.delete(tuples["t4"])))
+    delta = sess.apply(UpdateBatch.of(Update.delete(tuples["t4"])))
     print(f"  delete t4  ->  delta-V- = {sorted(delta.removed_tids())}  "
-          f"(messages shipped so far: {cluster.network.total_messages})")
-    print_violations("violations after both updates", detector.violations)
+          f"(messages shipped so far: {sess.network.total_messages})")
+    print_violations("violations after both updates", sess.violations)
 
 
 def main() -> None:

@@ -17,8 +17,7 @@ per-wave batch recomputation would have shipped.
 Run with:  python examples/order_stream_monitoring.py
 """
 
-from repro import Cluster, HorizontalBatchDetector, HorizontalIncrementalDetector
-from repro.distributed.network import Network
+from repro import session
 from repro.workloads import TPCHGenerator, generate_cfds, generate_updates
 
 N_SITES = 8
@@ -34,36 +33,54 @@ def main() -> None:
     base = generator.relation(BASE_SIZE)
     partitioner = generator.horizontal_partitioner(N_SITES)
 
-    network = Network()
-    cluster = Cluster.from_horizontal(partitioner, base, network=network)
-    monitor = HorizontalIncrementalDetector(cluster, cfds, use_md5=True)
+    monitor = (
+        session(base)
+        .partition(partitioner)
+        .rules(cfds)
+        .strategy("incremental", use_md5=True)
+        .build()
+    )
 
     print(f"monitoring {BASE_SIZE} orders over {N_SITES} sites against {N_CFDS} CFDs")
     print(f"initial violations: {len(monitor.violations)} tuples\n")
 
+    # The simulated stream: one update batch per wave, and the database
+    # state each wave leaves behind (used for the batch comparison below).
+    waves = []
     current = base
-    batch_bytes_total = 0
     for wave in range(1, N_WAVES + 1):
         updates = generate_updates(current, generator, WAVE_SIZE, seed=1000 + wave)
-        before = network.stats()
-        delta = monitor.apply(updates)
-        shipped = network.stats().diff(before)
         current = updates.apply_to(current)
+        waves.append((wave, updates, current))
+
+    batch_bytes_total = 0
+    bytes_before_wave = 0
+    deltas = monitor.stream(updates for _, updates, _ in waves)
+    for (wave, updates, current), delta in zip(waves, deltas):
+        shipped_so_far = monitor.network.total_bytes
+        wave_bytes = shipped_so_far - bytes_before_wave
+        bytes_before_wave = shipped_so_far
 
         # What would a batch re-detection of this wave have shipped?
-        batch_network = Network()
-        batch_cluster = Cluster.from_horizontal(partitioner, current, network=batch_network)
-        HorizontalBatchDetector(batch_cluster, cfds).detect()
-        batch_bytes_total += batch_network.total_bytes
+        batch = (
+            session(current)
+            .partition(partitioner)
+            .rules(cfds)
+            .strategy("batch")
+            .build()
+        )
+        wave_batch_bytes = batch.report().bytes_shipped
+        batch_bytes_total += wave_batch_bytes
 
         print(
             f"wave {wave}: +{len(updates.insertions)} orders / -{len(updates.deletions)} purged | "
             f"new violations {len(delta.added_tids()):3d}, resolved {len(delta.removed_tids()):3d} | "
-            f"shipped {shipped.bytes:7d} B incrementally vs {batch_network.total_bytes:8d} B batch"
+            f"shipped {wave_bytes:7d} B incrementally vs {wave_batch_bytes:8d} B batch"
         )
 
+    final = monitor.report()
     print("\ntotals after all waves")
-    print(f"  incremental shipment : {network.total_bytes} bytes ({network.total_messages} messages)")
+    print(f"  incremental shipment : {final.bytes_shipped} bytes ({final.messages} messages)")
     print(f"  batch shipment       : {batch_bytes_total} bytes (re-detecting every wave)")
     print(f"  violations now       : {len(monitor.violations)} tuples")
     worst = sorted(monitor.violations.tids())[:10]

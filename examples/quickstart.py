@@ -1,30 +1,30 @@
 #!/usr/bin/env python3
 """Quickstart: detect CFD violations, partition the data, update incrementally.
 
-This walks through the core public API in five steps:
+This walks through the public API in five steps:
 
 1. define a schema, a relation and two CFDs (one variable, one constant);
 2. find all violations with the centralized detector;
-3. distribute the relation over a simulated three-site cluster
-   (vertically partitioned);
-4. apply a batch of updates through the incremental detector ``incVer``
-   and inspect the returned delta;
-5. look at how little data travelled over the (simulated) network.
+3. build a detection session that distributes the relation over a
+   simulated three-site cluster (vertically partitioned) and picks the
+   incremental detector ``incVer`` from the strategy registry;
+4. apply a batch of updates through the session and inspect the
+   returned delta;
+5. read the structured report: how little data travelled over the
+   (simulated) network.
 
 Run with:  python examples/quickstart.py
 """
 
 from repro import (
     CFD,
-    Cluster,
     Relation,
     Schema,
     Tuple,
     Update,
     UpdateBatch,
-    VerticalIncrementalDetector,
-    VerticalPartitioner,
     detect_violations,
+    session,
 )
 
 
@@ -73,19 +73,24 @@ def main() -> None:
         print(f"  order {tid} violates {sorted(violations.cfds_of(tid))}")
 
     # -- step 2: distribute the data over three sites ----------------------------------
-    partitioner = VerticalPartitioner(
-        schema,
-        [
-            ["customer", "country"],       # site 0: who ordered
-            ["zip", "city"],               # site 1: where it ships
-            ["currency", "amount"],        # site 2: billing
-        ],
+    sess = (
+        session(orders)
+        .partition(
+            "vertical",
+            fragments=[
+                ["customer", "country"],       # site 0: who ordered
+                ["zip", "city"],               # site 1: where it ships
+                ["currency", "amount"],        # site 2: billing
+            ],
+        )
+        .rules(cfds)
+        .strategy("incremental")
+        .build()
     )
-    cluster = Cluster.from_vertical(partitioner, orders)
-    detector = VerticalIncrementalDetector(cluster, cfds)
     print("\n== distributed setup ==")
-    print(f"  {len(cluster)} sites, {cluster.total_tuples()} stored (partial) tuples")
-    print(f"  initial violations known to the detector: {sorted(detector.violations.tids())}")
+    print(f"  {len(sess.cluster)} sites, {sess.cluster.total_tuples()} stored (partial) tuples")
+    print(f"  strategy picked from the registry: {sess.strategy}")
+    print(f"  initial violations known to the detector: {sorted(sess.violations.tids())}")
 
     # -- step 3: an update batch arrives ------------------------------------------------
     updates = UpdateBatch.of(
@@ -96,19 +101,19 @@ def main() -> None:
         # the wrong-currency order is removed
         Update.delete(orders[4]),
     )
-    delta = detector.apply(updates)
+    delta = sess.apply(updates)
 
     print("\n== incremental detection (incVer) ==")
     print(f"  new violations   : {sorted(delta.added_tids()) or '-'}")
     print(f"  resolved         : {sorted(delta.removed_tids()) or '-'}")
-    print(f"  violations now   : {sorted(detector.violations.tids())}")
+    print(f"  violations now   : {sorted(sess.violations.tids())}")
 
     # -- step 4: what did that cost? -----------------------------------------------------
-    stats = cluster.network.stats()
+    report = sess.report()
     print("\n== communication cost ==")
-    print(f"  messages shipped : {stats.messages}")
-    print(f"  eqids shipped    : {stats.eqids_shipped}")
-    print(f"  bytes shipped    : {stats.bytes}")
+    print(f"  messages shipped : {report.messages}")
+    print(f"  eqids shipped    : {report.eqids_shipped}")
+    print(f"  bytes shipped    : {report.bytes_shipped}")
     print("  (batch recomputation would have shipped whole columns of the table)")
 
 

@@ -17,13 +17,9 @@ candidate comparisons.
 Run with:  python examples/record_matching_audit.py
 """
 
-from repro.core.relation import Relation
-from repro.core.schema import Schema
-from repro.core.tuples import Tuple
-from repro.core.updates import Update, UpdateBatch
+from repro import Relation, Schema, Tuple, Update, UpdateBatch, session
 from repro.similarity import (
     EditDistanceSimilarity,
-    IncrementalMDDetector,
     MatchingDependency,
     NormalizedStringMatch,
     NumericTolerance,
@@ -85,18 +81,19 @@ def main() -> None:
         print(f"  cid {tid} ({name!r}) violates {sorted(violations.cfds_of(tid))}")
 
     print("\n== incremental audit ==")
-    detector = IncrementalMDDetector(customers, MDS)
+    audit = session(customers).rules(MDS).strategy("incremental").build()
     arrivals = UpdateBatch.of(
         Update.insert(record(7, "Maria  Garcia", 4440002, "3 Rose Lane", "Barcelona", 300.0)),
         Update.delete(CUSTOMERS[1]),   # the Glasgow duplicate of John Smith is purged
     )
-    delta = detector.apply(arrivals)
+    delta = audit.apply(arrivals)
     print(f"  new violations     : {sorted(delta.added_tids()) or '-'}")
     print(f"  resolved violations: {sorted(delta.removed_tids()) or '-'}")
-    print(f"  flagged records now: {sorted(detector.violations.tids())}")
+    print(f"  flagged records now: {sorted(audit.violations.tids())}")
 
     print("\n== why incremental stays cheap ==")
     probe = record(8, "maria garcia", 4440003, "somewhere", "Valencia", 1.0)
+    detector = audit.detector
     candidates = detector.candidate_count("same_person_same_city", probe)
     print(
         f"  inserting another 'maria garcia' would be compared against only "

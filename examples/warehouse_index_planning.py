@@ -20,8 +20,7 @@ This example:
 Run with:  python examples/warehouse_index_planning.py
 """
 
-from repro import Cluster, HEVPlanner, VerticalIncrementalDetector, naive_chain_plan
-from repro.distributed.network import Network
+from repro import HEVPlanner, naive_chain_plan, session
 from repro.partition.replication import ReplicationScheme
 from repro.workloads import TPCHGenerator, generate_cfds, generate_updates
 
@@ -32,11 +31,15 @@ N_CFDS = 24
 
 
 def run_with_plan(generator, partitioner, cfds, base, updates, plan):
-    network = Network()
-    cluster = Cluster.from_vertical(partitioner, base, network=network)
-    detector = VerticalIncrementalDetector(cluster, cfds, plan=plan)
-    detector.apply(updates)
-    return network.stats(), detector.violations
+    sess = (
+        session(base)
+        .partition(partitioner)
+        .rules(cfds)
+        .strategy("incremental", plan=plan)
+        .build()
+    )
+    sess.apply(updates)
+    return sess.report(), sess.violations
 
 
 def main() -> None:
@@ -66,8 +69,8 @@ def main() -> None:
     opt_stats, opt_violations = run_with_plan(generator, partitioner, cfds, base, updates, optimized)
     assert naive_violations == opt_violations, "the plan never changes the detection result"
     print(f"processing {UPDATE_SIZE} updates end to end")
-    print(f"  naive plan  : {naive_stats.eqids_shipped:6d} eqids, {naive_stats.bytes:8d} bytes shipped")
-    print(f"  optVer plan : {opt_stats.eqids_shipped:6d} eqids, {opt_stats.bytes:8d} bytes shipped")
+    print(f"  naive plan  : {naive_stats.eqids_shipped:6d} eqids, {naive_stats.bytes_shipped:8d} bytes shipped")
+    print(f"  optVer plan : {opt_stats.eqids_shipped:6d} eqids, {opt_stats.bytes_shipped:8d} bytes shipped")
     print("  (identical violation sets either way)\n")
 
     # -- 3. where did the IDX indices end up? ----------------------------------------------------

@@ -17,7 +17,12 @@ The package provides:
 * the ``optVer`` HEV-placement heuristic minimising eqid shipment;
 * workload generators (TPCH-like, DBLP-like, the EMP running example)
   and the experiment harness that regenerates every figure and table of
-  the paper's evaluation section.
+  the paper's evaluation section;
+* the detection engine: :func:`repro.session` builds a fluent
+  :class:`DetectionSession` over any of the above through a pluggable
+  strategy registry (``incVer``, ``batVer``, ``optVer``, ``incHor``,
+  ``batHor``, improved baselines, centralized and MD detection), with
+  ``apply``/``stream`` for updates and structured ``report()`` output.
 """
 
 from repro.core import (
@@ -68,6 +73,20 @@ from repro.workloads import (
     TPCHGenerator,
     generate_cfds,
     generate_updates,
+)
+from repro.engine import (
+    DEFAULT_REGISTRY,
+    DetectionReport,
+    DetectionSession,
+    Detector,
+    RegistryError,
+    SessionBuilder,
+    SessionError,
+    SiteCost,
+    StrategyRegistry,
+    register_detector,
+    register_partitioner,
+    session,
 )
 from repro.similarity import (
     EditDistanceSimilarity,
@@ -137,6 +156,19 @@ __all__ = [
     "FDSpec",
     "generate_cfds",
     "generate_updates",
+    # detection engine
+    "session",
+    "SessionBuilder",
+    "SessionError",
+    "DetectionSession",
+    "DetectionReport",
+    "Detector",
+    "SiteCost",
+    "StrategyRegistry",
+    "RegistryError",
+    "DEFAULT_REGISTRY",
+    "register_detector",
+    "register_partitioner",
     # similarity extension (matching dependencies)
     "MatchingDependency",
     "MDDetector",

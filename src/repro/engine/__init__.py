@@ -1,0 +1,69 @@
+"""The detection engine: one API over every detector in the repository.
+
+* :func:`session` — fluent builder; pick partitioning, rules and
+  strategy by name, get a :class:`DetectionSession` with ``apply``,
+  ``stream`` and ``report``.
+* :class:`StrategyRegistry` / :func:`register_detector` /
+  :func:`register_partitioner` — the pluggable strategy registry; the
+  paper's algorithms are pre-registered as ``incVer``, ``batVer``,
+  ``ibatVer``, ``optVer``, ``incHor``, ``batHor``, ``ibatHor``, plus
+  ``centralized``, ``md`` and ``incMD``.
+* :class:`Detector` — the protocol every strategy satisfies.
+"""
+
+from repro.engine.adapters import (
+    CentralizedStrategy,
+    HorizontalBatchStrategy,
+    HorizontalIncrementalStrategy,
+    ImprovedHorizontalBatchStrategy,
+    ImprovedVerticalBatchStrategy,
+    MDBatchStrategy,
+    MDIncrementalStrategy,
+    StrategyStateError,
+    VerticalBatchStrategy,
+    VerticalIncrementalStrategy,
+    register_builtin_strategies,
+)
+from repro.engine.protocol import Detector, SingleSite
+from repro.engine.registry import (
+    DEFAULT_REGISTRY,
+    DetectorEntry,
+    PartitionerEntry,
+    RegistryError,
+    StrategyRegistry,
+    register_detector,
+    register_partitioner,
+)
+from repro.engine.report import DetectionReport, SiteCost
+from repro.engine.session import DetectionSession, SessionBuilder, SessionError, session
+
+register_builtin_strategies(DEFAULT_REGISTRY)
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "CentralizedStrategy",
+    "DetectionReport",
+    "DetectionSession",
+    "Detector",
+    "DetectorEntry",
+    "HorizontalBatchStrategy",
+    "HorizontalIncrementalStrategy",
+    "ImprovedHorizontalBatchStrategy",
+    "ImprovedVerticalBatchStrategy",
+    "MDBatchStrategy",
+    "MDIncrementalStrategy",
+    "PartitionerEntry",
+    "RegistryError",
+    "SessionBuilder",
+    "SessionError",
+    "SingleSite",
+    "SiteCost",
+    "StrategyRegistry",
+    "StrategyStateError",
+    "VerticalBatchStrategy",
+    "VerticalIncrementalStrategy",
+    "register_builtin_strategies",
+    "register_detector",
+    "register_partitioner",
+    "session",
+]

@@ -1,0 +1,543 @@
+"""Strategy adapters: every detector of the repository behind one protocol.
+
+The incremental detectors already maintain violations under ``apply``;
+their adapters are thin delegation shims.  The batch baselines have no
+incremental mode of their own — their adapters satisfy ``apply`` by
+re-running detection over the updated database and diffing against the
+previous violation set, which is exactly what deploying a batch detector
+against a live update stream costs (and why the paper's incremental
+algorithms win).
+
+``register_builtin_strategies`` wires all of them, plus the built-in
+partition schemes, into a :class:`~repro.engine.registry.StrategyRegistry`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.core.cfd import CFD
+from repro.core.detector import CentralizedDetector
+from repro.core.relation import Relation
+from repro.core.updates import UpdateBatch
+from repro.core.violations import ViolationDelta, ViolationSet, diff_violations
+from repro.distributed.cluster import Cluster
+from repro.distributed.network import Network, NetworkStats
+from repro.engine.protocol import SingleSite
+from repro.engine.registry import StrategyRegistry
+from repro.horizontal.bathor import HorizontalBatchDetector
+from repro.horizontal.ibathor import ImprovedHorizontalBatchDetector
+from repro.horizontal.inchor import HorizontalIncrementalDetector
+from repro.indexes.hev import HEVPlan
+from repro.indexes.planner import HEVPlanner
+from repro.partition.horizontal import HorizontalPartitioner, hash_horizontal_scheme
+from repro.partition.replication import ReplicationScheme
+from repro.partition.vertical import VerticalPartitioner, even_vertical_scheme
+from repro.similarity.detector import MDDetector
+from repro.similarity.incremental import IncrementalMDDetector
+from repro.vertical.batver import VerticalBatchDetector
+from repro.vertical.ibatver import ImprovedVerticalBatchDetector
+from repro.vertical.incver import VerticalIncrementalDetector
+
+
+class StrategyStateError(RuntimeError):
+    """Raised when a strategy is used before ``setup`` bound it."""
+
+
+class _BaseStrategy:
+    """Shared deployment bookkeeping for all adapters."""
+
+    def __init__(self) -> None:
+        self.deployment: Any = None
+
+    def _require_setup(self) -> None:
+        if self.deployment is None:
+            raise StrategyStateError(
+                f"{type(self).__name__} has not been set up; call setup() first"
+            )
+
+    @property
+    def network(self) -> Network:
+        """The network this strategy charges its shipments to."""
+        self._require_setup()
+        return self.deployment.network
+
+    def cost_stats(self) -> NetworkStats:
+        return self.network.stats()
+
+
+def _require_vertical(deployment: Any) -> Cluster:
+    if not isinstance(deployment, Cluster) or not deployment.is_vertical():
+        raise ValueError("this strategy requires a vertically partitioned cluster")
+    return deployment
+
+
+def _require_horizontal(deployment: Any) -> Cluster:
+    if not isinstance(deployment, Cluster) or not deployment.is_horizontal():
+        raise ValueError("this strategy requires a horizontally partitioned cluster")
+    return deployment
+
+
+def _require_single(deployment: Any) -> SingleSite:
+    if not isinstance(deployment, SingleSite):
+        raise ValueError("this strategy requires an unpartitioned (single-site) relation")
+    return deployment
+
+
+# -- incremental strategies (thin delegation) ------------------------------------------------
+
+
+class VerticalIncrementalStrategy(_BaseStrategy):
+    """``incVer`` (Fig. 5).  ``optimize=True`` wires the ``optVer`` HEV planner."""
+
+    def __init__(
+        self,
+        plan: HEVPlan | None = None,
+        optimize: bool = False,
+        beam_width: int = 4,
+    ):
+        super().__init__()
+        self._plan = plan
+        self._optimize = optimize
+        self._beam_width = beam_width
+        self._detector: VerticalIncrementalDetector | None = None
+
+    def setup(self, deployment: Any, rules: Iterable[CFD]) -> ViolationSet:
+        cluster = _require_vertical(deployment)
+        planner = None
+        if self._optimize and self._plan is None:
+            partitioner = cluster.vertical_partitioner
+            planner = HEVPlanner(
+                partitioner, ReplicationScheme(partitioner), beam_width=self._beam_width
+            )
+        self._detector = VerticalIncrementalDetector(
+            cluster, rules, plan=self._plan, planner=planner
+        )
+        self.deployment = cluster
+        return self._detector.violations
+
+    def apply(self, batch: UpdateBatch) -> ViolationDelta:
+        self._require_setup()
+        return self._detector.apply(batch)
+
+    @property
+    def violations(self) -> ViolationSet:
+        self._require_setup()
+        return self._detector.violations
+
+    @property
+    def plan(self) -> HEVPlan:
+        """The HEV plan in use (naive chains unless optimized or supplied)."""
+        self._require_setup()
+        return self._detector.plan
+
+
+class HorizontalIncrementalStrategy(_BaseStrategy):
+    """``incHor`` (Fig. 8)."""
+
+    def __init__(self, use_md5: bool = True):
+        super().__init__()
+        self._use_md5 = use_md5
+        self._detector: HorizontalIncrementalDetector | None = None
+
+    def setup(self, deployment: Any, rules: Iterable[CFD]) -> ViolationSet:
+        cluster = _require_horizontal(deployment)
+        self._detector = HorizontalIncrementalDetector(
+            cluster, rules, use_md5=self._use_md5
+        )
+        self.deployment = cluster
+        return self._detector.violations
+
+    def apply(self, batch: UpdateBatch) -> ViolationDelta:
+        self._require_setup()
+        return self._detector.apply(batch)
+
+    @property
+    def violations(self) -> ViolationSet:
+        self._require_setup()
+        return self._detector.violations
+
+
+# -- batch baselines (re-detect and diff) ----------------------------------------------------
+
+
+class _BatchRedetectStrategy(_BaseStrategy):
+    """Shared machinery: keep the logical relation, re-detect per batch.
+
+    The logical relation is reconstructed lazily on the first ``apply``
+    so that ``setup`` costs exactly one batch detection — the quantity
+    the experiment harness times.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._rules: list[CFD] = []
+        self._relation: Relation | None = None
+        self._violations = ViolationSet()
+
+    def _detect(self) -> ViolationSet:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def apply(self, batch: UpdateBatch) -> ViolationDelta:
+        self._require_setup()
+        if self._relation is None:
+            self._relation = self.deployment.reconstruct()
+        self._relation = batch.apply_to(self._relation)
+        self._rebuild()
+        new = self._detect()
+        delta = diff_violations(self._violations, new)
+        self._violations = new
+        return delta
+
+    def _rebuild(self) -> None:  # pragma: no cover - overridden where needed
+        raise NotImplementedError
+
+    @property
+    def violations(self) -> ViolationSet:
+        return self._violations
+
+
+class VerticalBatchStrategy(_BatchRedetectStrategy):
+    """``batVer``: re-fragment and re-detect from scratch on every batch."""
+
+    def setup(self, deployment: Any, rules: Iterable[CFD]) -> ViolationSet:
+        cluster = _require_vertical(deployment)
+        self._rules = list(rules)
+        self.deployment = cluster
+        self._violations = self._detect()
+        return self._violations
+
+    def _rebuild(self) -> None:
+        self.deployment = Cluster.from_vertical(
+            self.deployment.vertical_partitioner,
+            self._relation,
+            network=self.deployment.network,
+        )
+
+    def _detect(self) -> ViolationSet:
+        return VerticalBatchDetector(self.deployment, self._rules).detect()
+
+
+class HorizontalBatchStrategy(_BatchRedetectStrategy):
+    """``batHor``: re-fragment and re-detect from scratch on every batch."""
+
+    def setup(self, deployment: Any, rules: Iterable[CFD]) -> ViolationSet:
+        cluster = _require_horizontal(deployment)
+        self._rules = list(rules)
+        self.deployment = cluster
+        self._violations = self._detect()
+        return self._violations
+
+    def _rebuild(self) -> None:
+        self.deployment = Cluster.from_horizontal(
+            self.deployment.horizontal_partitioner,
+            self._relation,
+            network=self.deployment.network,
+        )
+
+    def _detect(self) -> ViolationSet:
+        return HorizontalBatchDetector(self.deployment, self._rules).detect()
+
+
+class ImprovedVerticalBatchStrategy(_BaseStrategy):
+    """``ibatVer`` (Exp-10): rebuild ``V`` by incremental insertion from empty.
+
+    Setup computes the initial violations with the (free) centralized
+    reference so that only the per-batch rebuilds — the cost Exp-10
+    actually measures — are charged to the strategy's network.
+    """
+
+    def __init__(self, plan: HEVPlan | None = None):
+        super().__init__()
+        self._plan = plan
+        self._detector: ImprovedVerticalBatchDetector | None = None
+        self._base: Relation | None = None
+        self._violations = ViolationSet()
+
+    def setup(self, deployment: Any, rules: Iterable[CFD]) -> ViolationSet:
+        cluster = _require_vertical(deployment)
+        self._base = cluster.reconstruct()
+        self._detector = ImprovedVerticalBatchDetector(
+            cluster.vertical_partitioner, rules, plan=self._plan
+        )
+        self._violations = CentralizedDetector(list(rules)).detect(self._base)
+        self.deployment = cluster
+        return self._violations
+
+    def apply(self, batch: UpdateBatch) -> ViolationDelta:
+        self._require_setup()
+        final = batch.apply_to(self._base)
+        new = self._detector.detect(final)
+        self._base = final
+        delta = diff_violations(self._violations, new)
+        self._violations = new
+        return delta
+
+    @property
+    def violations(self) -> ViolationSet:
+        return self._violations
+
+    @property
+    def network(self) -> Network:
+        """The rebuild ships over the wrapped detector's own network."""
+        self._require_setup()
+        return self._detector.network
+
+
+class ImprovedHorizontalBatchStrategy(_BaseStrategy):
+    """``ibatHor`` (Exp-10): the horizontal flavour of the improved baseline."""
+
+    def __init__(self, use_md5: bool = True):
+        super().__init__()
+        self._use_md5 = use_md5
+        self._detector: ImprovedHorizontalBatchDetector | None = None
+        self._base: Relation | None = None
+        self._violations = ViolationSet()
+
+    def setup(self, deployment: Any, rules: Iterable[CFD]) -> ViolationSet:
+        cluster = _require_horizontal(deployment)
+        self._base = cluster.reconstruct()
+        self._detector = ImprovedHorizontalBatchDetector(
+            cluster.horizontal_partitioner, rules, use_md5=self._use_md5
+        )
+        self._violations = CentralizedDetector(list(rules)).detect(self._base)
+        self.deployment = cluster
+        return self._violations
+
+    def apply(self, batch: UpdateBatch) -> ViolationDelta:
+        self._require_setup()
+        final = batch.apply_to(self._base)
+        new = self._detector.detect(final)
+        self._base = final
+        delta = diff_violations(self._violations, new)
+        self._violations = new
+        return delta
+
+    @property
+    def violations(self) -> ViolationSet:
+        return self._violations
+
+    @property
+    def network(self) -> Network:
+        """The rebuild ships over the wrapped detector's own network."""
+        self._require_setup()
+        return self._detector.network
+
+
+# -- single-site strategies ------------------------------------------------------------------
+
+
+class CentralizedStrategy(_BaseStrategy):
+    """The SQL-style centralized reference detector, re-run per batch."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._detector: CentralizedDetector | None = None
+        self._violations = ViolationSet()
+
+    def setup(self, deployment: Any, rules: Iterable[CFD]) -> ViolationSet:
+        store = _require_single(deployment)
+        self._detector = CentralizedDetector(rules)
+        self._violations = self._detector.detect(store.relation)
+        self.deployment = store
+        return self._violations
+
+    def apply(self, batch: UpdateBatch) -> ViolationDelta:
+        self._require_setup()
+        self.deployment.relation = batch.apply_to(self.deployment.relation)
+        new = self._detector.detect(self.deployment.relation)
+        delta = diff_violations(self._violations, new)
+        self._violations = new
+        return delta
+
+    @property
+    def violations(self) -> ViolationSet:
+        return self._violations
+
+
+class MDBatchStrategy(_BaseStrategy):
+    """Matching-dependency batch detection, re-run per batch."""
+
+    def __init__(self, use_blocking: bool = True):
+        super().__init__()
+        self._use_blocking = use_blocking
+        self._detector: MDDetector | None = None
+        self._violations = ViolationSet()
+
+    def setup(self, deployment: Any, rules: Iterable[Any]) -> ViolationSet:
+        store = _require_single(deployment)
+        self._detector = MDDetector(rules, use_blocking=self._use_blocking)
+        self._violations = self._detector.detect(store.relation)
+        self.deployment = store
+        return self._violations
+
+    def apply(self, batch: UpdateBatch) -> ViolationDelta:
+        self._require_setup()
+        self.deployment.relation = batch.apply_to(self.deployment.relation)
+        new = self._detector.detect(self.deployment.relation)
+        delta = diff_violations(self._violations, new)
+        self._violations = new
+        return delta
+
+    @property
+    def violations(self) -> ViolationSet:
+        return self._violations
+
+
+class MDIncrementalStrategy(_BaseStrategy):
+    """Incremental matching-dependency detection (blocking index + counts)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.inner: IncrementalMDDetector | None = None
+
+    def setup(self, deployment: Any, rules: Iterable[Any]) -> ViolationSet:
+        store = _require_single(deployment)
+        self.inner = IncrementalMDDetector(store.relation, rules)
+        self.deployment = store
+        return self.inner.violations
+
+    def apply(self, batch: UpdateBatch) -> ViolationDelta:
+        self._require_setup()
+        return self.inner.apply(batch)
+
+    @property
+    def violations(self) -> ViolationSet:
+        self._require_setup()
+        return self.inner.violations
+
+    # Diagnostics forwarded from the wrapped detector.
+
+    def candidate_count(self, md_name: str, t: Any) -> int:
+        self._require_setup()
+        return self.inner.candidate_count(md_name, t)
+
+    def partner_count(self, md_name: str, tid: Any) -> int:
+        self._require_setup()
+        return self.inner.partner_count(md_name, tid)
+
+    def __len__(self) -> int:
+        self._require_setup()
+        return len(self.inner)
+
+
+# -- built-in partition scheme factories ------------------------------------------------------
+
+
+def _build_vertical_partitioner(
+    schema: Any,
+    fragments: Sequence[Any] | None = None,
+    n_fragments: int | None = None,
+    replicate: Any | None = None,
+) -> VerticalPartitioner:
+    """Explicit fragments, or an even spread over ``n_fragments`` sites."""
+    if fragments is not None:
+        return VerticalPartitioner(schema, fragments)
+    return even_vertical_scheme(schema, n_fragments or 2, replicate)
+
+
+def _build_horizontal_partitioner(
+    schema: Any,
+    fragments: Sequence[Any] | None = None,
+    n_fragments: int | None = None,
+    attribute: str | None = None,
+) -> HorizontalPartitioner:
+    """Explicit predicate fragments, or key-hash buckets over ``n_fragments``."""
+    if fragments is not None:
+        return HorizontalPartitioner(schema, fragments)
+    return hash_horizontal_scheme(schema, n_fragments or 2, attribute)
+
+
+# -- registration -----------------------------------------------------------------------------
+
+
+def register_builtin_strategies(registry: StrategyRegistry) -> None:
+    """Wire every built-in detector and partition scheme into ``registry``."""
+    registry.register_detector(
+        "incVer",
+        VerticalIncrementalStrategy,
+        partitioning="vertical",
+        mode="incremental",
+        description="incremental CFD detection over vertical fragments (Fig. 5)",
+    )
+    registry.register_detector(
+        "optVer",
+        lambda **options: VerticalIncrementalStrategy(optimize=True, **options),
+        partitioning="vertical",
+        mode="optimized",
+        description="incVer with the optVer HEV-placement plan (Section 5)",
+    )
+    registry.register_detector(
+        "batVer",
+        VerticalBatchStrategy,
+        partitioning="vertical",
+        mode="batch",
+        description="batch recomputation over vertical fragments (ICDE 2010 baseline)",
+    )
+    registry.register_detector(
+        "ibatVer",
+        ImprovedVerticalBatchStrategy,
+        partitioning="vertical",
+        mode="improved-batch",
+        description="improved batch baseline of Exp-10 (vertical)",
+    )
+    registry.register_detector(
+        "incHor",
+        HorizontalIncrementalStrategy,
+        partitioning="horizontal",
+        mode="incremental",
+        description="incremental CFD detection over horizontal fragments (Fig. 8)",
+    )
+    registry.register_detector(
+        "batHor",
+        HorizontalBatchStrategy,
+        partitioning="horizontal",
+        mode="batch",
+        description="batch recomputation over horizontal fragments (ICDE 2010 baseline)",
+    )
+    registry.register_detector(
+        "ibatHor",
+        ImprovedHorizontalBatchStrategy,
+        partitioning="horizontal",
+        mode="improved-batch",
+        description="improved batch baseline of Exp-10 (horizontal)",
+    )
+    registry.register_detector(
+        "centralized",
+        CentralizedStrategy,
+        partitioning="single",
+        mode="batch",
+        description="single-site SQL-style reference detection",
+    )
+    registry.register_detector(
+        "md",
+        MDBatchStrategy,
+        partitioning="single",
+        mode="batch",
+        rules="md",
+        description="matching-dependency batch detection (similarity extension)",
+    )
+    registry.register_detector(
+        "incMD",
+        MDIncrementalStrategy,
+        partitioning="single",
+        mode="incremental",
+        rules="md",
+        description="incremental matching-dependency detection with blocking",
+    )
+
+    registry.register_partitioner(
+        "vertical",
+        _build_vertical_partitioner,
+        description="explicit attribute groups, or an even spread (fragments=/n_fragments=)",
+    )
+    registry.register_partitioner(
+        "horizontal",
+        _build_horizontal_partitioner,
+        description="explicit predicates, or key-hash buckets (fragments=/n_fragments=)",
+    )
+    registry.register_partitioner(
+        "hash",
+        _build_horizontal_partitioner,
+        description="alias of 'horizontal': hash buckets over the key",
+    )

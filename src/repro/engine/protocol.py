@@ -1,0 +1,86 @@
+"""The :class:`Detector` protocol and the degenerate single-site deployment.
+
+Every detection strategy — the eight distributed detectors of the paper,
+the centralized reference and the matching-dependency extension — is
+exposed to the engine through one uniform surface:
+
+* ``setup(deployment, rules)`` binds the strategy to a deployment (a
+  :class:`~repro.distributed.cluster.Cluster` or a :class:`SingleSite`)
+  and a rule set, builds whatever indices the strategy needs, and
+  returns the initial violation set ``V(Sigma, D)``;
+* ``apply(batch)`` processes one update batch and returns the net
+  ``delta-V``;
+* ``violations`` is the maintained violation set;
+* ``cost_stats()`` snapshots the communication cost charged so far.
+
+Batch baselines satisfy ``apply`` by re-detecting and diffing, so every
+strategy — incremental or not — can serve the same streaming sessions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Protocol, runtime_checkable
+
+from repro.core.relation import Relation
+from repro.core.updates import UpdateBatch
+from repro.core.violations import ViolationDelta, ViolationSet
+from repro.distributed.network import Network, NetworkStats
+
+
+@runtime_checkable
+class Detector(Protocol):
+    """The uniform detection strategy interface the engine drives."""
+
+    def setup(self, deployment: Any, rules: Iterable[Any]) -> ViolationSet:
+        """Bind to a deployment and rule set; return the initial violations."""
+        ...
+
+    def apply(self, batch: UpdateBatch) -> ViolationDelta:
+        """Process one update batch and return the net change ``delta-V``."""
+        ...
+
+    @property
+    def violations(self) -> ViolationSet:
+        """The violation set currently maintained by the strategy."""
+        ...
+
+    def cost_stats(self) -> NetworkStats:
+        """Communication cost charged by this strategy so far."""
+        ...
+
+
+class SingleSite:
+    """A one-site deployment: the whole relation in one place, no shipment.
+
+    Centralized and matching-dependency detection run here.  The class
+    mirrors the small part of the :class:`Cluster` surface the engine
+    relies on (``network``, ``reconstruct``) so sessions can treat both
+    deployments uniformly.
+    """
+
+    def __init__(self, relation: Relation, network: Network | None = None):
+        self.relation = relation
+        self._network = network or Network()
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    def is_vertical(self) -> bool:
+        return False
+
+    def is_horizontal(self) -> bool:
+        return False
+
+    def reconstruct(self) -> Relation:
+        """The current logical database (trivially the stored relation)."""
+        return self.relation
+
+    def total_tuples(self) -> int:
+        return len(self.relation)
+
+    def __len__(self) -> int:
+        return 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SingleSite({len(self.relation)} tuples)"

@@ -1,0 +1,149 @@
+"""Structured detection reports.
+
+``DetectionSession.report()`` returns a :class:`DetectionReport` so
+callers get violations and communication costs as one typed value
+instead of poking ``cluster.network.stats()`` and the detector in
+parallel.  Per-site traffic is derived from the network's per-pair
+message counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.violations import ViolationSet
+from repro.distributed.network import NetworkStats
+
+
+@dataclass(frozen=True)
+class SiteCost:
+    """Messages a site sent and received over the session's network."""
+
+    site: int
+    messages_sent: int = 0
+    messages_received: int = 0
+
+
+def site_costs_from_stats(stats: NetworkStats) -> tuple[SiteCost, ...]:
+    """Aggregate the per-(sender, receiver) counters into per-site totals."""
+    sent: dict[int, int] = {}
+    received: dict[int, int] = {}
+    for (sender, receiver), count in stats.messages_by_pair.items():
+        sent[sender] = sent.get(sender, 0) + count
+        received[receiver] = received.get(receiver, 0) + count
+    return tuple(
+        SiteCost(site, sent.get(site, 0), received.get(site, 0))
+        for site in sorted(set(sent) | set(received))
+    )
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Violations plus cost accounting for one detection session."""
+
+    strategy: str
+    partitioning: str
+    n_sites: int
+    n_rules: int
+    batches_applied: int
+    updates_applied: int
+    violations: ViolationSet
+    network: NetworkStats
+    site_costs: tuple[SiteCost, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        strategy: str,
+        partitioning: str,
+        n_sites: int,
+        n_rules: int,
+        batches_applied: int,
+        updates_applied: int,
+        violations: ViolationSet,
+        network: NetworkStats,
+    ) -> "DetectionReport":
+        return cls(
+            strategy=strategy,
+            partitioning=partitioning,
+            n_sites=n_sites,
+            n_rules=n_rules,
+            batches_applied=batches_applied,
+            updates_applied=updates_applied,
+            violations=violations.copy(),
+            network=network,
+            site_costs=site_costs_from_stats(network),
+        )
+
+    # -- convenient cost views -----------------------------------------------------
+
+    @property
+    def messages(self) -> int:
+        return self.network.messages
+
+    @property
+    def bytes_shipped(self) -> int:
+        return self.network.bytes
+
+    @property
+    def eqids_shipped(self) -> int:
+        return self.network.eqids_shipped
+
+    @property
+    def tuples_shipped(self) -> int:
+        return self.network.tuples_shipped
+
+    @property
+    def n_violating_tuples(self) -> int:
+        return len(self.violations)
+
+    # -- serialization ---------------------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        """A plain-dict view (violation tids sorted for stable output)."""
+        return {
+            "strategy": self.strategy,
+            "partitioning": self.partitioning,
+            "n_sites": self.n_sites,
+            "n_rules": self.n_rules,
+            "batches_applied": self.batches_applied,
+            "updates_applied": self.updates_applied,
+            "n_violating_tuples": self.n_violating_tuples,
+            "violations": {
+                str(tid): sorted(self.violations.cfds_of(tid))
+                for tid in self.violations.tids()
+            },
+            "messages": self.messages,
+            "bytes_shipped": self.bytes_shipped,
+            "eqids_shipped": self.eqids_shipped,
+            "tuples_shipped": self.tuples_shipped,
+            "site_costs": [
+                {
+                    "site": cost.site,
+                    "messages_sent": cost.messages_sent,
+                    "messages_received": cost.messages_received,
+                }
+                for cost in self.site_costs
+            ],
+        }
+
+    def summary(self) -> str:
+        """A short human-readable rendering."""
+        lines = [
+            f"strategy {self.strategy} ({self.partitioning}, {self.n_sites} site(s), "
+            f"{self.n_rules} rule(s))",
+            f"  batches applied    : {self.batches_applied} "
+            f"({self.updates_applied} updates)",
+            f"  violating tuples   : {self.n_violating_tuples}",
+            f"  messages shipped   : {self.messages}",
+            f"  bytes shipped      : {self.bytes_shipped}",
+            f"  eqids shipped      : {self.eqids_shipped}",
+        ]
+        for cost in self.site_costs:
+            lines.append(
+                f"  site {cost.site}: sent {cost.messages_sent}, "
+                f"received {cost.messages_received} messages"
+            )
+        return "\n".join(lines)

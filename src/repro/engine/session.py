@@ -1,0 +1,336 @@
+"""Fluent detection sessions: one entry point over every detector.
+
+The builder picks the right strategy from (partitioning × mode), wires
+the HEV planner automatically for ``optVer``, and hands back a
+:class:`DetectionSession` that streams update batches through whichever
+detector was chosen::
+
+    sess = (
+        repro.session(relation)
+        .partition("vertical", n_fragments=8)
+        .rules(cfds)
+        .strategy("incremental")
+        .build()
+    )
+    delta = sess.apply(updates)
+    for delta in sess.stream(update_batches):
+        ...
+    report = sess.report()          # violations + per-site shipment costs
+
+Leaving ``partition`` out runs single-site detection (``centralized``
+for CFDs, the MD detectors for matching dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.core.relation import Relation
+from repro.core.updates import Update, UpdateBatch
+from repro.core.violations import ViolationDelta, ViolationSet
+from repro.distributed.cluster import Cluster
+from repro.distributed.network import Network
+from repro.engine.protocol import Detector, SingleSite
+from repro.engine.registry import (
+    DEFAULT_REGISTRY,
+    DetectorEntry,
+    RegistryError,
+    StrategyRegistry,
+)
+from repro.engine.report import DetectionReport
+from repro.partition.horizontal import HorizontalPartitioner
+from repro.partition.vertical import VerticalPartitioner
+from repro.similarity.md import MatchingDependency
+
+
+class SessionError(ValueError):
+    """Raised on invalid session configurations."""
+
+
+def session(relation: Relation, registry: StrategyRegistry | None = None) -> "SessionBuilder":
+    """Start building a detection session over ``relation``."""
+    return SessionBuilder(relation, registry)
+
+
+class SessionBuilder:
+    """Collects partitioning, rules and strategy, then builds the session."""
+
+    def __init__(self, relation: Relation, registry: StrategyRegistry | None = None):
+        if not isinstance(relation, Relation):
+            raise SessionError("session(...) needs a Relation to detect over")
+        self._relation = relation
+        self._registry = registry or DEFAULT_REGISTRY
+        self._partitioner: VerticalPartitioner | HorizontalPartitioner | None = None
+        self._partition_label = "single"
+        self._rules: list[Any] | None = None
+        self._strategy_name: str | None = None
+        self._strategy_options: dict[str, Any] = {}
+        self._network: Network | None = None
+
+    # -- configuration ----------------------------------------------------------------
+
+    def partition(self, scheme: Any, **options: Any) -> "SessionBuilder":
+        """Choose how the relation is fragmented over sites.
+
+        ``scheme`` is a registered partitioner name (``"vertical"``,
+        ``"horizontal"``, ``"hash"``, ...) with factory options, or an
+        already-built partitioner instance.
+        """
+        if isinstance(scheme, (VerticalPartitioner, HorizontalPartitioner)):
+            if options:
+                raise SessionError(
+                    "options are only accepted with a named partition scheme, "
+                    "not a prebuilt partitioner"
+                )
+            self._partitioner = scheme
+            self._partition_label = type(scheme).__name__
+        elif isinstance(scheme, str):
+            entry = self._registry.partitioner(scheme)
+            partitioner = entry.factory(self._relation.schema, **options)
+            if not isinstance(partitioner, (VerticalPartitioner, HorizontalPartitioner)):
+                raise SessionError(
+                    f"partitioner {scheme!r} built a {type(partitioner).__name__}, "
+                    "expected a vertical or horizontal partitioner"
+                )
+            self._partitioner = partitioner
+            self._partition_label = scheme
+        else:
+            raise SessionError(
+                "partition(...) takes a registered scheme name or a partitioner "
+                f"instance, not {type(scheme).__name__}"
+            )
+        return self
+
+    def rules(self, rules: Iterable[Any]) -> "SessionBuilder":
+        """The CFDs (or matching dependencies) to detect violations of."""
+        self._rules = list(rules)
+        return self
+
+    def strategy(self, name: str, **options: Any) -> "SessionBuilder":
+        """Pick the detection strategy by registry name or generic mode.
+
+        Generic modes (``"incremental"``, ``"batch"``,
+        ``"improved-batch"``, ``"optimized"``) are resolved against the
+        chosen partitioning; registry names (``"incVer"``, ``"batHor"``,
+        ...) select a strategy directly.  Options are forwarded to the
+        strategy factory (e.g. ``use_md5=False``, ``plan=...``).
+        """
+        self._strategy_name = name
+        self._strategy_options = dict(options)
+        return self
+
+    def network(self, network: Network) -> "SessionBuilder":
+        """Use a caller-owned network (to share or pre-seed cost accounting)."""
+        self._network = network
+        return self
+
+    # -- resolution --------------------------------------------------------------------
+
+    def _partitioning_kind(self) -> str:
+        if self._partitioner is None:
+            return "single"
+        if isinstance(self._partitioner, VerticalPartitioner):
+            return "vertical"
+        return "horizontal"
+
+    def _rule_kind(self) -> str:
+        assert self._rules is not None
+        md_flags = [isinstance(rule, MatchingDependency) for rule in self._rules]
+        if all(md_flags):
+            return "md"
+        if any(md_flags):
+            raise SessionError(
+                "rules mix CFDs and matching dependencies; build one session per "
+                "rule language"
+            )
+        return "cfd"
+
+    def _resolve_entry(self, partitioning: str, rule_kind: str) -> DetectorEntry:
+        default_mode = "incremental" if partitioning != "single" else "batch"
+        name = self._strategy_name or default_mode
+        if self._registry.has_detector(name):
+            entry = self._registry.detector(name)
+            if entry.partitioning != partitioning:
+                raise SessionError(
+                    f"strategy {name!r} requires {entry.partitioning} data but the "
+                    f"session is {partitioning}"
+                    + (
+                        "; call .partition(...) first"
+                        if partitioning == "single"
+                        else ""
+                    )
+                )
+            if entry.rules != rule_kind:
+                raise SessionError(
+                    f"strategy {name!r} checks {entry.rules} rules but the session "
+                    f"rules are {rule_kind}"
+                )
+            return entry
+        try:
+            return self._registry.resolve_detector(partitioning, name, rule_kind)
+        except RegistryError as exc:
+            raise SessionError(str(exc)) from None
+
+    # -- build -------------------------------------------------------------------------
+
+    def build(self) -> "DetectionSession":
+        """Resolve the strategy, deploy the data and run detector setup."""
+        if not self._rules:
+            raise SessionError("no rules configured; call .rules(cfds) before .build()")
+        rule_kind = self._rule_kind()
+        partitioning = self._partitioning_kind()
+        if rule_kind == "md" and partitioning != "single":
+            raise SessionError(
+                "matching-dependency detection is single-site; drop .partition(...)"
+            )
+        entry = self._resolve_entry(partitioning, rule_kind)
+
+        network = self._network or Network()
+        deployment: Cluster | SingleSite
+        if isinstance(self._partitioner, VerticalPartitioner):
+            deployment = Cluster.from_vertical(
+                self._partitioner, self._relation, network=network
+            )
+        elif isinstance(self._partitioner, HorizontalPartitioner):
+            deployment = Cluster.from_horizontal(
+                self._partitioner, self._relation, network=network
+            )
+        else:
+            deployment = SingleSite(self._relation, network=network)
+
+        try:
+            detector = entry.create(**self._strategy_options)
+        except TypeError as exc:
+            raise SessionError(
+                f"strategy {entry.name!r} rejected options "
+                f"{sorted(self._strategy_options)}: {exc}"
+            ) from None
+        initial = detector.setup(deployment, self._rules)
+        return DetectionSession(
+            entry=entry,
+            detector=detector,
+            deployment=deployment,
+            rules=list(self._rules),
+            partitioning=partitioning,
+            initial_violations=initial,
+        )
+
+
+class DetectionSession:
+    """A built session: one detector, one deployment, a stream of batches."""
+
+    def __init__(
+        self,
+        *,
+        entry: DetectorEntry,
+        detector: Detector,
+        deployment: Any,
+        rules: Sequence[Any],
+        partitioning: str,
+        initial_violations: ViolationSet,
+    ):
+        self._entry = entry
+        self._detector = detector
+        self._deployment = deployment
+        self._rules = list(rules)
+        self._partitioning = partitioning
+        self._initial = initial_violations.copy()
+        self._batches_applied = 0
+        self._updates_applied = 0
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def strategy(self) -> str:
+        """The registry name of the strategy in use (``incVer``, ``batHor``, ...)."""
+        return self._entry.name
+
+    @property
+    def partitioning(self) -> str:
+        return self._partitioning
+
+    @property
+    def detector(self) -> Detector:
+        """The underlying strategy adapter (for diagnostics and tests)."""
+        return self._detector
+
+    @property
+    def deployment(self) -> Any:
+        """The cluster (or single site) currently hosting the data."""
+        return getattr(self._detector, "deployment", None) or self._deployment
+
+    @property
+    def cluster(self) -> Any:
+        """Alias of :attr:`deployment` for distributed sessions."""
+        return self.deployment
+
+    @property
+    def network(self) -> Network:
+        """The network the strategy charges — always consistent with report()."""
+        detector_network = getattr(self._detector, "network", None)
+        if isinstance(detector_network, Network):
+            return detector_network
+        return self.deployment.network
+
+    @property
+    def rules(self) -> list[Any]:
+        return list(self._rules)
+
+    @property
+    def violations(self) -> ViolationSet:
+        """The violation set currently maintained by the strategy."""
+        return self._detector.violations
+
+    @property
+    def initial_violations(self) -> ViolationSet:
+        """``V(Sigma, D)`` as it stood when the session was built."""
+        return self._initial
+
+    @property
+    def batches_applied(self) -> int:
+        return self._batches_applied
+
+    @property
+    def updates_applied(self) -> int:
+        return self._updates_applied
+
+    # -- detection ----------------------------------------------------------------------
+
+    def apply(self, updates: UpdateBatch | Iterable[Update]) -> ViolationDelta:
+        """Process one update batch and return the net ``delta-V``."""
+        batch = updates if isinstance(updates, UpdateBatch) else UpdateBatch(updates)
+        delta = self._detector.apply(batch)
+        self._batches_applied += 1
+        self._updates_applied += len(batch)
+        return delta
+
+    def stream(
+        self, batches: Iterable[UpdateBatch | Update | Iterable[Update]]
+    ) -> Iterator[ViolationDelta]:
+        """Lazily process a stream of update batches, yielding each ``delta-V``.
+
+        Items may be :class:`UpdateBatch` instances, single
+        :class:`Update` objects, or iterables of updates — the
+        order-stream scenario feeds waves of either shape.
+        """
+        for item in batches:
+            if isinstance(item, Update):
+                item = UpdateBatch.of(item)
+            yield self.apply(item)
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def report(self) -> DetectionReport:
+        """A structured snapshot: violations plus per-site shipment costs."""
+        deployment = self.deployment
+        n_sites = len(deployment) if deployment is not None else 1
+        return DetectionReport.build(
+            strategy=self.strategy,
+            partitioning=self._partitioning,
+            n_sites=n_sites,
+            n_rules=len(self._rules),
+            batches_applied=self._batches_applied,
+            updates_applied=self._updates_applied,
+            violations=self._detector.violations,
+            network=self._detector.cost_stats(),
+        )

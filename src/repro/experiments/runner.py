@@ -16,19 +16,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.core.cfd import CFD
-from repro.core.relation import Relation
-from repro.core.updates import UpdateBatch
 from repro.distributed.cluster import Cluster
 from repro.distributed.network import Network
+from repro.engine.registry import DEFAULT_REGISTRY
+from repro.engine.session import session
 from repro.experiments.metrics import ExperimentSeries
-from repro.horizontal.bathor import HorizontalBatchDetector
-from repro.horizontal.ibathor import ImprovedHorizontalBatchDetector
-from repro.horizontal.inchor import HorizontalIncrementalDetector
-from repro.indexes.planner import HEVPlanner, naive_chain_plan
+from repro.indexes.planner import HEVPlanner
 from repro.partition.replication import ReplicationScheme
-from repro.vertical.batver import VerticalBatchDetector
-from repro.vertical.ibatver import ImprovedVerticalBatchDetector
-from repro.vertical.incver import VerticalIncrementalDetector
 from repro.workloads.dblp import DBLPGenerator
 from repro.workloads.rules import generate_cfds
 from repro.workloads.tpch import TPCHGenerator
@@ -172,15 +166,15 @@ class ExperimentRunner:
         )
         partitioner = generator.vertical_partitioner(n_partitions)
 
-        plan = None
-        if optimize:
-            plan = HEVPlanner(partitioner, ReplicationScheme(partitioner)).plan(cfds)
-
-        inc_network = Network()
-        inc_cluster = Cluster.from_vertical(partitioner, base, network=inc_network)
-        detector = VerticalIncrementalDetector(inc_cluster, cfds, plan=plan)
-        delta, inc_elapsed = _timed(lambda: detector.apply(updates))
-        inc_stats = inc_network.stats()
+        inc = (
+            session(base)
+            .partition(partitioner)
+            .rules(cfds)
+            .strategy("optVer" if optimize else "incVer")
+            .build()
+        )
+        delta, inc_elapsed = _timed(lambda: inc.apply(updates))
+        inc_report = inc.report()
 
         row: dict[str, Any] = {
             "n_base": n_base,
@@ -188,19 +182,21 @@ class ExperimentRunner:
             "n_cfds": n_cfds,
             "n_partitions": n_partitions,
             "inc_elapsed_s": inc_elapsed,
-            "inc_shipped_bytes": inc_stats.bytes,
-            "inc_shipped_eqids": inc_stats.eqids_shipped,
-            "inc_messages": inc_stats.messages,
+            "inc_shipped_bytes": inc_report.bytes_shipped,
+            "inc_shipped_eqids": inc_report.eqids_shipped,
+            "inc_messages": inc_report.messages,
             "delta_size": delta.size(),
-            "violations": len(detector.violations),
+            "violations": len(inc.violations),
         }
         if include_batch:
+            # The batch baseline is timed at the Detector protocol level so the
+            # measured region is the detection itself (setup = one detect), not
+            # the untimed deployment of the updated database.
             updated = updates.apply_to(base)
-            bat_network = Network()
-            bat_cluster = Cluster.from_vertical(partitioner, updated, network=bat_network)
-            batch = VerticalBatchDetector(bat_cluster, cfds)
-            batch_result, bat_elapsed = _timed(batch.detect)
-            bat_stats = bat_network.stats()
+            bat_cluster = Cluster.from_vertical(partitioner, updated, network=Network())
+            bat = DEFAULT_REGISTRY.detector("batVer").create()
+            batch_result, bat_elapsed = _timed(lambda: bat.setup(bat_cluster, cfds))
+            bat_stats = bat.cost_stats()
             row.update(
                 {
                     "bat_elapsed_s": bat_elapsed,
@@ -208,7 +204,7 @@ class ExperimentRunner:
                     "bat_messages": bat_stats.messages,
                 }
             )
-            if self.verify and batch_result != detector.violations:
+            if self.verify and batch_result != inc.violations:
                 raise AssertionError(
                     "incremental and batch detection disagree on the vertical run"
                 )
@@ -235,11 +231,15 @@ class ExperimentRunner:
         )
         partitioner = generator.horizontal_partitioner(n_partitions)
 
-        inc_network = Network()
-        inc_cluster = Cluster.from_horizontal(partitioner, base, network=inc_network)
-        detector = HorizontalIncrementalDetector(inc_cluster, cfds, use_md5=use_md5)
-        delta, inc_elapsed = _timed(lambda: detector.apply(updates))
-        inc_stats = inc_network.stats()
+        inc = (
+            session(base)
+            .partition(partitioner)
+            .rules(cfds)
+            .strategy("incremental", use_md5=use_md5)
+            .build()
+        )
+        delta, inc_elapsed = _timed(lambda: inc.apply(updates))
+        inc_report = inc.report()
 
         row: dict[str, Any] = {
             "n_base": n_base,
@@ -247,18 +247,18 @@ class ExperimentRunner:
             "n_cfds": n_cfds,
             "n_partitions": n_partitions,
             "inc_elapsed_s": inc_elapsed,
-            "inc_shipped_bytes": inc_stats.bytes,
-            "inc_messages": inc_stats.messages,
+            "inc_shipped_bytes": inc_report.bytes_shipped,
+            "inc_messages": inc_report.messages,
             "delta_size": delta.size(),
-            "violations": len(detector.violations),
+            "violations": len(inc.violations),
         }
         if include_batch:
+            # Timed at the protocol level, as in the vertical run.
             updated = updates.apply_to(base)
-            bat_network = Network()
-            bat_cluster = Cluster.from_horizontal(partitioner, updated, network=bat_network)
-            batch = HorizontalBatchDetector(bat_cluster, cfds)
-            batch_result, bat_elapsed = _timed(batch.detect)
-            bat_stats = bat_network.stats()
+            bat_cluster = Cluster.from_horizontal(partitioner, updated, network=Network())
+            bat = DEFAULT_REGISTRY.detector("batHor").create()
+            batch_result, bat_elapsed = _timed(lambda: bat.setup(bat_cluster, cfds))
+            bat_stats = bat.cost_stats()
             row.update(
                 {
                     "bat_elapsed_s": bat_elapsed,
@@ -266,7 +266,7 @@ class ExperimentRunner:
                     "bat_messages": bat_stats.messages,
                 }
             )
-            if self.verify and batch_result != detector.violations:
+            if self.verify and batch_result != inc.violations:
                 raise AssertionError(
                     "incremental and batch detection disagree on the horizontal run"
                 )
@@ -421,20 +421,22 @@ class ExperimentRunner:
                 base, generator, n_updates, insert_fraction=0.6, seed=cfg.seed
             )
             # vertical: incVer vs ibatVer
-            inc_cluster = Cluster.from_vertical(v_part, base, network=Network())
-            inc = VerticalIncrementalDetector(inc_cluster, cfds)
+            inc = session(base).partition(v_part).rules(cfds).strategy("incremental").build()
             _, inc_v = _timed(lambda: inc.apply(updates))
-            ibat = ImprovedVerticalBatchDetector(v_part, cfds)
-            ibat_result, ibat_v = _timed(lambda: ibat.detect(base, updates))
-            if self.verify and ibat_result != inc.violations:
+            ibat = (
+                session(base).partition(v_part).rules(cfds).strategy("improved-batch").build()
+            )
+            _, ibat_v = _timed(lambda: ibat.apply(updates))
+            if self.verify and ibat.violations != inc.violations:
                 raise AssertionError("incVer and ibatVer disagree")
             # horizontal: incHor vs ibatHor
-            inc_h_cluster = Cluster.from_horizontal(h_part, base, network=Network())
-            inc_h = HorizontalIncrementalDetector(inc_h_cluster, cfds)
+            inc_h = session(base).partition(h_part).rules(cfds).strategy("incremental").build()
             _, inc_h_t = _timed(lambda: inc_h.apply(updates))
-            ibat_h = ImprovedHorizontalBatchDetector(h_part, cfds)
-            ibat_h_result, ibat_h_t = _timed(lambda: ibat_h.detect(base, updates))
-            if self.verify and ibat_h_result != inc_h.violations:
+            ibat_h = (
+                session(base).partition(h_part).rules(cfds).strategy("improved-batch").build()
+            )
+            _, ibat_h_t = _timed(lambda: ibat_h.apply(updates))
+            if self.verify and ibat_h.violations != inc_h.violations:
                 raise AssertionError("incHor and ibatHor disagree")
             series.add_row(
                 {

@@ -20,11 +20,26 @@ def run_example(name: str) -> str:
     return result.stdout
 
 
+def all_example_scripts() -> list[str]:
+    return sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
 class TestExamples:
     def test_examples_directory_has_at_least_three_scripts(self):
-        scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+        scripts = all_example_scripts()
         assert len(scripts) >= 3
         assert "quickstart.py" in scripts
+
+    @pytest.mark.parametrize("name", all_example_scripts())
+    def test_every_example_runs(self, name):
+        # Docs-by-example must not silently drift from the API.
+        run_example(name)
+
+    def test_record_matching_audit(self):
+        out = run_example("record_matching_audit.py")
+        assert "batch audit with matching dependencies" in out
+        assert "incremental audit" in out
+        assert "thanks to blocking" in out
 
     def test_quickstart(self):
         out = run_example("quickstart.py")

@@ -34,3 +34,15 @@ class TestPublicAPI:
 
     def test_no_duplicate_names_in_all(self):
         assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_engine_entry_points(self):
+        assert callable(repro.session)
+        assert callable(repro.register_detector)
+        assert callable(repro.register_partitioner)
+        for name in ("DetectionSession", "DetectionReport", "StrategyRegistry"):
+            assert isinstance(getattr(repro, name), type)
+
+    def test_registry_covers_paper_algorithms(self):
+        names = repro.DEFAULT_REGISTRY.detector_names()
+        for name in ("incVer", "batVer", "ibatVer", "optVer", "incHor", "batHor", "ibatHor"):
+            assert name in names
