@@ -5,7 +5,6 @@ and 72.1% on DBLP.  The benchmark times the planner itself and records
 the shipment counts of both plans as extra info.
 """
 
-import pytest
 
 import bench_utils as bu
 from repro.indexes.planner import HEVPlanner, naive_chain_plan

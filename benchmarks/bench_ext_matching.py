@@ -6,7 +6,6 @@ recomputing them from scratch after every batch, and measures the effect
 of blocking on the batch detector.
 """
 
-import pytest
 
 import bench_utils as bu
 from repro.core.relation import Relation

@@ -1,0 +1,122 @@
+"""Runtime scale-out: serial vs. thread vs. process backends on batHor.
+
+Multi-site horizontal batch detection (the chunkiest per-site workload
+in the repository: every site scans, groups and checks its whole
+fragment) at 4/8/16 sites, run on every executor backend.  For each
+configuration the script verifies that all backends produce the
+identical violation set and identical shipment counters, reports the
+wall-clock speedup over serial, and records everything to
+``BENCH_runtime_speedup.json``.
+
+Speedup comes from real CPU parallelism, so the process backend needs
+real cores: on a single-core container every backend degenerates to
+~1x (threads additionally pay the GIL, processes pay pickling), which
+the results file makes visible via the recorded ``cpu_count``.
+
+Run directly: ``python benchmarks/bench_runtime_speedup.py``
+(``--per-site N`` scales fragment size, ``--rounds K`` the repetitions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+import bench_utils as bu
+from repro.distributed.cluster import Cluster
+from repro.distributed.network import Network
+from repro.horizontal.bathor import HorizontalBatchDetector
+from repro.runtime.executor import make_executor
+from repro.runtime.scheduler import SiteScheduler
+
+SITE_COUNTS = (4, 8, 16)
+BACKENDS = ("serial", "threads", "processes")
+N_CFDS = 10
+
+
+def measure(backend, n_sites, relation, cfds, rounds):
+    """Best-of-``rounds`` wall-clock of one full batch detection."""
+    workers = min(n_sites, os.cpu_count() or 1)
+    executor = make_executor(backend, workers=workers) if backend != "serial" else make_executor()
+    partitioner = bu.tpch().horizontal_partitioner(n_sites)
+    best = float("inf")
+    outcome = None
+    try:
+        for _ in range(rounds):
+            cluster = Cluster.from_horizontal(
+                partitioner,
+                relation,
+                network=Network(),
+                scheduler=SiteScheduler(executor),
+            )
+            detector = HorizontalBatchDetector(cluster, cfds)
+            start = time.perf_counter()
+            violations = detector.detect()
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+            outcome = (violations, cluster.network.stats())
+    finally:
+        executor.close()
+    return best, outcome
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--per-site", type=int, default=250, help="tuples per site")
+    parser.add_argument("--rounds", type=int, default=3, help="repetitions per cell")
+    args = parser.parse_args(argv)
+
+    cpu_count = os.cpu_count() or 1
+    print(f"runtime speedup: batHor full detection, {cpu_count} CPU core(s)")
+    if cpu_count == 1:
+        print("  (single core: no backend can beat serial here; "
+              "expect ~1x for threads, <1x for processes)")
+    cfds = bu.tpch_cfds(N_CFDS)
+
+    records = []
+    for n_sites in SITE_COUNTS:
+        relation = bu.tpch_relation(args.per_site * n_sites)
+        serial_seconds = None
+        serial_outcome = None
+        for backend in BACKENDS:
+            seconds, outcome = measure(backend, n_sites, relation, cfds, args.rounds)
+            if backend == "serial":
+                serial_seconds, serial_outcome = seconds, outcome
+                speedup = 1.0
+            else:
+                violations, stats = outcome
+                ref_violations, ref_stats = serial_outcome
+                assert violations == ref_violations, (
+                    f"{backend} violations diverge from serial at {n_sites} sites"
+                )
+                assert (stats.messages, stats.bytes, stats.units_by_kind) == (
+                    ref_stats.messages,
+                    ref_stats.bytes,
+                    ref_stats.units_by_kind,
+                ), f"{backend} shipments diverge from serial at {n_sites} sites"
+                speedup = serial_seconds / seconds
+            print(
+                f"  {n_sites:>2} sites  {backend:<9}  {seconds * 1e3:8.1f} ms   "
+                f"{speedup:5.2f}x vs serial"
+            )
+            records.append(
+                {
+                    "n_sites": n_sites,
+                    "n_tuples": args.per_site * n_sites,
+                    "n_cfds": N_CFDS,
+                    "backend": backend,
+                    "seconds": seconds,
+                    "speedup_vs_serial": speedup,
+                }
+            )
+
+    path = bu.write_bench_json(
+        "runtime_speedup", records, extra={"cpu_count": cpu_count, "rounds": args.rounds}
+    )
+    print(f"benchmark results written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,65 @@
+"""Convert a pytest-benchmark JSON dump into a compact ``BENCH_<name>.json``.
+
+``pytest benchmarks/... --benchmark-json=raw.json`` produces a verbose
+machine dump; this helper distills it into the same compact record
+format the ``--json`` flag emits, so both paths feed the repository's
+perf trajectory identically::
+
+    python benchmarks/bench_to_json.py raw.json --name exp01_vertical_dbsize
+
+Without ``--name`` the output name is derived from the dump's first
+benchmark module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+import bench_utils
+
+
+def convert(raw: dict) -> list[dict]:
+    """pytest-benchmark's dump format -> compact per-benchmark records."""
+    records = []
+    for bench in raw.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        records.append(
+            {
+                "name": bench.get("name"),
+                "fullname": bench.get("fullname"),
+                "group": bench.get("group"),
+                "params": bench.get("params"),
+                "extra_info": bench.get("extra_info", {}),
+                "stats": {
+                    key: stats.get(key)
+                    for key in ("min", "max", "mean", "stddev", "median", "rounds")
+                },
+            }
+        )
+    return records
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("dump", type=Path, help="pytest-benchmark JSON dump")
+    parser.add_argument(
+        "--name", default=None, help="results name (BENCH_<name>.json); derived if omitted"
+    )
+    args = parser.parse_args(argv)
+    raw = json.loads(args.dump.read_text())
+    records = convert(raw)
+    if not records:
+        parser.error(f"{args.dump} contains no benchmarks")
+    name = args.name or bench_utils.derive_bench_name(
+        record.get("fullname") for record in records
+    )
+    extra = {"source": str(args.dump), "machine_info": raw.get("machine_info", {})}
+    path = bench_utils.write_bench_json(name, records, extra=extra)
+    print(f"benchmark results written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

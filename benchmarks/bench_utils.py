@@ -10,7 +10,11 @@ place before updates arrive.
 
 from __future__ import annotations
 
+import json
+import platform
+import time
 from functools import lru_cache
+from pathlib import Path
 
 from repro.core.updates import UpdateBatch
 from repro.distributed.cluster import Cluster
@@ -148,6 +152,67 @@ def horizontal_improved_batch(generator, cfds, n_partitions=N_PARTITIONS):
     return ImprovedHorizontalBatchDetector(
         generator.horizontal_partitioner(n_partitions), list(cfds)
     )
+
+
+# -- results files (BENCH_<name>.json) --------------------------------------------------------
+
+
+def write_bench_json(name: str, records: list[dict], extra: dict | None = None) -> Path:
+    """Write benchmark ``records`` to ``BENCH_<name>.json`` in the repo root.
+
+    Every benchmark entry point funnels its measurements through this
+    helper — the pytest suites via the ``--json`` flag wired up in
+    ``benchmarks/conftest.py``, the standalone scripts directly — so the
+    perf trajectory of the repository accumulates as one self-describing
+    file per run.
+    """
+    path = Path(__file__).resolve().parent.parent / f"BENCH_{name}.json"
+    payload = {
+        "name": name,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "records": records,
+    }
+    if extra:
+        payload.update(extra)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def derive_bench_name(fullnames) -> str:
+    """A results-file name from benchmark fullnames: the single module's
+    stem without the ``bench_`` prefix, or ``"suite"`` for mixed runs."""
+    modules = {(fullname or "").split("::", 1)[0] for fullname in fullnames}
+    if len(modules) == 1:
+        stem = Path(next(iter(modules))).stem
+        return stem.removeprefix("bench_") or "suite"
+    return "suite"
+
+
+def bench_records(benchmarks) -> list[dict]:
+    """Compact per-benchmark records from pytest-benchmark fixtures."""
+    records = []
+    for bench in benchmarks:
+        stats = bench.stats
+        records.append(
+            {
+                "name": bench.name,
+                "fullname": bench.fullname,
+                "group": bench.group,
+                "params": bench.params,
+                "extra_info": dict(bench.extra_info),
+                "stats": {
+                    "min": stats.min,
+                    "max": stats.max,
+                    "mean": stats.mean,
+                    "stddev": stats.stddev,
+                    "median": stats.median,
+                    "rounds": stats.rounds,
+                },
+            }
+        )
+    return records
 
 
 # -- benchmark helpers ----------------------------------------------------------------------

@@ -2,11 +2,69 @@
 
 The benchmarks live outside the ``tests`` package; this conftest makes
 the shared ``bench_utils`` module importable regardless of how pytest is
-invoked and groups benchmark output by the experiment each file
-reproduces.
+invoked, groups benchmark output by the experiment each file reproduces,
+and wires up the ``--json`` flag: ``pytest benchmarks/bench_exp01*.py
+--json`` writes the measured stats to ``BENCH_<name>.json`` in the repo
+root (``--json=myname`` picks the file name), so every run can extend
+the repository's perf trajectory.
 """
 
 import sys
 from pathlib import Path
 
+import pytest
+
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="NAME",
+        help=(
+            "write benchmark results to BENCH_<NAME>.json in the repo root "
+            "(default NAME: the benchmark module's name, or 'suite' for "
+            "multi-module runs)"
+        ),
+    )
+
+
+def pytest_configure(config):
+    name = config.getoption("--json")
+    if name in (None, "auto"):
+        return
+    # `--json benchmarks/bench_x.py` makes argparse swallow the test path
+    # as the option value (nargs="?"); catch that early instead of
+    # skipping the file and crashing on a path-shaped results name.
+    if "/" in name or "\\" in name or name.endswith(".py"):
+        raise pytest.UsageError(
+            f"--json got {name!r}, which looks like a test path; use "
+            "--json=NAME (or bare --json before the paths) to pick the "
+            "results name"
+        )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    name = session.config.getoption("--json")
+    if name is None:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    benchmarks = [
+        bench
+        for bench in (bench_session.benchmarks if bench_session else [])
+        if bench.stats is not None
+    ]
+    if not benchmarks:
+        return
+    import bench_utils
+
+    if name == "auto":
+        name = bench_utils.derive_bench_name(b.fullname for b in benchmarks)
+    path = bench_utils.write_bench_json(name, bench_utils.bench_records(benchmarks))
+    terminal = session.config.pluginmanager.get_plugin("terminalreporter")
+    if terminal is not None:
+        terminal.write_line(f"benchmark results written to {path}")

@@ -99,8 +99,21 @@ from repro.similarity import (
     NumericTolerance,
     detect_md_violations,
 )
+from repro.runtime import (
+    EXECUTOR_BACKENDS,
+    Executor,
+    ExecutorError,
+    ProcessExecutor,
+    SchedulerTimings,
+    SerialExecutor,
+    SiteScheduler,
+    SiteTask,
+    TaskResult,
+    ThreadExecutor,
+    make_executor,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -169,6 +182,18 @@ __all__ = [
     "DEFAULT_REGISTRY",
     "register_detector",
     "register_partitioner",
+    # parallel execution runtime
+    "EXECUTOR_BACKENDS",
+    "Executor",
+    "ExecutorError",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "SiteScheduler",
+    "SiteTask",
+    "TaskResult",
+    "SchedulerTimings",
+    "make_executor",
     # similarity extension (matching dependencies)
     "MatchingDependency",
     "MDDetector",

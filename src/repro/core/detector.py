@@ -23,11 +23,23 @@ from repro.core.tuples import Tuple
 from repro.core.violations import ViolationSet
 
 
-class CentralizedDetector:
-    """Batch detector for a set of CFDs over an in-memory relation."""
+def _cfd_violations_task(cfd: CFD, tuples: list[Tuple]) -> set[Any]:
+    """``V(phi, D)`` for one CFD — the pure unit the scheduler fans out."""
+    return CentralizedDetector.violations_of(cfd, tuples)
 
-    def __init__(self, cfds: Iterable[CFD]):
+
+class CentralizedDetector:
+    """Batch detector for a set of CFDs over an in-memory relation.
+
+    With a :class:`~repro.runtime.scheduler.SiteScheduler`, ``detect``
+    fans the per-CFD checks out as one independent task per CFD; without
+    one it runs the plain serial loop (the default, used by the many
+    setup paths that just need the reference violation set).
+    """
+
+    def __init__(self, cfds: Iterable[CFD], scheduler: Any = None):
         self._cfds = list(cfds)
+        self._scheduler = scheduler
 
     @property
     def cfds(self) -> list[CFD]:
@@ -70,6 +82,17 @@ class CentralizedDetector:
         """Compute ``V(Sigma, D)`` with per-CFD marks."""
         tuples = list(relation)
         violations = ViolationSet()
+        if self._scheduler is not None:
+            from repro.runtime.executor import SiteTask
+
+            tasks = [
+                SiteTask(i, _cfd_violations_task, (cfd, tuples), label=cfd.name)
+                for i, cfd in enumerate(self._cfds)
+            ]
+            for cfd, result in zip(self._cfds, self._scheduler.run(tasks)):
+                for tid in result.value:
+                    violations.add(tid, cfd.name)
+            return violations
         for cfd in self._cfds:
             for tid in self.violations_of(cfd, tuples):
                 violations.add(tid, cfd.name)

@@ -12,7 +12,7 @@ derived with :meth:`Schema.project`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 

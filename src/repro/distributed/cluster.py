@@ -16,6 +16,7 @@ from repro.distributed.network import Network
 from repro.distributed.site import Site
 from repro.partition.horizontal import HorizontalPartition, HorizontalPartitioner
 from repro.partition.vertical import VerticalPartition, VerticalPartitioner
+from repro.runtime.scheduler import SiteScheduler
 
 
 class ClusterError(RuntimeError):
@@ -23,15 +24,17 @@ class ClusterError(RuntimeError):
 
 
 class Cluster:
-    """A set of sites plus the shared network."""
+    """A set of sites plus the shared network and site scheduler."""
 
     def __init__(
         self,
         partition: Union[VerticalPartition, HorizontalPartition],
         network: Network | None = None,
+        scheduler: SiteScheduler | None = None,
     ):
         self._partition = partition
         self._network = network or Network()
+        self._scheduler = scheduler or SiteScheduler()
         self._sites: dict[int, Site] = {}
         for site_id, fragment in partition:
             self._sites[site_id] = Site(site_id, fragment)
@@ -46,9 +49,10 @@ class Cluster:
         partitioner: VerticalPartitioner,
         relation: Relation,
         network: Network | None = None,
+        scheduler: SiteScheduler | None = None,
     ) -> "Cluster":
         """Fragment ``relation`` vertically and host the fragments."""
-        return cls(partitioner.fragment(relation), network)
+        return cls(partitioner.fragment(relation), network, scheduler)
 
     @classmethod
     def from_horizontal(
@@ -56,15 +60,21 @@ class Cluster:
         partitioner: HorizontalPartitioner,
         relation: Relation,
         network: Network | None = None,
+        scheduler: SiteScheduler | None = None,
     ) -> "Cluster":
         """Fragment ``relation`` horizontally and host the fragments."""
-        return cls(partitioner.fragment(relation), network)
+        return cls(partitioner.fragment(relation), network, scheduler)
 
     # -- introspection -----------------------------------------------------------------
 
     @property
     def network(self) -> Network:
         return self._network
+
+    @property
+    def scheduler(self) -> SiteScheduler:
+        """The scheduler detectors submit their per-site task rounds to."""
+        return self._scheduler
 
     @property
     def partition(self) -> Union[VerticalPartition, HorizontalPartition]:

@@ -12,7 +12,7 @@ algorithms ship tuples or their MD5 digests.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 

@@ -11,6 +11,7 @@ shipped eqids.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Iterable
@@ -40,37 +41,47 @@ class NetworkStats:
             MessageKind.PARTIAL_TUPLE.value, 0
         )
 
+    @staticmethod
+    def _diff_counters(later: dict, earlier: dict) -> dict:
+        """Per-key difference over the *union* of keys (nonzero entries only)."""
+        deltas = {}
+        for key in later.keys() | earlier.keys():
+            delta = later.get(key, 0) - earlier.get(key, 0)
+            if delta:
+                deltas[key] = delta
+        return deltas
+
     def diff(self, earlier: "NetworkStats") -> "NetworkStats":
-        """Counters accumulated since ``earlier`` was taken."""
-        units = {
-            k: v - earlier.units_by_kind.get(k, 0)
-            for k, v in self.units_by_kind.items()
-            if v - earlier.units_by_kind.get(k, 0)
-        }
-        nbytes = {
-            k: v - earlier.bytes_by_kind.get(k, 0)
-            for k, v in self.bytes_by_kind.items()
-            if v - earlier.bytes_by_kind.get(k, 0)
-        }
-        pairs = {
-            k: v - earlier.messages_by_pair.get(k, 0)
-            for k, v in self.messages_by_pair.items()
-            if v - earlier.messages_by_pair.get(k, 0)
-        }
+        """Counters accumulated since ``earlier`` was taken.
+
+        Total on all snapshot pairs: keys present only in ``earlier``
+        (e.g. after :meth:`Network.reset`) yield negative entries rather
+        than being silently dropped, so ``a.diff(b)`` is always the
+        exact counter movement from ``b`` to ``a``.
+        """
         return NetworkStats(
             messages=self.messages - earlier.messages,
             bytes=self.bytes - earlier.bytes,
-            units_by_kind=units,
-            bytes_by_kind=nbytes,
-            messages_by_pair=pairs,
+            units_by_kind=self._diff_counters(self.units_by_kind, earlier.units_by_kind),
+            bytes_by_kind=self._diff_counters(self.bytes_by_kind, earlier.bytes_by_kind),
+            messages_by_pair=self._diff_counters(
+                self.messages_by_pair, earlier.messages_by_pair
+            ),
         )
 
 
 class Network:
-    """Synchronous message delivery with full shipment accounting."""
+    """Synchronous message delivery with full shipment accounting.
+
+    Counter accumulation is guarded by a lock, so detector tasks running
+    on the thread backend may ship concurrently without corrupting the
+    ledger; :meth:`stats` and :meth:`reset` take the same lock and hence
+    always see (or produce) a consistent snapshot.
+    """
 
     def __init__(self, record_messages: bool = False):
         self._record_messages = record_messages
+        self._lock = threading.Lock()
         self._log: list[Message] = []
         self._messages = 0
         self._bytes = 0
@@ -82,13 +93,14 @@ class Network:
 
     def ship(self, message: Message) -> Any:
         """Deliver ``message`` and account for it; returns the payload."""
-        self._messages += 1
-        self._bytes += message.size_bytes
-        self._units_by_kind[message.kind.value] += message.units
-        self._bytes_by_kind[message.kind.value] += message.size_bytes
-        self._messages_by_pair[(message.sender, message.receiver)] += 1
-        if self._record_messages:
-            self._log.append(message)
+        with self._lock:
+            self._messages += 1
+            self._bytes += message.size_bytes
+            self._units_by_kind[message.kind.value] += message.units
+            self._bytes_by_kind[message.kind.value] += message.size_bytes
+            self._messages_by_pair[(message.sender, message.receiver)] += 1
+            if self._record_messages:
+                self._log.append(message)
         return message.payload
 
     def send(
@@ -134,8 +146,8 @@ class Network:
         """The recorded messages (only if ``record_messages=True``)."""
         return list(self._log)
 
-    def stats(self) -> NetworkStats:
-        """A snapshot of the current counters."""
+    def _snapshot_locked(self) -> NetworkStats:
+        """Build a snapshot; the caller must hold the lock."""
         return NetworkStats(
             messages=self._messages,
             bytes=self._bytes,
@@ -144,11 +156,23 @@ class Network:
             messages_by_pair=dict(self._messages_by_pair),
         )
 
-    def reset(self) -> None:
-        """Zero all counters (and drop the message log)."""
-        self._log.clear()
-        self._messages = 0
-        self._bytes = 0
-        self._units_by_kind.clear()
-        self._bytes_by_kind.clear()
-        self._messages_by_pair.clear()
+    def stats(self) -> NetworkStats:
+        """A consistent snapshot of the current counters."""
+        with self._lock:
+            return self._snapshot_locked()
+
+    def reset(self) -> NetworkStats:
+        """Zero all counters (and drop the message log).
+
+        Returns the final pre-reset snapshot so callers zeroing the
+        ledger between batches keep the totals they are discarding.
+        """
+        with self._lock:
+            final = self._snapshot_locked()
+            self._log.clear()
+            self._messages = 0
+            self._bytes = 0
+            self._units_by_kind.clear()
+            self._bytes_by_kind.clear()
+            self._messages_by_pair.clear()
+        return final

@@ -34,7 +34,7 @@ from repro.engine.registry import (
     register_detector,
     register_partitioner,
 )
-from repro.engine.report import DetectionReport, SiteCost
+from repro.engine.report import DetectionReport, SiteCost, SiteTiming
 from repro.engine.session import DetectionSession, SessionBuilder, SessionError, session
 
 register_builtin_strategies(DEFAULT_REGISTRY)
@@ -58,6 +58,7 @@ __all__ = [
     "SessionError",
     "SingleSite",
     "SiteCost",
+    "SiteTiming",
     "StrategyRegistry",
     "StrategyStateError",
     "VerticalBatchStrategy",

@@ -212,6 +212,7 @@ class VerticalBatchStrategy(_BatchRedetectStrategy):
             self.deployment.vertical_partitioner,
             self._relation,
             network=self.deployment.network,
+            scheduler=self.deployment.scheduler,
         )
 
     def _detect(self) -> ViolationSet:
@@ -233,6 +234,7 @@ class HorizontalBatchStrategy(_BatchRedetectStrategy):
             self.deployment.horizontal_partitioner,
             self._relation,
             network=self.deployment.network,
+            scheduler=self.deployment.scheduler,
         )
 
     def _detect(self) -> ViolationSet:
@@ -337,7 +339,7 @@ class CentralizedStrategy(_BaseStrategy):
 
     def setup(self, deployment: Any, rules: Iterable[CFD]) -> ViolationSet:
         store = _require_single(deployment)
-        self._detector = CentralizedDetector(rules)
+        self._detector = CentralizedDetector(rules, scheduler=store.scheduler)
         self._violations = self._detector.detect(store.relation)
         self.deployment = store
         return self._violations
@@ -366,7 +368,9 @@ class MDBatchStrategy(_BaseStrategy):
 
     def setup(self, deployment: Any, rules: Iterable[Any]) -> ViolationSet:
         store = _require_single(deployment)
-        self._detector = MDDetector(rules, use_blocking=self._use_blocking)
+        self._detector = MDDetector(
+            rules, use_blocking=self._use_blocking, scheduler=store.scheduler
+        )
         self._violations = self._detector.detect(store.relation)
         self.deployment = store
         return self._violations

@@ -25,6 +25,7 @@ from repro.core.relation import Relation
 from repro.core.updates import UpdateBatch
 from repro.core.violations import ViolationDelta, ViolationSet
 from repro.distributed.network import Network, NetworkStats
+from repro.runtime.scheduler import SiteScheduler
 
 
 @runtime_checkable
@@ -58,13 +59,24 @@ class SingleSite:
     deployments uniformly.
     """
 
-    def __init__(self, relation: Relation, network: Network | None = None):
+    def __init__(
+        self,
+        relation: Relation,
+        network: Network | None = None,
+        scheduler: SiteScheduler | None = None,
+    ):
         self.relation = relation
         self._network = network or Network()
+        self._scheduler = scheduler or SiteScheduler()
 
     @property
     def network(self) -> Network:
         return self._network
+
+    @property
+    def scheduler(self) -> SiteScheduler:
+        """The scheduler detectors submit their per-site task rounds to."""
+        return self._scheduler
 
     def is_vertical(self) -> bool:
         return False

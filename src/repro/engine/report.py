@@ -14,6 +14,7 @@ from typing import Any
 
 from repro.core.violations import ViolationSet
 from repro.distributed.network import NetworkStats
+from repro.runtime.scheduler import SchedulerTimings
 
 
 @dataclass(frozen=True)
@@ -23,6 +24,14 @@ class SiteCost:
     site: int
     messages_sent: int = 0
     messages_received: int = 0
+
+
+@dataclass(frozen=True)
+class SiteTiming:
+    """Busy seconds a site's local-detection tasks consumed."""
+
+    site: int
+    seconds: float = 0.0
 
 
 def site_costs_from_stats(stats: NetworkStats) -> tuple[SiteCost, ...]:
@@ -51,6 +60,16 @@ class DetectionReport:
     violations: ViolationSet
     network: NetworkStats
     site_costs: tuple[SiteCost, ...] = field(default_factory=tuple)
+    #: Execution backend the session ran on ("serial", "threads", "processes").
+    executor: str = "serial"
+    #: Wall-clock spent in detector setup plus every apply (seconds).
+    wall_seconds: float = 0.0
+    setup_seconds: float = 0.0
+    apply_seconds: float = 0.0
+    #: The scheduler's round/task ledger (busy vs. critical-path seconds).
+    timings: SchedulerTimings = field(default_factory=SchedulerTimings)
+    #: Busy seconds per site, derived from the scheduler ledger.
+    site_timings: tuple[SiteTiming, ...] = field(default_factory=tuple)
 
     @classmethod
     def build(
@@ -64,7 +83,13 @@ class DetectionReport:
         updates_applied: int,
         violations: ViolationSet,
         network: NetworkStats,
+        executor: str = "serial",
+        wall_seconds: float = 0.0,
+        setup_seconds: float = 0.0,
+        apply_seconds: float = 0.0,
+        timings: SchedulerTimings | None = None,
     ) -> "DetectionReport":
+        timings = timings or SchedulerTimings()
         return cls(
             strategy=strategy,
             partitioning=partitioning,
@@ -75,6 +100,15 @@ class DetectionReport:
             violations=violations.copy(),
             network=network,
             site_costs=site_costs_from_stats(network),
+            executor=executor,
+            wall_seconds=wall_seconds,
+            setup_seconds=setup_seconds,
+            apply_seconds=apply_seconds,
+            timings=timings,
+            site_timings=tuple(
+                SiteTiming(site, seconds)
+                for site, seconds in sorted(timings.seconds_by_site.items())
+            ),
         )
 
     # -- convenient cost views -----------------------------------------------------
@@ -127,6 +161,20 @@ class DetectionReport:
                 }
                 for cost in self.site_costs
             ],
+            "executor": self.executor,
+            "wall_seconds": self.wall_seconds,
+            "setup_seconds": self.setup_seconds,
+            "apply_seconds": self.apply_seconds,
+            "runtime": {
+                "rounds": self.timings.rounds,
+                "tasks": self.timings.tasks,
+                "busy_seconds": self.timings.busy_seconds,
+                "critical_seconds": self.timings.critical_seconds,
+                "site_timings": [
+                    {"site": timing.site, "seconds": timing.seconds}
+                    for timing in self.site_timings
+                ],
+            },
         }
 
     def summary(self) -> str:
@@ -140,10 +188,16 @@ class DetectionReport:
             f"  messages shipped   : {self.messages}",
             f"  bytes shipped      : {self.bytes_shipped}",
             f"  eqids shipped      : {self.eqids_shipped}",
+            f"  executor           : {self.executor} "
+            f"({self.timings.tasks} task(s), {self.timings.rounds} round(s))",
+            f"  wall clock         : {self.wall_seconds:.6f}s "
+            f"(setup {self.setup_seconds:.6f}s + apply {self.apply_seconds:.6f}s)",
         ]
         for cost in self.site_costs:
             lines.append(
                 f"  site {cost.site}: sent {cost.messages_sent}, "
                 f"received {cost.messages_received} messages"
             )
+        for timing in self.site_timings:
+            lines.append(f"  site {timing.site}: busy {timing.seconds:.6f}s in tasks")
         return "\n".join(lines)

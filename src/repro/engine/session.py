@@ -23,14 +23,17 @@ for CFDs, the MD detectors for matching dependencies).
 
 from __future__ import annotations
 
+import time
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.core.relation import Relation
 from repro.core.updates import Update, UpdateBatch
 from repro.core.violations import ViolationDelta, ViolationSet
 from repro.distributed.cluster import Cluster
-from repro.distributed.network import Network
+from repro.distributed.network import Network, NetworkStats
 from repro.engine.protocol import Detector, SingleSite
+from repro.runtime.executor import Executor, ExecutorError, make_executor
+from repro.runtime.scheduler import SchedulerTimings, SiteScheduler
 from repro.engine.registry import (
     DEFAULT_REGISTRY,
     DetectorEntry,
@@ -66,6 +69,8 @@ class SessionBuilder:
         self._strategy_name: str | None = None
         self._strategy_options: dict[str, Any] = {}
         self._network: Network | None = None
+        self._executor_spec: str | Executor = "serial"
+        self._executor_options: dict[str, Any] = {}
 
     # -- configuration ----------------------------------------------------------------
 
@@ -122,6 +127,26 @@ class SessionBuilder:
     def network(self, network: Network) -> "SessionBuilder":
         """Use a caller-owned network (to share or pre-seed cost accounting)."""
         self._network = network
+        return self
+
+    def executor(self, backend: str | Executor, **options: Any) -> "SessionBuilder":
+        """Pick the execution backend for per-site detection tasks.
+
+        ``backend`` is a registered backend name (``"serial"``,
+        ``"threads"``, ``"processes"``) with factory options — e.g.
+        ``.executor("threads", workers=8)`` — or an already-built
+        :class:`~repro.runtime.executor.Executor` instance (which the
+        caller then owns; ``session.close()`` will not shut it down).
+        Every backend produces the identical violation set and identical
+        shipment counts; only wall-clock changes.
+        """
+        if not isinstance(backend, (str, Executor)):
+            raise SessionError(
+                "executor(...) takes a backend name or an Executor instance, "
+                f"not {type(backend).__name__}"
+            )
+        self._executor_spec = backend
+        self._executor_options = dict(options)
         return self
 
     # -- resolution --------------------------------------------------------------------
@@ -185,27 +210,43 @@ class SessionBuilder:
             )
         entry = self._resolve_entry(partitioning, rule_kind)
 
+        try:
+            executor = make_executor(self._executor_spec, **self._executor_options)
+        except ExecutorError as exc:
+            raise SessionError(str(exc)) from None
+        owns_executor = not isinstance(self._executor_spec, Executor)
+        scheduler = SiteScheduler(executor)
+
         network = self._network or Network()
         deployment: Cluster | SingleSite
         if isinstance(self._partitioner, VerticalPartitioner):
             deployment = Cluster.from_vertical(
-                self._partitioner, self._relation, network=network
+                self._partitioner, self._relation, network=network, scheduler=scheduler
             )
         elif isinstance(self._partitioner, HorizontalPartitioner):
             deployment = Cluster.from_horizontal(
-                self._partitioner, self._relation, network=network
+                self._partitioner, self._relation, network=network, scheduler=scheduler
             )
         else:
-            deployment = SingleSite(self._relation, network=network)
+            deployment = SingleSite(self._relation, network=network, scheduler=scheduler)
 
         try:
             detector = entry.create(**self._strategy_options)
         except TypeError as exc:
+            if owns_executor:
+                executor.close()
             raise SessionError(
                 f"strategy {entry.name!r} rejected options "
                 f"{sorted(self._strategy_options)}: {exc}"
             ) from None
-        initial = detector.setup(deployment, self._rules)
+        setup_start = time.perf_counter()
+        try:
+            initial = detector.setup(deployment, self._rules)
+        except BaseException:
+            if owns_executor:
+                executor.close()
+            raise
+        setup_seconds = time.perf_counter() - setup_start
         return DetectionSession(
             entry=entry,
             detector=detector,
@@ -213,6 +254,9 @@ class SessionBuilder:
             rules=list(self._rules),
             partitioning=partitioning,
             initial_violations=initial,
+            scheduler=scheduler,
+            owns_executor=owns_executor,
+            setup_seconds=setup_seconds,
         )
 
 
@@ -228,6 +272,9 @@ class DetectionSession:
         rules: Sequence[Any],
         partitioning: str,
         initial_violations: ViolationSet,
+        scheduler: SiteScheduler | None = None,
+        owns_executor: bool = True,
+        setup_seconds: float = 0.0,
     ):
         self._entry = entry
         self._detector = detector
@@ -237,6 +284,11 @@ class DetectionSession:
         self._initial = initial_violations.copy()
         self._batches_applied = 0
         self._updates_applied = 0
+        self._scheduler = scheduler or SiteScheduler()
+        self._owns_executor = owns_executor
+        self._setup_seconds = setup_seconds
+        self._apply_seconds = 0.0
+        self._closed = False
 
     # -- introspection ------------------------------------------------------------------
 
@@ -294,12 +346,56 @@ class DetectionSession:
     def updates_applied(self) -> int:
         return self._updates_applied
 
+    @property
+    def scheduler(self) -> SiteScheduler:
+        """The scheduler running this session's per-site task rounds."""
+        return self._scheduler
+
+    @property
+    def executor(self) -> str:
+        """The execution backend name ("serial", "threads", "processes")."""
+        return self._scheduler.backend
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock spent in detector setup plus every ``apply`` so far."""
+        return self._setup_seconds + self._apply_seconds
+
+    def timings(self) -> SchedulerTimings:
+        """The per-site/per-round timing ledger of the scheduler."""
+        return self._scheduler.timings()
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the session's executor workers (idempotent).
+
+        Caller-supplied executor instances are left running — whoever
+        built them owns their lifetime.
+        """
+        if not self._closed:
+            self._closed = True
+            if self._owns_executor:
+                self._scheduler.executor.close()
+
+    def __enter__(self) -> "DetectionSession":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
     # -- detection ----------------------------------------------------------------------
 
     def apply(self, updates: UpdateBatch | Iterable[Update]) -> ViolationDelta:
         """Process one update batch and return the net ``delta-V``."""
+        if self._closed:
+            # A pooled executor would lazily resurrect its workers here and
+            # the one-shot close() could never release them again.
+            raise SessionError("session is closed; build a new session to continue")
         batch = updates if isinstance(updates, UpdateBatch) else UpdateBatch(updates)
+        start = time.perf_counter()
         delta = self._detector.apply(batch)
+        self._apply_seconds += time.perf_counter() - start
         self._batches_applied += 1
         self._updates_applied += len(batch)
         return delta
@@ -320,8 +416,20 @@ class DetectionSession:
 
     # -- reporting ----------------------------------------------------------------------
 
+    def reset_costs(self) -> NetworkStats:
+        """Zero the network counters and timing ledger between batches.
+
+        Returns the final pre-reset network snapshot, so callers
+        measuring per-batch costs no longer need to hand-thread
+        "earlier" snapshots through :meth:`NetworkStats.diff`.
+        """
+        self._scheduler.reset_timings()
+        self._setup_seconds = 0.0
+        self._apply_seconds = 0.0
+        return self.network.reset()
+
     def report(self) -> DetectionReport:
-        """A structured snapshot: violations plus per-site shipment costs."""
+        """A structured snapshot: violations, shipment costs and timings."""
         deployment = self.deployment
         n_sites = len(deployment) if deployment is not None else 1
         return DetectionReport.build(
@@ -333,4 +441,9 @@ class DetectionSession:
             updates_applied=self._updates_applied,
             violations=self._detector.violations,
             network=self._detector.cost_stats(),
+            executor=self.executor,
+            wall_seconds=self.wall_seconds,
+            setup_seconds=self._setup_seconds,
+            apply_seconds=self._apply_seconds,
+            timings=self._scheduler.timings(),
         )

@@ -7,18 +7,68 @@ every other variable CFD each site ships the (tid + X + B) projection of
 its locally pattern-matching tuples to a coordinator site, which then
 groups and checks them.  Work and shipment are proportional to |D| per
 CFD.
+
+The per-site phase is expressed as one pure task per site
+(:func:`_site_batch_task`) submitted to the cluster's
+:class:`~repro.runtime.scheduler.SiteScheduler`: each task runs the
+local checks, plans the shipments its site would make and pre-groups its
+pattern-matching tuples by LHS key.  The coordinator then merges the
+partial groups (grouping is associative, so the merged verdicts equal a
+centralized pass over the reconstructed database) and charges the
+planned shipments to the network — identical results and identical
+shipment counts on every executor backend.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.core.cfd import CFD, UNNAMED
 from repro.core.detector import CentralizedDetector
+from repro.core.tuples import Tuple
 from repro.core.violations import ViolationSet
 from repro.distributed.cluster import Cluster
 from repro.distributed.message import MessageKind
 from repro.distributed.serialization import estimate_tuple_bytes
+from repro.runtime.executor import SiteTask
+
+
+def _site_batch_task(
+    local_cfds: list[CFD],
+    general_cfds: list[CFD],
+    ship_names: frozenset[str],
+    tuples: list[Tuple],
+) -> tuple[list[tuple[str, set[Any]]], dict[str, list[tuple[Any, int]]], dict]:
+    """One site's whole batch-detection contribution (pure, picklable).
+
+    Returns ``(local_violations, shipments, groups)``:
+
+    * per locally-checkable CFD, the tids violating it inside this
+      fragment;
+    * per general CFD this site must ship for, the ``(tid, bytes)`` of
+      every locally pattern-matching tuple;
+    * per general CFD, the fragment's partial LHS groups
+      ``{lhs_key: {rhs_value: {tids}}}`` for the coordinator to merge.
+    """
+    local_violations = [
+        (cfd.name, CentralizedDetector.violations_of(cfd, tuples)) for cfd in local_cfds
+    ]
+    shipments: dict[str, list[tuple[Any, int]]] = {}
+    groups: dict[str, dict[tuple, dict[Any, set[Any]]]] = {}
+    for cfd in general_cfds:
+        needed = list(cfd.attributes)
+        ship = shipments.setdefault(cfd.name, []) if cfd.name in ship_names else None
+        by_key = groups.setdefault(cfd.name, {})
+        lhs = cfd.lhs
+        rhs = cfd.rhs
+        for t in tuples:
+            if not cfd.lhs_matches(t):
+                continue
+            if ship is not None:
+                ship.append((t.tid, estimate_tuple_bytes(t, needed)))
+            key = tuple(t[a] for a in lhs)
+            by_key.setdefault(key, {}).setdefault(t[rhs], set()).add(t.tid)
+    return local_violations, shipments, groups
 
 
 class HorizontalBatchDetector:
@@ -33,6 +83,13 @@ class HorizontalBatchDetector:
         self._cfds = list(cfds)
         for cfd in self._cfds:
             cfd.validate_against(self._partitioner.schema)
+        self._local_cfds = [
+            cfd
+            for cfd in self._cfds
+            if cfd.is_constant() or self._is_locally_checkable(cfd)
+        ]
+        local_ids = {id(cfd) for cfd in self._local_cfds}
+        self._general_cfds = [cfd for cfd in self._cfds if id(cfd) not in local_ids]
 
     def _is_locally_checkable(self, cfd: CFD) -> bool:
         if self._partitioner.n_fragments == 1:
@@ -44,45 +101,85 @@ class HorizontalBatchDetector:
                 return False
         return True
 
-    def _ship_for(self, cfd: CFD, coordinator: int) -> None:
-        """Ship locally pattern-matching projections of every tuple to the coordinator."""
+    def _shipping_sites(self, cfd: CFD, coordinator: int) -> frozenset[int]:
+        """Sites that must ship their matching tuples for ``cfd``."""
         constants = {
             a: cfd.pattern.entry(a)
             for a in cfd.lhs
             if cfd.pattern.entry(a) is not UNNAMED
         }
-        needed = list(cfd.attributes)
+        shipping = []
         for frag in self._partitioner.fragments:
             if frag.site == coordinator:
                 continue
             if constants and frag.predicate.conflicts_with_constants(constants):
                 continue
-            fragment = self._cluster.site(frag.site).fragment
-            for t in fragment:
-                if cfd.lhs_matches(t):
-                    self._network.send(
-                        frag.site,
-                        coordinator,
-                        MessageKind.PARTIAL_TUPLE,
-                        {"tid": t.tid},
-                        estimate_tuple_bytes(t, needed),
-                        units=1,
-                        tag=cfd.name,
-                    )
+            shipping.append(frag.site)
+        return frozenset(shipping)
 
     def detect(self) -> ViolationSet:
         """Compute ``V(Sigma, D)`` from scratch, charging shipments to the network."""
         violations = ViolationSet()
         sites = self._cluster.sites()
-        for cfd in self._cfds:
-            if cfd.is_constant() or self._is_locally_checkable(cfd):
-                for site in sites:
-                    for tid in CentralizedDetector.violations_of(cfd, site.fragment):
-                        violations.add(tid, cfd.name)
-                continue
-            coordinator = self._cluster.site_ids()[0]
-            self._ship_for(cfd, coordinator)
-            snapshot = self._cluster.reconstruct()
-            for tid in CentralizedDetector.violations_of(cfd, snapshot):
-                violations.add(tid, cfd.name)
+        coordinator = self._cluster.site_ids()[0]
+        shipping_sites = {
+            cfd.name: self._shipping_sites(cfd, coordinator)
+            for cfd in self._general_cfds
+        }
+
+        tasks = [
+            SiteTask(
+                site.site_id,
+                _site_batch_task,
+                (
+                    self._local_cfds,
+                    self._general_cfds,
+                    frozenset(
+                        name
+                        for name, shippers in shipping_sites.items()
+                        if site.site_id in shippers
+                    ),
+                    list(site.fragment),
+                ),
+                label="batHor",
+            )
+            for site in sites
+        ]
+        results = self._cluster.scheduler.run(tasks)
+
+        # Merge in site order: local verdicts first, then per general CFD the
+        # shipments (charged per matching tuple, exactly as each site would
+        # send them) and the group union.
+        merged: dict[str, dict[tuple, dict[Any, set[Any]]]] = {
+            cfd.name: {} for cfd in self._general_cfds
+        }
+        for result in results:
+            local_violations, shipments, groups = result.value
+            for cfd_name, tids in local_violations:
+                for tid in tids:
+                    violations.add(tid, cfd_name)
+            for cfd_name, shipment in shipments.items():
+                for tid, nbytes in shipment:
+                    self._network.send(
+                        result.site,
+                        coordinator,
+                        MessageKind.PARTIAL_TUPLE,
+                        {"tid": tid},
+                        nbytes,
+                        units=1,
+                        tag=cfd_name,
+                    )
+            for cfd_name, by_key in groups.items():
+                target = merged[cfd_name]
+                for key, by_rhs in by_key.items():
+                    slot = target.setdefault(key, {})
+                    for rhs_value, tids in by_rhs.items():
+                        slot.setdefault(rhs_value, set()).update(tids)
+
+        for cfd in self._general_cfds:
+            for by_rhs in merged[cfd.name].values():
+                if len(by_rhs) > 1:
+                    for tids in by_rhs.values():
+                        for tid in tids:
+                            violations.add(tid, cfd.name)
         return violations

@@ -30,7 +30,42 @@ from repro.core.violations import ViolationDelta, ViolationSet
 from repro.distributed.cluster import Cluster
 from repro.horizontal.single import GeneralCFDProtocol
 from repro.indexes.idx import CFDIndex
+from repro.runtime.executor import SiteTask
 from repro.vertical.single import incremental_delete, incremental_insert
+
+
+def _site_local_task(
+    constant_cfds: list[CFD],
+    indices: dict[str, CFDIndex],
+    updates: list[tuple[int, Update]],
+) -> tuple[dict[str, CFDIndex], list[tuple[int, str, Any, str]]]:
+    """One site's constant checks and equivalence-class maintenance (pure).
+
+    Processes the site's own slice of the batch in order against the
+    site's local indices and returns the (possibly copied, when run on
+    the process backend) indices plus the mark/unmark operations
+    ``(seq, "+"/"-", tid, cfd_name)``, where ``seq`` is the update's
+    global position in the normalized batch.  The coordinator merges all
+    sites' operations back into ``seq`` order before folding them into
+    the shared violation set: a tuple usually lives at exactly one site,
+    but a modification may move a tid across sites within one batch, and
+    only the global batch order folds those correctly.
+    """
+    ops: list[tuple[int, str, Any, str]] = []
+    for seq, update in updates:
+        t = update.tuple
+        inserting = update.is_insert()
+        for cfd in constant_cfds:
+            if cfd.single_tuple_violation(t):
+                ops.append((seq, "+" if inserting else "-", t.tid, cfd.name))
+        for name, index in indices.items():
+            if inserting:
+                for tid in incremental_insert(index, t):
+                    ops.append((seq, "+", tid, name))
+            elif index.applies_to(t):
+                for tid in incremental_delete(index, t):
+                    ops.append((seq, "-", tid, name))
+    return indices, ops
 
 
 class HorizontalIncrementalDetector:
@@ -147,27 +182,6 @@ class HorizontalIncrementalDetector:
 
     # -- per-update processing ------------------------------------------------------------------
 
-    def _process_constant(self, cfd: CFD, update: Update, delta: ViolationDelta) -> None:
-        t = update.tuple
-        if not cfd.single_tuple_violation(t):
-            return
-        if update.is_insert():
-            self._mark(delta, t.tid, cfd.name)
-        else:
-            self._unmark(delta, t.tid, cfd.name)
-
-    def _process_local(
-        self, cfd: CFD, update: Update, site_id: int, delta: ViolationDelta
-    ) -> None:
-        index = self._site_indices[cfd.name][site_id]
-        if update.is_insert():
-            for tid in incremental_insert(index, update.tuple):
-                self._mark(delta, tid, cfd.name)
-        else:
-            if index.applies_to(update.tuple):
-                for tid in incremental_delete(index, update.tuple):
-                    self._unmark(delta, tid, cfd.name)
-
     def _process_general(
         self, cfd: CFD, update: Update, site_id: int, delta: ViolationDelta
     ) -> None:
@@ -182,19 +196,63 @@ class HorizontalIncrementalDetector:
     # -- the batch algorithm (Fig. 8) ---------------------------------------------------------------
 
     def apply(self, updates: UpdateBatch) -> ViolationDelta:
-        """Process a batch of updates and return the net change ``delta-V``."""
+        """Process a batch of updates and return the net change ``delta-V``.
+
+        The batch is routed to the owning sites; constant checks and
+        local equivalence-class maintenance run as one pure task per
+        touched site (the sites are disjoint, so any executor backend
+        yields the serial outcome), and the cross-site protocol of the
+        general variable CFDs then runs at the coordinator in update
+        order.
+        """
         delta = ViolationDelta()
-        for update in updates.normalized():
+        routed: list[tuple[Update, int]] = []
+        by_site: dict[int, list[tuple[int, Update]]] = {}
+        for seq, update in enumerate(updates.normalized()):
             site_id = self._partitioner.route_tuple(update.tuple)
             site = self._cluster.site(site_id)
             if update.is_insert():
                 site.fragment.insert(update.tuple)
             else:
                 site.fragment.discard(update.tid)
-            for cfd in self._constant_cfds:
-                self._process_constant(cfd, update, delta)
-            for cfd in self._local_cfds:
-                self._process_local(cfd, update, site_id, delta)
+            routed.append((update, site_id))
+            by_site.setdefault(site_id, []).append((seq, update))
+
+        if self._constant_cfds or self._local_cfds:
+            tasks = [
+                SiteTask(
+                    site_id,
+                    _site_local_task,
+                    (
+                        self._constant_cfds,
+                        {
+                            cfd.name: self._site_indices[cfd.name][site_id]
+                            for cfd in self._local_cfds
+                        },
+                        site_updates,
+                    ),
+                    label="incHor:local",
+                )
+                for site_id, site_updates in sorted(by_site.items())
+            ]
+            merged_ops: list[tuple[int, str, Any, str]] = []
+            for result in self._cluster.scheduler.run(tasks):
+                indices, ops = result.value
+                for name, index in indices.items():
+                    self._site_indices[name][result.site] = index
+                merged_ops.extend(ops)
+            # Fold in global batch order: a modification can move a tid to
+            # another site mid-batch, and only the update sequence orders
+            # its unmark/mark pair correctly.  The sort is stable, so ops
+            # of one update keep their per-site emission order.
+            merged_ops.sort(key=lambda op: op[0])
+            for _seq, op, tid, name in merged_ops:
+                if op == "+":
+                    self._mark(delta, tid, name)
+                else:
+                    self._unmark(delta, tid, name)
+
+        for update, site_id in routed:
             for cfd in self._general_cfds:
                 self._process_general(cfd, update, site_id, delta)
         return delta

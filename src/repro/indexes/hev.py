@@ -18,7 +18,7 @@ per-update shipment count ``Neqid`` used by the planner.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.core.cfd import CFD
 from repro.distributed.message import MessageKind

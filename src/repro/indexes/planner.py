@@ -24,7 +24,7 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.core.cfd import CFD
 from repro.indexes.equivalence import EqidRegistry
-from repro.indexes.hev import CFDPlanEntry, HEVNode, HEVPlan, PlanError
+from repro.indexes.hev import CFDPlanEntry, HEVNode, HEVPlan
 from repro.partition.replication import ReplicationScheme
 from repro.partition.vertical import VerticalPartitioner
 

@@ -8,7 +8,7 @@ share the base schema, and ``D`` is their union (Section 2.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from repro.core.relation import Relation
 from repro.core.schema import Schema

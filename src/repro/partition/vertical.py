@@ -9,11 +9,11 @@ Section 5 exploits replication to choose cheaper index locations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
 
 from repro.core.relation import Relation
-from repro.core.schema import Schema, SchemaError
+from repro.core.schema import Schema
 from repro.core.tuples import Tuple
 from repro.core.updates import UpdateBatch
 

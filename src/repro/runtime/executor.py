@@ -1,0 +1,210 @@
+"""Pluggable site executors: serial, threads, processes.
+
+The detectors express their per-site local phases as *pure tasks* — a
+top-level function plus picklable arguments, no shared state — and hand
+them to an :class:`Executor`.  All backends return results **in task
+submission order**, so a coordinator that merges results in order sees
+exactly the serial outcome regardless of how the tasks were interleaved;
+this is what makes the parity guarantee (identical violations, identical
+shipment counts on every backend) checkable.
+
+Backends:
+
+* :class:`SerialExecutor` — runs tasks inline, in order.  The default;
+  today's single-threaded semantics.
+* :class:`ThreadExecutor` — a shared :class:`~concurrent.futures.
+  ThreadPoolExecutor`.  Python's GIL serializes pure-Python task bodies,
+  so this backend is mostly useful for validating the task decomposition
+  and for tasks that release the GIL.
+* :class:`ProcessExecutor` — a :class:`~concurrent.futures.
+  ProcessPoolExecutor`.  True CPU parallelism; tasks and their results
+  cross a pickle boundary, so it pays off when per-task compute
+  dominates argument size (chunky per-site work).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+
+class ExecutorError(RuntimeError):
+    """Raised on unknown backend names or invalid executor configurations."""
+
+
+@dataclass(frozen=True)
+class SiteTask:
+    """One independent unit of per-site work.
+
+    ``fn`` must be a module-level callable and ``args`` picklable when
+    the task may run on the process backend.  ``site`` attributes the
+    task's wall-clock to a site in the timing breakdown (use the
+    coordinator's id, or any stable key, for work not owned by one
+    site).
+    """
+
+    site: int
+    fn: Callable[..., Any]
+    args: tuple = ()
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """The outcome of one :class:`SiteTask` (in submission order)."""
+
+    site: int
+    value: Any
+    seconds: float
+    label: str = ""
+
+
+def _timed_call(fn: Callable[..., Any], args: tuple) -> tuple[Any, float]:
+    """Run ``fn(*args)`` and measure it (module-level so processes can pickle it)."""
+    start = time.perf_counter()
+    value = fn(*args)
+    return value, time.perf_counter() - start
+
+
+class Executor(ABC):
+    """Runs a round of independent site tasks; results keep task order."""
+
+    #: Registry name of the backend ("serial", "threads", "processes").
+    name: str = "serial"
+
+    @abstractmethod
+    def run(self, tasks: Sequence[SiteTask]) -> list[TaskResult]:
+        """Execute every task and return results in submission order."""
+
+    def close(self) -> None:
+        """Release pooled workers (no-op for poolless backends)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Run tasks inline on the calling thread — the default backend."""
+
+    name = "serial"
+    workers = 1
+
+    def run(self, tasks: Sequence[SiteTask]) -> list[TaskResult]:
+        results = []
+        for task in tasks:
+            value, seconds = _timed_call(task.fn, task.args)
+            results.append(TaskResult(task.site, value, seconds, task.label))
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SerialExecutor()"
+
+
+class _PooledExecutor(Executor):
+    """Shared machinery for pool-backed backends (lazy pool creation)."""
+
+    def __init__(self, workers: int | None = None):
+        if workers is not None and workers < 1:
+            raise ExecutorError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._pool: Any = None
+
+    def _make_pool(self) -> Any:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def run(self, tasks: Sequence[SiteTask]) -> list[TaskResult]:
+        if not tasks:
+            return []
+        if self._pool is None:
+            self._pool = self._make_pool()
+        futures = [self._pool.submit(_timed_call, task.fn, task.args) for task in tasks]
+        results = []
+        try:
+            for task, future in zip(tasks, futures):
+                value, seconds = future.result()
+                results.append(TaskResult(task.site, value, seconds, task.label))
+        except BaseException:
+            # Don't leave stray tasks of a failed round mutating detector
+            # state behind the caller's back: cancel what hasn't started
+            # and wait out what has before re-raising.
+            for future in futures:
+                future.cancel()
+            concurrent.futures.wait(futures)
+            raise
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class ThreadExecutor(_PooledExecutor):
+    """Run tasks on a thread pool (concurrent, GIL-bound for pure Python)."""
+
+    name = "threads"
+
+    def _make_pool(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+
+class ProcessExecutor(_PooledExecutor):
+    """Run tasks on a process pool (true CPU parallelism, pickle boundary)."""
+
+    name = "processes"
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+
+def _make_serial() -> SerialExecutor:
+    """The serial backend takes no options (a kwarg raises TypeError)."""
+    return SerialExecutor()
+
+
+#: Built-in backend factories, addressable by name from sessions and benchmarks.
+EXECUTOR_BACKENDS: dict[str, Callable[..., Executor]] = {
+    "serial": _make_serial,
+    "threads": ThreadExecutor,
+    "processes": ProcessExecutor,
+}
+
+
+def make_executor(backend: "str | Executor" = "serial", **options: Any) -> Executor:
+    """Build an executor from a backend name, or pass an instance through.
+
+    ``make_executor("threads", workers=8)`` builds a fresh pool;
+    ``make_executor(my_executor)`` returns ``my_executor`` unchanged
+    (options are rejected in that case — configure the instance
+    directly).
+    """
+    if isinstance(backend, Executor):
+        if options:
+            raise ExecutorError(
+                "options are only accepted with a backend name, not an "
+                "executor instance"
+            )
+        return backend
+    if not isinstance(backend, str):
+        raise ExecutorError(
+            f"backend must be a name or an Executor instance, not {type(backend).__name__}"
+        )
+    try:
+        factory = EXECUTOR_BACKENDS[backend]
+    except KeyError:
+        known = ", ".join(sorted(EXECUTOR_BACKENDS))
+        raise ExecutorError(f"unknown executor backend {backend!r}; known: {known}") from None
+    try:
+        return factory(**options)
+    except TypeError as exc:
+        raise ExecutorError(f"backend {backend!r} rejected options: {exc}") from None

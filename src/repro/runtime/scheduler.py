@@ -1,0 +1,106 @@
+"""The site scheduler: rounds of independent per-site tasks between sync points.
+
+Detectors partition each phase of their work into :class:`~repro.runtime.
+executor.SiteTask` units (local violation checks, equivalence-class
+maintenance, MD candidate matching, ...) and submit one *round* at a
+time.  A round is a synchronisation barrier: the scheduler returns when
+every task of the round has finished, the coordinator merges the results
+in task order, and only then does the next phase start.  Network
+shipments are charged by the coordinator during the merge, never from
+inside a task — tasks stay pure and the shipment counters stay identical
+across backends.
+
+The scheduler also keeps the timing ledger: per-site busy seconds, and
+per-round critical-path seconds (the wall-clock a perfectly parallel
+backend would need).  Sessions surface this breakdown through
+``DetectionReport``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.runtime.executor import Executor, SerialExecutor, SiteTask, TaskResult
+
+
+@dataclass(frozen=True)
+class SchedulerTimings:
+    """A snapshot of the scheduler's timing ledger."""
+
+    rounds: int = 0
+    tasks: int = 0
+    #: Sum of all task durations (total CPU-side work submitted).
+    busy_seconds: float = 0.0
+    #: Sum over rounds of the slowest task — the ideal parallel wall-clock.
+    critical_seconds: float = 0.0
+    #: Busy seconds attributed to each site id.
+    seconds_by_site: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def parallelism(self) -> float:
+        """How much faster than one core an ideal backend could run the rounds."""
+        if self.critical_seconds <= 0.0:
+            return 1.0
+        return self.busy_seconds / self.critical_seconds
+
+
+class SiteScheduler:
+    """Runs rounds of site tasks on an executor and keeps the timing ledger."""
+
+    def __init__(self, executor: Executor | None = None):
+        self._executor = executor or SerialExecutor()
+        self._rounds = 0
+        self._tasks = 0
+        self._busy = 0.0
+        self._critical = 0.0
+        self._by_site: dict[int, float] = {}
+
+    @property
+    def executor(self) -> Executor:
+        return self._executor
+
+    @property
+    def backend(self) -> str:
+        """The executor backend name ("serial", "threads", "processes")."""
+        return self._executor.name
+
+    # -- execution ----------------------------------------------------------------------
+
+    def run(self, tasks: Sequence[SiteTask]) -> list[TaskResult]:
+        """Run one round of tasks; results come back in submission order."""
+        if not tasks:
+            return []
+        results = self._executor.run(tasks)
+        self._rounds += 1
+        self._tasks += len(results)
+        slowest = 0.0
+        for result in results:
+            self._busy += result.seconds
+            slowest = max(slowest, result.seconds)
+            self._by_site[result.site] = self._by_site.get(result.site, 0.0) + result.seconds
+        self._critical += slowest
+        return results
+
+    # -- timing ledger --------------------------------------------------------------------
+
+    def timings(self) -> SchedulerTimings:
+        """An immutable snapshot of the counters accumulated so far."""
+        return SchedulerTimings(
+            rounds=self._rounds,
+            tasks=self._tasks,
+            busy_seconds=self._busy,
+            critical_seconds=self._critical,
+            seconds_by_site=dict(self._by_site),
+        )
+
+    def reset_timings(self) -> None:
+        """Zero the ledger (e.g. between measured batches)."""
+        self._rounds = 0
+        self._tasks = 0
+        self._busy = 0.0
+        self._critical = 0.0
+        self._by_site.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SiteScheduler({self._executor!r}, {self._rounds} rounds)"

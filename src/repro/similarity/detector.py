@@ -19,12 +19,32 @@ from repro.similarity.blocking import BlockingIndex
 from repro.similarity.md import MatchingDependency
 
 
-class MDDetector:
-    """Batch detector for a set of matching dependencies."""
+def _md_violations_task(
+    md: MatchingDependency, tuples: list[Tuple], use_blocking: bool
+) -> set[Any]:
+    """Candidate matching for one MD — the pure unit the scheduler fans out."""
+    if use_blocking:
+        return MDDetector.violations_of_blocked(md, tuples)
+    return MDDetector.violations_of(md, tuples)
 
-    def __init__(self, mds: Iterable[MatchingDependency], use_blocking: bool = True):
+
+class MDDetector:
+    """Batch detector for a set of matching dependencies.
+
+    With a :class:`~repro.runtime.scheduler.SiteScheduler`, ``detect``
+    runs the candidate matching of every MD as one independent task;
+    without one it loops serially (the default).
+    """
+
+    def __init__(
+        self,
+        mds: Iterable[MatchingDependency],
+        use_blocking: bool = True,
+        scheduler: Any = None,
+    ):
         self._mds = list(mds)
         self._use_blocking = use_blocking
+        self._scheduler = scheduler
 
     @property
     def mds(self) -> list[MatchingDependency]:
@@ -65,6 +85,22 @@ class MDDetector:
         """All MD violations, each tuple marked with the MDs it violates."""
         tuples = list(relation)
         violations = ViolationSet()
+        if self._scheduler is not None:
+            from repro.runtime.executor import SiteTask
+
+            tasks = [
+                SiteTask(
+                    i,
+                    _md_violations_task,
+                    (md, tuples, self._use_blocking),
+                    label=md.name,
+                )
+                for i, md in enumerate(self._mds)
+            ]
+            for md, result in zip(self._mds, self._scheduler.run(tasks)):
+                for tid in result.value:
+                    violations.add(tid, md.name)
+            return violations
         for md in self._mds:
             if self._use_blocking:
                 violating = self.violations_of_blocked(md, tuples)

@@ -29,7 +29,6 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any, Iterable
 
-from repro.core.detector import CentralizedDetector
 from repro.core.relation import Relation
 from repro.core.tuples import Tuple
 from repro.core.updates import UpdateBatch

@@ -18,7 +18,7 @@ at least one such pair is reported as a violation.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.core.schema import Schema
 from repro.similarity.predicates import ExactMatch, SimilarityPredicate

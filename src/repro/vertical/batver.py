@@ -9,18 +9,63 @@ local projection matches the pattern; locally checkable variable CFDs
 ship nothing.  Both the work and the shipment are proportional to |D|
 (per CFD), which is exactly the behaviour the incremental algorithm
 avoids.
+
+Execution is split into two scheduler rounds: one pure task per site
+plans the shipments the site would make (:func:`_site_ship_task`), then
+one pure task per CFD checks it against the reconstructed snapshot
+(:func:`_check_cfd_task`).  The coordinator charges the planned
+shipments to the network between the rounds, so every executor backend
+yields the identical violation set and identical shipment counts.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.core.cfd import CFD, UNNAMED
 from repro.core.detector import CentralizedDetector
+from repro.core.tuples import Tuple
 from repro.core.violations import ViolationSet
 from repro.distributed.cluster import Cluster
 from repro.distributed.message import MessageKind
 from repro.distributed.serialization import estimate_tuple_bytes
+from repro.runtime.executor import SiteTask
+
+
+def _site_ship_task(
+    constant_specs: list[tuple[str, list[str], dict[str, Any]]],
+    variable_specs: list[tuple[str, list[str]]],
+    tuples: list[Tuple],
+) -> dict[str, list[tuple[Any, int]]]:
+    """Plan one site's shipments for every CFD (pure, picklable).
+
+    ``constant_specs`` carries ``(cfd_name, relevant_lhs_attrs,
+    constants)`` for each constant CFD the site holds LHS attributes of:
+    tuples whose local projection matches the pattern ship their
+    ``relevant`` attributes.  ``variable_specs`` carries ``(cfd_name,
+    supplied_attrs)`` for each general variable CFD this site supplies
+    columns to: every tuple ships its ``supplied`` projection.
+    """
+    shipments: dict[str, list[tuple[Any, int]]] = {}
+    for cfd_name, relevant, constants in constant_specs:
+        ship = shipments.setdefault(cfd_name, [])
+        for t in tuples:
+            if all(t[a] == constants[a] for a in relevant if a in constants):
+                ship.append((t.tid, estimate_tuple_bytes(t, relevant)))
+    for cfd_name, supplied in variable_specs:
+        ship = shipments.setdefault(cfd_name, [])
+        for t in tuples:
+            ship.append((t.tid, estimate_tuple_bytes(t, supplied)))
+    return shipments
+
+
+def _check_cfds_task(cfds: list[CFD], tuples: list[Tuple]) -> list[set[Any]]:
+    """``V(phi, D)`` for each CFD checked at one coordinator site (pure).
+
+    Bundling a site's CFDs into one task ships the snapshot across the
+    process backend's pickle boundary once per site, not once per CFD.
+    """
+    return [CentralizedDetector.violations_of(cfd, tuples) for cfd in cfds]
 
 
 class VerticalBatchDetector:
@@ -36,7 +81,7 @@ class VerticalBatchDetector:
         for cfd in self._cfds:
             cfd.validate_against(self._partitioner.schema)
 
-    # -- shipment accounting -----------------------------------------------------------
+    # -- shipment planning -----------------------------------------------------------
 
     def _coordinator_for(self, cfd: CFD) -> int:
         """The site already holding the most attributes of the CFD."""
@@ -51,72 +96,112 @@ class VerticalBatchDetector:
         assert best_site is not None
         return best_site
 
-    def _ship_variable_cfd(self, cfd: CFD, coordinator: int) -> None:
-        """Ship the columns a general variable CFD needs to its coordinator."""
+    def _variable_supplies(self, cfd: CFD, coordinator: int) -> dict[int, list[str]]:
+        """Which columns each site ships to a general variable CFD's coordinator."""
         wanted = set(cfd.attributes)
-        already_there = set(
-            self._partitioner.fragment_for_site(coordinator).attributes
-        )
-        missing = wanted - already_there
-        if not missing:
-            return
+        missing = wanted - set(self._partitioner.fragment_for_site(coordinator).attributes)
+        supplies: dict[int, list[str]] = {}
         for frag in self._partitioner.fragments:
-            if frag.site == coordinator:
+            if frag.site == coordinator or not missing:
                 continue
             supplied = [a for a in frag.attributes if a in missing]
-            if not supplied:
-                continue
-            fragment = self._cluster.site(frag.site).fragment
-            for t in fragment:
-                self._network.send(
-                    frag.site,
-                    coordinator,
-                    MessageKind.PARTIAL_TUPLE,
-                    {"tid": t.tid},
-                    estimate_tuple_bytes(t, supplied),
-                    units=1,
-                    tag=cfd.name,
-                )
-            missing -= set(supplied)
+            if supplied:
+                supplies[frag.site] = supplied
+                missing -= set(supplied)
+        return supplies
 
-    def _ship_constant_cfd(self, cfd: CFD, coordinator: int) -> None:
-        """Ship locally pattern-matching partial tuples for a constant CFD."""
-        pattern = cfd.pattern
-        constants = {
-            a: pattern.entry(a) for a in cfd.lhs if pattern.entry(a) is not UNNAMED
-        }
+    def _constant_relevant(self, cfd: CFD, coordinator: int) -> dict[int, list[str]]:
+        """Which LHS attributes each non-coordinator site checks and ships."""
+        relevant: dict[int, list[str]] = {}
         for frag in self._partitioner.fragments:
             if frag.site == coordinator:
                 continue
-            relevant = [a for a in frag.attributes if a in cfd.lhs]
-            if not relevant:
-                continue
-            fragment = self._cluster.site(frag.site).fragment
-            for t in fragment:
-                if all(t[a] == constants[a] for a in relevant if a in constants):
-                    self._network.send(
-                        frag.site,
-                        coordinator,
-                        MessageKind.PARTIAL_TUPLE,
-                        {"tid": t.tid},
-                        estimate_tuple_bytes(t, relevant),
-                        units=1,
-                        tag=cfd.name,
-                    )
+            attrs = [a for a in frag.attributes if a in cfd.lhs]
+            if attrs:
+                relevant[frag.site] = attrs
+        return relevant
 
     # -- detection ------------------------------------------------------------------------
 
     def detect(self) -> ViolationSet:
         """Compute ``V(Sigma, D)`` from scratch, charging shipments to the network."""
-        snapshot = self._cluster.reconstruct()
+        snapshot = list(self._cluster.reconstruct())
         violations = ViolationSet()
+
+        # Plan, per site, the per-CFD shipments (metadata only; the task scans
+        # the site's own partial tuples).
+        constant_specs: dict[int, list[tuple[str, list[str], dict[str, Any]]]] = {}
+        variable_specs: dict[int, list[tuple[str, list[str]]]] = {}
+        coordinators: dict[str, int] = {}
         for cfd in self._cfds:
             if cfd.is_constant():
                 coordinator = self._partitioner.home_site(cfd.rhs)
-                self._ship_constant_cfd(cfd, coordinator)
+                coordinators[cfd.name] = coordinator
+                pattern = cfd.pattern
+                constants = {
+                    a: pattern.entry(a)
+                    for a in cfd.lhs
+                    if pattern.entry(a) is not UNNAMED
+                }
+                for site, relevant in self._constant_relevant(cfd, coordinator).items():
+                    constant_specs.setdefault(site, []).append(
+                        (cfd.name, relevant, constants)
+                    )
             elif self._partitioner.is_local(cfd.attributes) is None:
                 coordinator = self._coordinator_for(cfd)
-                self._ship_variable_cfd(cfd, coordinator)
-            for tid in CentralizedDetector.violations_of(cfd, snapshot):
-                violations.add(tid, cfd.name)
+                coordinators[cfd.name] = coordinator
+                for site, supplied in self._variable_supplies(cfd, coordinator).items():
+                    variable_specs.setdefault(site, []).append((cfd.name, supplied))
+
+        ship_tasks = [
+            SiteTask(
+                site.site_id,
+                _site_ship_task,
+                (
+                    constant_specs.get(site.site_id, []),
+                    variable_specs.get(site.site_id, []),
+                    list(site.fragment),
+                ),
+                label="batVer:ship",
+            )
+            for site in self._cluster.sites()
+            if site.site_id in constant_specs or site.site_id in variable_specs
+        ]
+        planned: dict[int, dict[str, list[tuple[Any, int]]]] = {
+            result.site: result.value
+            for result in self._cluster.scheduler.run(ship_tasks)
+        }
+
+        # Charge the shipments in the serial order (per CFD, per site, per
+        # tuple), then check every CFD against the snapshot in parallel.
+        for cfd in self._cfds:
+            coordinator = coordinators.get(cfd.name)
+            if coordinator is None:
+                continue
+            for frag in self._partitioner.fragments:
+                for tid, nbytes in planned.get(frag.site, {}).get(cfd.name, []):
+                    self._network.send(
+                        frag.site,
+                        coordinator,
+                        MessageKind.PARTIAL_TUPLE,
+                        {"tid": tid},
+                        nbytes,
+                        units=1,
+                        tag=cfd.name,
+                    )
+
+        by_check_site: dict[int, list[CFD]] = {}
+        for cfd in self._cfds:
+            site = coordinators.get(cfd.name, self._partitioner.home_site(cfd.rhs))
+            by_check_site.setdefault(site, []).append(cfd)
+        check_tasks = [
+            SiteTask(site, _check_cfds_task, (cfds, snapshot), label="batVer:check")
+            for site, cfds in sorted(by_check_site.items())
+        ]
+        for (_site, cfds), result in zip(
+            sorted(by_check_site.items()), self._cluster.scheduler.run(check_tasks)
+        ):
+            for cfd, tids in zip(cfds, result.value):
+                for tid in tids:
+                    violations.add(tid, cfd.name)
         return violations

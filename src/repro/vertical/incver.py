@@ -34,6 +34,31 @@ from repro.distributed.serialization import estimate_tuple_bytes
 from repro.indexes.hev import HEVPlan, ShipmentCache
 from repro.indexes.idx import CFDIndex
 from repro.indexes.planner import HEVPlanner, naive_chain_plan
+from repro.runtime.executor import SiteTask
+
+
+def _variable_cfd_task(
+    index: CFDIndex, updates: list[Update]
+) -> tuple[CFDIndex, list[tuple[str, Any]]]:
+    """Maintain one variable CFD's IDX over a whole batch (pure, picklable).
+
+    Runs ``incVIns`` / ``incVDel`` per update in batch order and returns
+    the (possibly copied, on the process backend) index together with
+    the ordered mark/unmark operations ``("+"/"-", tid)``.  Each
+    variable CFD owns its index and its slice of the violation marks, so
+    the CFDs of a batch are independent tasks.
+    """
+    from repro.vertical.single import incremental_delete, incremental_insert
+
+    ops: list[tuple[str, Any]] = []
+    for update in updates:
+        if update.is_insert():
+            for tid in incremental_insert(index, update.tuple):
+                ops.append(("+", tid))
+        elif index.applies_to(update.tuple):
+            for tid in incremental_delete(index, update.tuple):
+                ops.append(("-", tid))
+    return index, ops
 
 
 class VerticalIncrementalDetector:
@@ -178,23 +203,12 @@ class VerticalIncrementalDetector:
         else:
             self._unmark(delta, t.tid, cfd.name)
 
-    def _process_variable(
-        self, cfd: CFD, update: Update, delta: ViolationDelta
-    ) -> None:
-        index = self._indices[cfd.name]
-        from repro.vertical.single import incremental_delete, incremental_insert
-
-        if update.is_insert():
-            changed = incremental_insert(index, update.tuple)
-            for tid in changed:
-                self._mark(delta, tid, cfd.name)
-        else:
-            if index.applies_to(update.tuple):
-                changed = incremental_delete(index, update.tuple)
-            else:
-                changed = set()
-            for tid in changed:
-                self._unmark(delta, tid, cfd.name)
+    def _idx_site(self, cfd: CFD) -> int:
+        """The site hosting the CFD's IDX (for the timing breakdown)."""
+        try:
+            return self._plan.idx_site(cfd.name)
+        except Exception:
+            return self._cluster.site_ids()[0]
 
     # -- the batch algorithm (Fig. 5) -----------------------------------------------------------
 
@@ -205,19 +219,46 @@ class VerticalIncrementalDetector:
         cancel each other are dropped).  For every surviving update the
         eqid shipments required by the general variable CFDs are charged
         to the cluster network, sharing HEVs across CFDs within the
-        update as the plan prescribes.
+        update as the plan prescribes.  The constant checks and eqid
+        shipments run at the coordinator in update order; the per-CFD
+        IDX maintenance then runs as one independent task per variable
+        CFD on the cluster's scheduler (every CFD owns its index and its
+        violation marks, so any executor backend yields the serial
+        outcome).
         """
         delta = ViolationDelta()
-        for update in updates.normalized():
+        normalized = list(updates.normalized())
+        if not normalized:
+            return delta
+        for update in normalized:
             t = update.tuple
             self._maintain_fragments(update)
             cache = ShipmentCache()
             for cfd in self._constant_cfds:
                 self._process_constant(cfd, update, delta)
-            for cfd, _site in self._local_cfds:
-                self._process_variable(cfd, update, delta)
             for cfd in self._general_cfds:
                 if cfd.lhs_matches(t):
                     self._plan.evaluate_keys(cfd.name, t, self._network, cache)
-                self._process_variable(cfd, update, delta)
+
+        variable_cfds = [(cfd, site) for cfd, site in self._local_cfds]
+        variable_cfds += [(cfd, self._idx_site(cfd)) for cfd in self._general_cfds]
+        tasks = [
+            SiteTask(
+                site,
+                _variable_cfd_task,
+                (self._indices[cfd.name], normalized),
+                label=f"incVer:{cfd.name}",
+            )
+            for cfd, site in variable_cfds
+        ]
+        for (cfd, _site), result in zip(
+            variable_cfds, self._cluster.scheduler.run(tasks)
+        ):
+            index, ops = result.value
+            self._indices[cfd.name] = index
+            for op, tid in ops:
+                if op == "+":
+                    self._mark(delta, tid, cfd.name)
+                else:
+                    self._unmark(delta, tid, cfd.name)
         return delta

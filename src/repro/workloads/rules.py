@@ -16,7 +16,7 @@ of CFDs from them:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.core.cfd import CFD

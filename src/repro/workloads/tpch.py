@@ -15,7 +15,6 @@ the paper does — only at laptop scale.
 from __future__ import annotations
 
 import random
-from typing import Iterable
 
 from repro.core.relation import Relation
 from repro.core.schema import Schema

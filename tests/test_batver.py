@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.detector import detect_violations
-from repro.core.updates import UpdateBatch
 from repro.distributed.cluster import Cluster
 from repro.distributed.network import Network
 from repro.vertical.batver import VerticalBatchDetector

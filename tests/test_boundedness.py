@@ -14,7 +14,6 @@ from repro.horizontal.inchor import HorizontalIncrementalDetector
 from repro.vertical.incver import VerticalIncrementalDetector
 from repro.workloads.rules import generate_cfds
 from repro.workloads.tpch import TPCHGenerator
-from repro.workloads.updates import generate_updates
 
 
 @pytest.fixture(scope="module")

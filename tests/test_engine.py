@@ -32,7 +32,7 @@ from repro.similarity import (
     NumericTolerance,
 )
 from repro.vertical.incver import VerticalIncrementalDetector
-from repro.workloads import EmpWorkload, TPCHGenerator, generate_cfds, generate_updates
+from repro.workloads import EmpWorkload, generate_cfds, generate_updates
 
 
 @pytest.fixture

@@ -8,7 +8,6 @@ centralized reference detector run on the updated database.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -22,7 +21,7 @@ from repro.core.violations import diff_violations
 from repro.distributed.cluster import Cluster
 from repro.horizontal.inchor import HorizontalIncrementalDetector
 from repro.partition.horizontal import hash_horizontal_scheme
-from repro.partition.vertical import VerticalPartitioner, even_vertical_scheme
+from repro.partition.vertical import even_vertical_scheme
 from repro.vertical.incver import VerticalIncrementalDetector
 
 SCHEMA = Schema("R", ["k", "a", "b", "c", "d"], key="k")

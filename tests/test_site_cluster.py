@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.relation import Relation
 from repro.core.schema import Schema
-from repro.core.tuples import Tuple
 from repro.distributed.cluster import Cluster, ClusterError
 from repro.distributed.network import Network
 from repro.distributed.site import Site

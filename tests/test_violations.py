@@ -1,6 +1,5 @@
 """Tests for repro.core.violations."""
 
-import pytest
 
 from repro.core.violations import ViolationDelta, ViolationSet, diff_violations
 
