@@ -44,6 +44,7 @@ from repro.core import (
     merge_into_tableaux,
 )
 from repro.distributed import Cluster, Network, NetworkStats, Site
+from repro.columnar import ColumnStore, ValueDictionary, column_store_of
 from repro.indexes import CFDIndex, EqidRegistry, HEVPlan, HEVPlanner, naive_chain_plan
 from repro.partition import (
     AttributeEquals,
@@ -86,6 +87,7 @@ from repro.engine import (
     StrategyRegistry,
     register_detector,
     register_partitioner,
+    register_storage,
     session,
 )
 from repro.similarity import (
@@ -139,6 +141,10 @@ __all__ = [
     "Network",
     "NetworkStats",
     "Site",
+    # columnar storage backend
+    "ColumnStore",
+    "ValueDictionary",
+    "column_store_of",
     # partitioning
     "VerticalFragment",
     "VerticalPartitioner",
@@ -182,6 +188,7 @@ __all__ = [
     "DEFAULT_REGISTRY",
     "register_detector",
     "register_partitioner",
+    "register_storage",
     # parallel execution runtime
     "EXECUTOR_BACKENDS",
     "Executor",

@@ -1,0 +1,106 @@
+"""Dictionary encoding (value interning) for the columnar backend.
+
+A :class:`ValueDictionary` maps attribute values to small integer codes
+and back.  Equality follows Python's ``dict`` semantics: two values that
+compare equal (and hash equal) share one code, so grouping rows by code
+tuples partitions them exactly like grouping row dicts by value tuples —
+the property every vectorized kernel relies on for parity with the row
+backend.
+
+Caveats (documented in the README):
+
+* *Equal-but-distinguishable values.*  ``1``, ``1.0`` and ``True``
+  compare equal, so they intern to one code whose decoded representative
+  is the first value seen.  Detection semantics (which are pure ``==``)
+  are unaffected, but a reconstructed tuple may carry ``1`` where the
+  original held ``1.0`` — and the cached per-code wire size is the
+  representative's, so shipment *byte* counters can drift from the row
+  backend when equal values of different widths (``True`` vs ``1``) mix
+  in one column.  Columns with such mixes should stay on the ``rows``
+  backend.
+* *Non-hashable values.*  Values that raise ``TypeError`` under
+  ``hash()`` (lists, dicts, ...) fall back to a linear equality scan
+  over the unhashable representatives; correct, but O(distinct) per
+  intern, so columnar storage is only worthwhile when such values are
+  rare.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.distributed.serialization import estimate_value_bytes
+
+
+class ValueDictionary:
+    """An append-only value ↔ code mapping with cached wire-size estimates."""
+
+    __slots__ = ("_codes", "_values", "_unhashable", "_bytes")
+
+    def __init__(self) -> None:
+        self._codes: dict[Any, int] = {}
+        self._values: list[Any] = []
+        self._unhashable: list[tuple[Any, int]] = []
+        self._bytes: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    # -- encoding ----------------------------------------------------------------
+
+    def intern(self, value: Any) -> int:
+        """The code of ``value``, assigning a fresh one on first sight."""
+        try:
+            code = self._codes.get(value)
+        except TypeError:
+            return self._intern_unhashable(value)
+        if code is None:
+            code = len(self._values)
+            self._codes[value] = code
+            self._values.append(value)
+            self._bytes.append(estimate_value_bytes(value))
+        return code
+
+    def _intern_unhashable(self, value: Any) -> int:
+        for seen, code in self._unhashable:
+            if seen == value:
+                return code
+        code = len(self._values)
+        self._unhashable.append((value, code))
+        self._values.append(value)
+        self._bytes.append(estimate_value_bytes(value))
+        return code
+
+    def code_of(self, value: Any) -> int | None:
+        """The code of ``value`` if it has been interned, else None."""
+        try:
+            return self._codes.get(value)
+        except TypeError:
+            for seen, code in self._unhashable:
+                if seen == value:
+                    return code
+            return None
+
+    # -- decoding ----------------------------------------------------------------
+
+    def value(self, code: int) -> Any:
+        """The representative value of ``code`` (first value interned to it)."""
+        return self._values[code]
+
+    def values_list(self) -> list[Any]:
+        """The code→representative table (do not mutate)."""
+        return self._values
+
+    def byte_size(self, code: int) -> int:
+        """``estimate_value_bytes`` of the representative, cached per code."""
+        return self._bytes[code]
+
+    def byte_sizes(self) -> list[int]:
+        """The code→wire-size table (do not mutate)."""
+        return self._bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ValueDictionary({len(self._values)} distinct values)"

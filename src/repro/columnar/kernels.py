@@ -1,0 +1,199 @@
+"""Vectorized CFD detection kernels over a :class:`ColumnStore`.
+
+Every kernel is the column-sweep equivalent of a tuple-at-a-time loop
+somewhere in the detectors, and produces *bit-identical* results: the
+dictionary encoding preserves ``==`` semantics, so grouping rows by code
+keys partitions them exactly like grouping tuples by value keys, and the
+cached per-code wire sizes reproduce ``estimate_tuple_bytes`` byte for
+byte.  The shared primitive is :meth:`ColumnStore.grouped_rows` — the
+LHS equivalence classes of a relation are computed once per attribute
+list and reused by every CFD over those attributes (constant checks,
+variable checks, IDX builds and shipment scans alike), instead of once
+per tuple per CFD as in the row backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.cfd import CFD, UNNAMED
+from repro.distributed.serialization import TID_BYTES
+from repro.columnar.store import ColumnStore
+
+
+def _matching_group_items(
+    store: ColumnStore, cfd: CFD
+) -> Iterable[tuple[Any, list[int]]]:
+    """The ``(code_key, rows)`` groups over ``cfd.lhs`` whose key matches
+    the CFD's LHS pattern constants (all groups for an all-wildcard LHS)."""
+    lhs = cfd.lhs
+    groups = store.grouped_rows(lhs)
+    pattern = cfd.pattern
+    tests: list[tuple[int, int]] = []
+    for i, a in enumerate(lhs):
+        entry = pattern.entry(a)
+        if entry is UNNAMED:
+            continue
+        code = store.dictionary(a).code_of(entry)
+        if code is None:
+            return ()  # the constant never occurs: no row can match
+        tests.append((i, code))
+    if not tests:
+        return groups.items()
+    if len(lhs) == 1:
+        code = tests[0][1]
+        rows = groups.get(code)
+        return ((code, rows),) if rows is not None else ()
+    return (
+        (key, rows)
+        for key, rows in groups.items()
+        if all(key[i] == code for i, code in tests)
+    )
+
+
+# -- violation kernels (CentralizedDetector.violations_of equivalents) ---------------
+
+
+def constant_violations(cfd: CFD, store: ColumnStore) -> set[Any]:
+    """``V(phi, D)`` for a constant CFD: one sweep over the LHS groups."""
+    rhs_code = store.dictionary(cfd.rhs).code_of(cfd.pattern.entry(cfd.rhs))
+    rhs_col = store.codes(cfd.rhs)
+    tid_at = store.tid_of_row
+    violating: set[Any] = set()
+    for _key, rows in _matching_group_items(store, cfd):
+        if rhs_code is None:
+            violating.update(tid_at(r) for r in rows)
+        else:
+            violating.update(tid_at(r) for r in rows if rhs_col[r] != rhs_code)
+    return violating
+
+
+def variable_violations(cfd: CFD, store: ColumnStore) -> set[Any]:
+    """``V(phi, D)`` for a variable CFD: groups holding >1 distinct RHS code."""
+    rhs_col = store.codes(cfd.rhs)
+    tid_at = store.tid_of_row
+    violating: set[Any] = set()
+    for _key, rows in _matching_group_items(store, cfd):
+        if len(rows) < 2:
+            continue
+        first = rhs_col[rows[0]]
+        if any(rhs_col[r] != first for r in rows):
+            violating.update(tid_at(r) for r in rows)
+    return violating
+
+
+def violations_of(cfd: CFD, store: ColumnStore) -> set[Any]:
+    """``V(phi, D)`` for one CFD — the columnar twin of the row-backend scan."""
+    if cfd.is_constant():
+        return constant_violations(cfd, store)
+    return variable_violations(cfd, store)
+
+
+# -- bulk index construction -----------------------------------------------------------
+
+
+def build_cfd_index(index: Any, store: ColumnStore) -> None:
+    """Populate a :class:`~repro.indexes.idx.CFDIndex` from encoded columns.
+
+    The grouped LHS keys are computed once for the whole relation (and
+    shared with every other kernel over the same attributes), then each
+    group is decoded once and loaded wholesale — instead of re-resolving
+    pattern entries and building a key tuple per tuple.
+    """
+    cfd = index.cfd
+    rhs_col = store.codes(cfd.rhs)
+    rhs_dict = store.dictionary(cfd.rhs)
+    tid_at = store.tid_of_row
+    for key, rows in _matching_group_items(store, cfd):
+        by_rhs: dict[int, set[Any]] = {}
+        for r in rows:
+            code = rhs_col[r]
+            bucket = by_rhs.get(code)
+            if bucket is None:
+                by_rhs[code] = {tid_at(r)}
+            else:
+                bucket.add(tid_at(r))
+        index.load_group(
+            store.decode_key(cfd.lhs, key),
+            {rhs_dict.value(code): tids for code, tids in by_rhs.items()},
+        )
+
+
+# -- shipment scans (batch baselines) ---------------------------------------------------
+
+
+def horizontal_batch_scan(
+    store: ColumnStore, cfd: CFD, want_ship: bool
+) -> tuple[list[tuple[Any, int]], dict[tuple[Any, ...], dict[Any, set[Any]]]]:
+    """One site's scan for a general CFD in ``batHor``.
+
+    Returns ``(shipments, groups)``: the ``(tid, bytes)`` of every
+    pattern-matching tuple (when this site ships for the CFD) and the
+    fragment's decoded partial LHS groups for the coordinator merge —
+    the columnar twin of the per-tuple loop in ``_site_batch_task``.
+    """
+    needed = cfd.attributes
+    col_tables = [(store.codes(a), store.dictionary(a).byte_sizes()) for a in needed]
+    rhs_col = store.codes(cfd.rhs)
+    rhs_dict = store.dictionary(cfd.rhs)
+    tids = store.tids_list()
+    ship: list[tuple[Any, int]] = []
+    groups_out: dict[tuple[Any, ...], dict[Any, set[Any]]] = {}
+    for key, rows in _matching_group_items(store, cfd):
+        by_rhs: dict[int, set[Any]] = {}
+        for r in rows:
+            tid = tids[r]
+            if want_ship:
+                nbytes = TID_BYTES
+                for col, table in col_tables:
+                    nbytes += table[col[r]]
+                ship.append((tid, nbytes))
+            code = rhs_col[r]
+            bucket = by_rhs.get(code)
+            if bucket is None:
+                by_rhs[code] = {tid}
+            else:
+                bucket.add(tid)
+        groups_out[store.decode_key(cfd.lhs, key)] = {
+            rhs_dict.value(code): tids for code, tids in by_rhs.items()
+        }
+    return ship, groups_out
+
+
+def constant_ship_scan(
+    store: ColumnStore, relevant: Sequence[str], constants: Mapping[str, Any]
+) -> list[tuple[Any, int]]:
+    """``batVer``: (tid, bytes) of tuples whose ``relevant`` projection
+    matches the pattern constants (column sweep, cached byte sizes)."""
+    tests: list[tuple[list[int], int]] = []
+    for a in relevant:
+        if a in constants:
+            code = store.dictionary(a).code_of(constants[a])
+            if code is None:
+                return []
+            tests.append((store.codes(a), code))
+    byte_tables = [(store.codes(a), store.dictionary(a).byte_sizes()) for a in relevant]
+    tid_at = store.tid_of_row
+    out: list[tuple[Any, int]] = []
+    for r in store.iter_rows():
+        if all(col[r] == code for col, code in tests):
+            nbytes = TID_BYTES
+            for col, table in byte_tables:
+                nbytes += table[col[r]]
+            out.append((tid_at(r), nbytes))
+    return out
+
+
+def project_ship_scan(
+    store: ColumnStore, supplied: Sequence[str]
+) -> list[tuple[Any, int]]:
+    """``batVer``: (tid, bytes) of every tuple's ``supplied`` projection."""
+    byte_tables = [(store.codes(a), store.dictionary(a).byte_sizes()) for a in supplied]
+    tid_at = store.tid_of_row
+    out: list[tuple[Any, int]] = []
+    for r in store.iter_rows():
+        nbytes = TID_BYTES
+        for col, table in byte_tables:
+            nbytes += table[col[r]]
+        out.append((tid_at(r), nbytes))
+    return out

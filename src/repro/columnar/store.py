@@ -1,0 +1,435 @@
+"""The columnar storage backend: one code array per attribute.
+
+A :class:`ColumnStore` keeps, per schema attribute, a dense list of
+integer codes into a :class:`~repro.columnar.dictionary.ValueDictionary`,
+plus a tid→row index.  Rows are append-only; deletions tombstone the row
+and the store compacts itself once dead rows dominate.  Iteration yields
+materialized :class:`~repro.core.tuples.Tuple` objects in insertion
+order, so a columnar relation is observably identical to a row-backed
+one — the point of the backend is that the detection kernels in
+:mod:`repro.columnar.kernels` never need to materialize tuples at all.
+
+Vertical projection, selection and key-join have column-sliced
+implementations that share the (append-only) value dictionaries with the
+parent store, which is what makes fragmenting a columnar relation
+O(columns) list copies instead of O(rows) dict allocations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, KeysView, Mapping, Sequence
+
+from repro.core.schema import Schema
+from repro.core.tuples import Tuple
+from repro.columnar.dictionary import ValueDictionary
+
+#: Compact when more than this many rows — and over half of them — are dead.
+_COMPACT_MIN_DEAD = 32
+
+
+class ColumnRowView(Mapping[str, Any]):
+    """A zero-copy Mapping facade over one stored row (decodes on access).
+
+    Selection predicates receive these instead of materialized tuples;
+    besides the Mapping protocol the view offers the read-only
+    conveniences of :class:`~repro.core.tuples.Tuple` (``tid``,
+    ``values_for``, ``as_dict``) so predicates written against the row
+    backend keep working.  Call :meth:`materialize` for a real Tuple.
+    """
+
+    __slots__ = ("_store", "_row", "_tid")
+
+    def __init__(self, store: "ColumnStore", row: int, tid: Any):
+        self._store = store
+        self._row = row
+        self._tid = tid
+
+    @property
+    def tid(self) -> Any:
+        return self._tid
+
+    def __getitem__(self, attribute: str) -> Any:
+        return self._store.value_at(self._row, attribute)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._store.attributes)
+
+    def __len__(self) -> int:
+        return len(self._store.attributes)
+
+    def values_for(self, attributes) -> tuple[Any, ...]:
+        """The values of ``attributes`` in the given order (``t[X]``)."""
+        return tuple(self._store.value_at(self._row, a) for a in attributes)
+
+    def as_dict(self) -> dict[str, Any]:
+        """A plain ``dict`` copy of the attribute values."""
+        return {a: self._store.value_at(self._row, a) for a in self._store.attributes}
+
+    def materialize(self) -> Tuple:
+        """A real, immutable :class:`~repro.core.tuples.Tuple` of this row."""
+        return Tuple(self._tid, self.as_dict())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ColumnRowView(tid={self._tid!r})"
+
+
+class ColumnStore:
+    """Dictionary-encoded column arrays behind the ``Relation`` facade."""
+
+    name = "columnar"
+
+    __slots__ = ("_attrs", "_dicts", "_cols", "_tids", "_rows", "_dead", "_groups")
+
+    def __init__(self, schema: Schema):
+        self._attrs: tuple[str, ...] = schema.attribute_names
+        self._dicts: dict[str, ValueDictionary] = {
+            a: ValueDictionary() for a in self._attrs
+        }
+        self._cols: dict[str, list[int]] = {a: [] for a in self._attrs}
+        self._tids: list[Any] = []
+        self._rows: dict[Any, int] = {}
+        self._dead: set[int] = set()
+        self._groups: dict[tuple[str, ...], dict[Any, list[int]]] = {}
+
+    # -- backend protocol ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        dicts = self._dicts
+        cols = self._cols
+        attrs = self._attrs
+        for tid, row in self._rows.items():
+            yield Tuple(tid, {a: dicts[a].value(cols[a][row]) for a in attrs})
+
+    def __contains__(self, tid: Any) -> bool:
+        return tid in self._rows
+
+    def get(self, tid: Any) -> Tuple | None:
+        row = self._rows.get(tid)
+        if row is None:
+            return None
+        return Tuple(
+            tid, {a: self._dicts[a].value(self._cols[a][row]) for a in self._attrs}
+        )
+
+    def tids(self) -> KeysView[Any]:
+        return self._rows.keys()
+
+    def insert(self, t: Tuple) -> None:
+        row = len(self._tids)
+        self._tids.append(t.tid)
+        for a in self._attrs:
+            self._cols[a].append(self._dicts[a].intern(t[a]))
+        self._rows[t.tid] = row
+        if self._groups:
+            self._groups = {}
+
+    def pop(self, tid: Any) -> Tuple | None:
+        row = self._rows.pop(tid, None)
+        if row is None:
+            return None
+        t = Tuple(
+            tid, {a: self._dicts[a].value(self._cols[a][row]) for a in self._attrs}
+        )
+        self._dead.add(row)
+        if self._groups:
+            self._groups = {}
+        if len(self._dead) > _COMPACT_MIN_DEAD and len(self._dead) * 2 > len(self._tids):
+            self._compact()
+        return t
+
+    def copy(self) -> "ColumnStore":
+        clone = ColumnStore.__new__(ColumnStore)
+        clone._attrs = self._attrs
+        clone._dicts = dict(self._dicts)  # dictionaries are append-only: share them
+        clone._cols = {a: col.copy() for a, col in self._cols.items()}
+        clone._tids = self._tids.copy()
+        clone._rows = dict(self._rows)
+        clone._dead = set(self._dead)
+        clone._groups = {}
+        return clone
+
+    # -- column access (the kernel surface) ------------------------------------------
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """The stored attribute names, in schema order."""
+        return self._attrs
+
+    def dictionary(self, attribute: str) -> ValueDictionary:
+        """The value dictionary encoding ``attribute``'s column."""
+        return self._dicts[attribute]
+
+    def codes(self, attribute: str) -> list[int]:
+        """The dense code array of ``attribute`` (includes tombstoned rows)."""
+        return self._cols[attribute]
+
+    def is_dense(self) -> bool:
+        """True when every physical row is live (no tombstones)."""
+        return not self._dead
+
+    def live_rows(self) -> Iterator[int]:
+        """Physical indices of the live rows, in insertion order."""
+        return iter(self._rows.values())
+
+    def iter_rows(self):
+        """Live row indices for a sweep: a ``range`` when dense (faster),
+        the tid-index values (insertion order) otherwise."""
+        if not self._dead:
+            return range(len(self._tids))
+        return self._rows.values()
+
+    def tid_of_row(self, row: int) -> Any:
+        return self._tids[row]
+
+    def tids_list(self) -> list[Any]:
+        """The physical row→tid table (includes tombstoned rows; do not mutate)."""
+        return self._tids
+
+    def row_of(self, tid: Any) -> int | None:
+        return self._rows.get(tid)
+
+    def value_at(self, row: int, attribute: str) -> Any:
+        return self._dicts[attribute].value(self._cols[attribute][row])
+
+    def row_view(self, row: int) -> ColumnRowView:
+        return ColumnRowView(self, row, self._tids[row])
+
+    def grouped_rows(self, attributes: Sequence[str]) -> dict[Any, list[int]]:
+        """Live rows grouped by their code key over ``attributes``.
+
+        The key is the bare code for a single attribute and a code tuple
+        otherwise.  Two rows share a key iff their values compare equal
+        on every attribute (dictionary-encoding preserves ``==``
+        semantics), so this is exactly the LHS equivalence-class
+        partition every CFD kernel needs — computed once per relation
+        per attribute list and cached until the next mutation.
+        """
+        attrs = tuple(attributes)
+        cached = self._groups.get(attrs)
+        if cached is not None:
+            return cached
+        groups: dict[Any, list[int]] = {}
+        if len(attrs) == 1:
+            col = self._cols[attrs[0]]
+            if not self._dead:
+                for row, code in enumerate(col):
+                    bucket = groups.get(code)
+                    if bucket is None:
+                        groups[code] = [row]
+                    else:
+                        bucket.append(row)
+            else:
+                for row in self._rows.values():
+                    code = col[row]
+                    bucket = groups.get(code)
+                    if bucket is None:
+                        groups[code] = [row]
+                    else:
+                        bucket.append(row)
+        else:
+            cols = [self._cols[a] for a in attrs]
+            if not self._dead:
+                for row, key in enumerate(zip(*cols)):
+                    bucket = groups.get(key)
+                    if bucket is None:
+                        groups[key] = [row]
+                    else:
+                        bucket.append(row)
+            else:
+                for row in self._rows.values():
+                    key = tuple(col[row] for col in cols)
+                    bucket = groups.get(key)
+                    if bucket is None:
+                        groups[key] = [row]
+                    else:
+                        bucket.append(row)
+        self._groups[attrs] = groups
+        return groups
+
+    def decode_key(self, attributes: Sequence[str], key: Any) -> tuple[Any, ...]:
+        """Decode a :meth:`grouped_rows` key back into a value tuple."""
+        attrs = tuple(attributes)
+        if len(attrs) == 1:
+            return (self._dicts[attrs[0]].value(key),)
+        return tuple(self._dicts[a].value(c) for a, c in zip(attrs, key))
+
+    # -- column-sliced algebra -----------------------------------------------------
+
+    def _live_in_order(self) -> list[int]:
+        return list(self._rows.values())
+
+    def project_columns(self, keep: Sequence[str]) -> "ColumnStore":
+        """A new store over the ``keep`` columns (shared dictionaries)."""
+        clone = ColumnStore.__new__(ColumnStore)
+        clone._attrs = tuple(keep)
+        clone._dicts = {a: self._dicts[a] for a in clone._attrs}
+        clone._groups = {}
+        if not self._dead:
+            clone._cols = {a: self._cols[a].copy() for a in clone._attrs}
+            clone._tids = self._tids.copy()
+            clone._rows = dict(self._rows)
+            clone._dead = set()
+        else:
+            rows = self._live_in_order()
+            clone._cols = {
+                a: [self._cols[a][r] for r in rows] for a in clone._attrs
+            }
+            clone._tids = [self._tids[r] for r in rows]
+            clone._rows = {tid: i for i, tid in enumerate(clone._tids)}
+            clone._dead = set()
+        return clone
+
+    def take_rows(
+        self, rows: Sequence[int], keep: Sequence[str] | None = None
+    ) -> "ColumnStore":
+        """A new store holding the given physical rows (shared dictionaries)."""
+        attrs = tuple(keep) if keep is not None else self._attrs
+        clone = ColumnStore.__new__(ColumnStore)
+        clone._attrs = attrs
+        clone._dicts = {a: self._dicts[a] for a in attrs}
+        clone._cols = {a: [self._cols[a][r] for r in rows] for a in attrs}
+        clone._tids = [self._tids[r] for r in rows]
+        clone._rows = {tid: i for i, tid in enumerate(clone._tids)}
+        clone._dead = set()
+        clone._groups = {}
+        return clone
+
+    def join_columns(
+        self, other: "ColumnStore", attributes: Sequence[str]
+    ) -> "ColumnStore":
+        """Key-join two stores (same tid space) into columns ``attributes``.
+
+        Only tids present in both stores survive, in this store's
+        insertion order.  Attributes stored on both sides are checked for
+        agreement, mirroring :meth:`repro.core.tuples.Tuple.merge`.
+        """
+        shared = [a for a in other._attrs if a in set(self._attrs)]
+        pairs: list[tuple[int, int]] = []  # (row in self, row in other)
+        for tid, row in self._rows.items():
+            other_row = other._rows.get(tid)
+            if other_row is None:
+                continue
+            for a in shared:
+                mine, theirs = self._cols[a][row], other._cols[a][other_row]
+                if self._dicts[a] is other._dicts[a]:
+                    conflict = mine != theirs
+                else:
+                    conflict = self._dicts[a].value(mine) != other._dicts[a].value(theirs)
+                if conflict:
+                    raise ValueError(
+                        f"conflicting values for attribute {a!r} while merging tid {tid!r}"
+                    )
+            pairs.append((row, other_row))
+        mine_set = set(self._attrs)
+        clone = ColumnStore.__new__(ColumnStore)
+        clone._attrs = tuple(attributes)
+        clone._dicts = {}
+        clone._cols = {}
+        for a in clone._attrs:
+            if a in mine_set:
+                clone._dicts[a] = self._dicts[a]
+                col = self._cols[a]
+                clone._cols[a] = [col[r] for r, _ in pairs]
+            else:
+                clone._dicts[a] = other._dicts[a]
+                col = other._cols[a]
+                clone._cols[a] = [col[r] for _, r in pairs]
+        clone._tids = [self._tids[r] for r, _ in pairs]
+        clone._rows = {tid: i for i, tid in enumerate(clone._tids)}
+        clone._dead = set()
+        clone._groups = {}
+        return clone
+
+    def reorder_columns(self, attributes: Sequence[str]) -> "ColumnStore":
+        """The same rows with columns re-ordered to ``attributes``."""
+        return self.project_columns(tuple(attributes))
+
+    def extend_from(self, other: "ColumnStore") -> None:
+        """Append another store's live rows (caller has rejected dup tids).
+
+        Columns whose dictionaries are shared concatenate code lists
+        directly; others decode and re-intern per row.
+        """
+        dense = not other._dead
+        rows = range(len(other._tids)) if dense else other._live_in_order()
+        for a in self._attrs:
+            col = self._cols[a]
+            ocol = other._cols[a]
+            if self._dicts[a] is other._dicts[a]:
+                if dense:
+                    col.extend(ocol)
+                else:
+                    col.extend(ocol[r] for r in rows)
+            else:
+                intern = self._dicts[a].intern
+                value = other._dicts[a].value
+                col.extend(intern(value(ocol[r])) for r in rows)
+        for r in rows:
+            tid = other._tids[r]
+            self._rows[tid] = len(self._tids)
+            self._tids.append(tid)
+        if self._groups:
+            self._groups = {}
+
+    def bulk_load(self, tuples) -> None:
+        """Append many tuples at once (caller has checked tids are fresh)."""
+        attrs = self._attrs
+        cols = self._cols
+        dicts = self._dicts
+        rows = self._rows
+        tids = self._tids
+        for t in tuples:
+            rows[t.tid] = len(tids)
+            tids.append(t.tid)
+            for a in attrs:
+                cols[a].append(dicts[a].intern(t[a]))
+        if self._groups:
+            self._groups = {}
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def _compact(self) -> None:
+        rows = self._live_in_order()
+        self._cols = {a: [col[r] for r in rows] for a, col in self._cols.items()}
+        self._tids = [self._tids[r] for r in rows]
+        self._rows = {tid: i for i, tid in enumerate(self._tids)}
+        self._dead = set()
+        self._groups = {}
+
+    # -- pickling (drop the derived group cache) --------------------------------------
+
+    def __getstate__(self) -> dict[str, Any]:
+        return {
+            "attrs": self._attrs,
+            "dicts": self._dicts,
+            "cols": self._cols,
+            "tids": self._tids,
+            "rows": self._rows,
+            "dead": self._dead,
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self._attrs = state["attrs"]
+        self._dicts = state["dicts"]
+        self._cols = state["cols"]
+        self._tids = state["tids"]
+        self._rows = state["rows"]
+        self._dead = state["dead"]
+        self._groups = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ColumnStore({len(self._rows)} rows, {len(self._attrs)} columns)"
+
+
+def column_store_of(relation: Any) -> ColumnStore | None:
+    """The relation's :class:`ColumnStore`, or None for other backends.
+
+    The dispatch hook every vectorized fast path uses: accepts anything
+    (relations, plain tuple lists) and answers None unless the object is
+    a relation backed by columns.
+    """
+    store = getattr(relation, "store", None)
+    return store if isinstance(store, ColumnStore) else None

@@ -56,7 +56,17 @@ class CentralizedDetector:
         variable CFDs, group tuples whose LHS matches the pattern by
         their LHS values; every group holding two or more distinct RHS
         values consists entirely of violations.
+
+        Column-backed relations dispatch to the vectorized kernels
+        (identical results, one column sweep shared per LHS).
         """
+        from repro.columnar.store import column_store_of
+
+        store = column_store_of(tuples)
+        if store is not None:
+            from repro.columnar import kernels
+
+            return kernels.violations_of(cfd, store)
         violating: set[Any] = set()
         if cfd.is_constant():
             for t in tuples:
@@ -80,7 +90,15 @@ class CentralizedDetector:
 
     def detect(self, relation: Relation | Iterable[Tuple]) -> ViolationSet:
         """Compute ``V(Sigma, D)`` with per-CFD marks."""
-        tuples = list(relation)
+        from repro.columnar.store import column_store_of
+
+        # Columnar relations are handed to the tasks whole: the kernels
+        # share one grouped-LHS sweep across all CFDs on the same
+        # attributes instead of materializing tuples.
+        if column_store_of(relation) is not None:
+            tuples: Any = relation
+        else:
+            tuples = list(relation)
         violations = ViolationSet()
         if self._scheduler is not None:
             from repro.runtime.executor import SiteTask

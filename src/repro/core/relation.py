@@ -4,13 +4,22 @@ A :class:`Relation` stores tuples indexed by tid and supports the small
 set of operations the detection algorithms need: insertion, deletion,
 projection (for vertical fragmentation), selection (for horizontal
 fragmentation) and reconstruction by join/union.
+
+The physical layout lives behind a pluggable storage backend
+(:mod:`repro.core.storage`): the default ``"rows"`` backend keeps one
+:class:`~repro.core.tuples.Tuple` per row, the ``"columnar"`` backend of
+:mod:`repro.columnar` keeps one dictionary-encoded code array per
+attribute.  Both are observably identical through this API; the algebra
+below additionally routes projection/selection/join/union through
+column-sliced implementations when both operands are columnar.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, Mapping
+from typing import Any, Callable, Iterable, Iterator, KeysView, Mapping
 
 from repro.core.schema import Schema, SchemaError
+from repro.core.storage import make_storage
 from repro.core.tuples import Tuple
 
 
@@ -18,16 +27,34 @@ class RelationError(ValueError):
     """Raised on malformed relation operations (duplicate tid, bad attrs)."""
 
 
+def _column_store_of(relation: Any):
+    """The relation's ColumnStore, or None (lazy import keeps core standalone)."""
+    from repro.columnar.store import column_store_of
+
+    return column_store_of(relation)
+
+
 class Relation:
     """A mutable set of tuples conforming to a :class:`Schema`.
 
     Tuples are indexed by tid; membership tests, lookups, insertions and
-    deletions are all O(1).
+    deletions are all O(1).  ``storage`` selects the physical backend by
+    registry name (``"rows"`` — the default — or ``"columnar"``); an
+    already-built backend instance is also accepted (internal fast
+    paths use this to hand over column slices wholesale).
     """
 
-    def __init__(self, schema: Schema, tuples: Iterable[Tuple] = ()):
+    def __init__(
+        self,
+        schema: Schema,
+        tuples: Iterable[Tuple] = (),
+        storage: str | Any = "rows",
+    ):
         self._schema = schema
-        self._tuples: dict[Any, Tuple] = {}
+        if isinstance(storage, str):
+            self._store = make_storage(storage, schema)
+        else:
+            self._store = storage
         for t in tuples:
             self.insert(t)
 
@@ -38,41 +65,72 @@ class Relation:
         """The relation's schema."""
         return self._schema
 
+    @property
+    def storage(self) -> str:
+        """The storage backend name ("rows", "columnar", ...)."""
+        return self._store.name
+
+    @property
+    def store(self) -> Any:
+        """The storage backend instance (advanced: kernels and diagnostics)."""
+        return self._store
+
     def __len__(self) -> int:
-        return len(self._tuples)
+        return len(self._store)
 
     def __iter__(self) -> Iterator[Tuple]:
-        return iter(self._tuples.values())
+        return iter(self._store)
 
     def __contains__(self, tid: Any) -> bool:
-        return tid in self._tuples
+        return tid in self._store
 
     def get(self, tid: Any) -> Tuple | None:
         """Return the tuple with identifier ``tid`` or ``None``."""
-        return self._tuples.get(tid)
+        return self._store.get(tid)
 
     def __getitem__(self, tid: Any) -> Tuple:
-        try:
-            return self._tuples[tid]
-        except KeyError:
-            raise RelationError(f"no tuple with tid {tid!r}") from None
+        t = self._store.get(tid)
+        if t is None:
+            raise RelationError(f"no tuple with tid {tid!r}")
+        return t
 
-    def tids(self) -> set[Any]:
-        """The set of all tuple identifiers."""
-        return set(self._tuples)
+    def tids(self) -> KeysView[Any]:
+        """A set-like *view* of all tuple identifiers.
+
+        The view is cheap (no per-call copy — this sits in hot loops),
+        supports iteration, membership and set operators, and reflects
+        subsequent mutations; call ``set(...)`` on it for a snapshot.
+        """
+        return self._store.tids()
 
     # -- construction helpers ---------------------------------------------------
 
     @classmethod
     def from_rows(
-        cls, schema: Schema, rows: Iterable[Mapping[str, Any]]
+        cls,
+        schema: Schema,
+        rows: Iterable[Mapping[str, Any]],
+        storage: str = "rows",
     ) -> "Relation":
         """Build a relation from dict-like rows; the key column is the tid."""
-        relation = cls(schema)
+        relation = cls(schema, storage=storage)
         for row in rows:
             tid = row[schema.key]
             relation.insert(Tuple(tid, {a: row[a] for a in schema.attribute_names}))
         return relation
+
+    def with_storage(self, storage: str) -> "Relation":
+        """This relation re-hosted on the named backend (self if unchanged)."""
+        if storage == self.storage:
+            return self
+        converted = Relation(self._schema, storage=storage)
+        bulk = getattr(converted._store, "bulk_load", None)
+        if bulk is not None:
+            bulk(iter(self))
+        else:
+            for t in self:
+                converted._store.insert(t)
+        return converted
 
     # -- mutation ----------------------------------------------------------------
 
@@ -93,28 +151,50 @@ class Relation:
     def insert(self, t: Tuple) -> None:
         """Insert a tuple; its tid must be fresh."""
         self._check(t)
-        if t.tid in self._tuples:
+        if t.tid in self._store:
             raise RelationError(f"duplicate tid {t.tid!r} in relation {self._schema.name!r}")
-        self._tuples[t.tid] = t
+        self._store.insert(t)
 
     def delete(self, tid: Any) -> Tuple:
         """Delete and return the tuple with identifier ``tid``."""
-        try:
-            return self._tuples.pop(tid)
-        except KeyError:
-            raise RelationError(f"cannot delete unknown tid {tid!r}") from None
+        t = self._store.pop(tid)
+        if t is None:
+            raise RelationError(f"cannot delete unknown tid {tid!r}")
+        return t
 
     def discard(self, tid: Any) -> Tuple | None:
         """Delete the tuple with identifier ``tid`` if present."""
-        return self._tuples.pop(tid, None)
+        return self._store.pop(tid)
+
+    def _extend(self, other: "Relation") -> None:
+        """Bulk-append another relation's tuples (duplicate tids rejected)."""
+        mine = _column_store_of(self)
+        theirs = _column_store_of(other)
+        if (
+            mine is not None
+            and theirs is not None
+            and set(mine.attributes) == set(theirs.attributes)
+        ):
+            for tid in theirs.tids():
+                if tid in mine:
+                    raise RelationError(
+                        f"duplicate tid {tid!r} in relation {self._schema.name!r}"
+                    )
+            mine.extend_from(theirs)
+            return
+        for t in other:
+            self.insert(t)
 
     # -- algebra -------------------------------------------------------------------
 
     def project(self, attributes: Iterable[str], name: str | None = None) -> "Relation":
         """Vertical projection onto ``attributes`` (the key is kept)."""
         fragment_schema = self._schema.project(attributes, name=name)
-        fragment = Relation(fragment_schema)
         keep = fragment_schema.attribute_names
+        store = _column_store_of(self)
+        if store is not None:
+            return Relation(fragment_schema, storage=store.project_columns(keep))
+        fragment = Relation(fragment_schema)
         for t in self:
             fragment.insert(t.project(keep))
         return fragment
@@ -128,6 +208,10 @@ class Relation:
             self._schema.attribute_names,
             self._schema.key,
         )
+        store = _column_store_of(self)
+        if store is not None:
+            rows = [r for r in store.iter_rows() if predicate(store.row_view(r))]
+            return Relation(fragment_schema, storage=store.take_rows(rows))
         fragment = Relation(fragment_schema)
         for t in self:
             if predicate(t):
@@ -145,6 +229,13 @@ class Relation:
             if a not in attrs:
                 attrs.append(a)
         joined_schema = Schema(name or self._schema.name, attrs, self._schema.key)
+        mine = _column_store_of(self)
+        theirs = _column_store_of(other)
+        if mine is not None and theirs is not None:
+            return Relation(
+                joined_schema,
+                storage=mine.join_columns(theirs, joined_schema.attribute_names),
+            )
         joined = Relation(joined_schema)
         for t in self:
             o = other.get(t.tid)
@@ -156,13 +247,20 @@ class Relation:
         """Disjoint union of two horizontal fragments."""
         if set(other.schema.attribute_names) != set(self._schema.attribute_names):
             raise SchemaError("union requires identical attribute sets")
-        result = Relation(
-            Schema(
-                name or self._schema.name,
-                self._schema.attribute_names,
-                self._schema.key,
-            )
+        result_schema = Schema(
+            name or self._schema.name,
+            self._schema.attribute_names,
+            self._schema.key,
         )
+        store = _column_store_of(self)
+        if store is not None:
+            result = Relation(
+                result_schema,
+                storage=store.project_columns(result_schema.attribute_names),
+            )
+            result._extend(other)
+            return result
+        result = Relation(result_schema)
         for t in self:
             result.insert(t)
         for t in other:
@@ -171,9 +269,7 @@ class Relation:
 
     def copy(self) -> "Relation":
         """A shallow copy (tuples are immutable so sharing them is safe)."""
-        clone = Relation(self._schema)
-        clone._tuples = dict(self._tuples)
-        return clone
+        return Relation(self._schema, storage=self._store.copy())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Relation({self._schema.name!r}, {len(self)} tuples)"
+        return f"Relation({self._schema.name!r}, {len(self)} tuples, {self.storage})"

@@ -30,9 +30,11 @@ from repro.engine.registry import (
     DetectorEntry,
     PartitionerEntry,
     RegistryError,
+    StorageEntry,
     StrategyRegistry,
     register_detector,
     register_partitioner,
+    register_storage,
 )
 from repro.engine.report import DetectionReport, SiteCost, SiteTiming
 from repro.engine.session import DetectionSession, SessionBuilder, SessionError, session
@@ -59,6 +61,7 @@ __all__ = [
     "SingleSite",
     "SiteCost",
     "SiteTiming",
+    "StorageEntry",
     "StrategyRegistry",
     "StrategyStateError",
     "VerticalBatchStrategy",
@@ -66,5 +69,6 @@ __all__ = [
     "register_builtin_strategies",
     "register_detector",
     "register_partitioner",
+    "register_storage",
     "session",
 ]

@@ -545,3 +545,14 @@ def register_builtin_strategies(registry: StrategyRegistry) -> None:
         _build_horizontal_partitioner,
         description="alias of 'horizontal': hash buckets over the key",
     )
+
+    registry.register_storage(
+        "rows",
+        lambda relation: relation.with_storage("rows"),
+        description="one Tuple object per row (the default layout)",
+    )
+    registry.register_storage(
+        "columnar",
+        lambda relation: relation.with_storage("columnar"),
+        description="dictionary-encoded column arrays with vectorized kernels",
+    )

@@ -62,6 +62,8 @@ class DetectionReport:
     site_costs: tuple[SiteCost, ...] = field(default_factory=tuple)
     #: Execution backend the session ran on ("serial", "threads", "processes").
     executor: str = "serial"
+    #: Storage backend the session's data was hosted on ("rows", "columnar").
+    storage: str = "rows"
     #: Wall-clock spent in detector setup plus every apply (seconds).
     wall_seconds: float = 0.0
     setup_seconds: float = 0.0
@@ -84,6 +86,7 @@ class DetectionReport:
         violations: ViolationSet,
         network: NetworkStats,
         executor: str = "serial",
+        storage: str = "rows",
         wall_seconds: float = 0.0,
         setup_seconds: float = 0.0,
         apply_seconds: float = 0.0,
@@ -101,6 +104,7 @@ class DetectionReport:
             network=network,
             site_costs=site_costs_from_stats(network),
             executor=executor,
+            storage=storage,
             wall_seconds=wall_seconds,
             setup_seconds=setup_seconds,
             apply_seconds=apply_seconds,
@@ -162,6 +166,7 @@ class DetectionReport:
                 for cost in self.site_costs
             ],
             "executor": self.executor,
+            "storage": self.storage,
             "wall_seconds": self.wall_seconds,
             "setup_seconds": self.setup_seconds,
             "apply_seconds": self.apply_seconds,
@@ -190,6 +195,7 @@ class DetectionReport:
             f"  eqids shipped      : {self.eqids_shipped}",
             f"  executor           : {self.executor} "
             f"({self.timings.tasks} task(s), {self.timings.rounds} round(s))",
+            f"  storage            : {self.storage}",
             f"  wall clock         : {self.wall_seconds:.6f}s "
             f"(setup {self.setup_seconds:.6f}s + apply {self.apply_seconds:.6f}s)",
         ]

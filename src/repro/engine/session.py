@@ -71,6 +71,7 @@ class SessionBuilder:
         self._network: Network | None = None
         self._executor_spec: str | Executor = "serial"
         self._executor_options: dict[str, Any] = {}
+        self._storage_name: str | None = None
 
     # -- configuration ----------------------------------------------------------------
 
@@ -127,6 +128,30 @@ class SessionBuilder:
     def network(self, network: Network) -> "SessionBuilder":
         """Use a caller-owned network (to share or pre-seed cost accounting)."""
         self._network = network
+        return self
+
+    def storage(self, backend: str) -> "SessionBuilder":
+        """Pick the storage layout the session's data is hosted on.
+
+        ``backend`` is a registered storage backend name (``"rows"`` —
+        the default — or ``"columnar"``).  The relation is re-hosted
+        once at build time, *before* fragmentation, so every site
+        fragment inherits the layout and the detectors' vectorized fast
+        paths engage.  Every backend produces the identical violation
+        set, ΔV and shipment counters; only wall-clock changes.  (One
+        documented exception: columnar byte counters can drift when
+        ``==``-equal values of different wire widths, e.g. ``True`` and
+        ``1``, share a column — see the README's interning caveats.)
+        """
+        if not isinstance(backend, str):
+            raise SessionError(
+                f"storage(...) takes a backend name, not {type(backend).__name__}"
+            )
+        try:
+            self._registry.storage(backend)
+        except RegistryError as exc:
+            raise SessionError(str(exc)) from None
+        self._storage_name = backend
         return self
 
     def executor(self, backend: str | Executor, **options: Any) -> "SessionBuilder":
@@ -210,6 +235,11 @@ class SessionBuilder:
             )
         entry = self._resolve_entry(partitioning, rule_kind)
 
+        relation = self._relation
+        if self._storage_name is not None:
+            relation = self._registry.storage(self._storage_name).convert(relation)
+        storage_name = getattr(relation, "storage", "rows")
+
         try:
             executor = make_executor(self._executor_spec, **self._executor_options)
         except ExecutorError as exc:
@@ -221,14 +251,14 @@ class SessionBuilder:
         deployment: Cluster | SingleSite
         if isinstance(self._partitioner, VerticalPartitioner):
             deployment = Cluster.from_vertical(
-                self._partitioner, self._relation, network=network, scheduler=scheduler
+                self._partitioner, relation, network=network, scheduler=scheduler
             )
         elif isinstance(self._partitioner, HorizontalPartitioner):
             deployment = Cluster.from_horizontal(
-                self._partitioner, self._relation, network=network, scheduler=scheduler
+                self._partitioner, relation, network=network, scheduler=scheduler
             )
         else:
-            deployment = SingleSite(self._relation, network=network, scheduler=scheduler)
+            deployment = SingleSite(relation, network=network, scheduler=scheduler)
 
         try:
             detector = entry.create(**self._strategy_options)
@@ -257,6 +287,7 @@ class SessionBuilder:
             scheduler=scheduler,
             owns_executor=owns_executor,
             setup_seconds=setup_seconds,
+            storage=storage_name,
         )
 
 
@@ -275,6 +306,7 @@ class DetectionSession:
         scheduler: SiteScheduler | None = None,
         owns_executor: bool = True,
         setup_seconds: float = 0.0,
+        storage: str = "rows",
     ):
         self._entry = entry
         self._detector = detector
@@ -287,6 +319,7 @@ class DetectionSession:
         self._scheduler = scheduler or SiteScheduler()
         self._owns_executor = owns_executor
         self._setup_seconds = setup_seconds
+        self._storage = storage
         self._apply_seconds = 0.0
         self._closed = False
 
@@ -355,6 +388,11 @@ class DetectionSession:
     def executor(self) -> str:
         """The execution backend name ("serial", "threads", "processes")."""
         return self._scheduler.backend
+
+    @property
+    def storage(self) -> str:
+        """The storage backend the session's data is hosted on."""
+        return self._storage
 
     @property
     def wall_seconds(self) -> float:
@@ -442,6 +480,7 @@ class DetectionSession:
             violations=self._detector.violations,
             network=self._detector.cost_stats(),
             executor=self.executor,
+            storage=self._storage,
             wall_seconds=self.wall_seconds,
             setup_seconds=self._setup_seconds,
             apply_seconds=self._apply_seconds,

@@ -37,9 +37,14 @@ def _site_batch_task(
     local_cfds: list[CFD],
     general_cfds: list[CFD],
     ship_names: frozenset[str],
-    tuples: list[Tuple],
+    tuples: "list[Tuple] | Any",
 ) -> tuple[list[tuple[str, set[Any]]], dict[str, list[tuple[Any, int]]], dict]:
     """One site's whole batch-detection contribution (pure, picklable).
+
+    ``tuples`` is the site's fragment: a tuple list for row storage, or
+    the fragment relation itself when column-backed (the scans then run
+    as vectorized kernels over the encoded columns, with the grouped
+    LHS keys shared across all CFDs on the same attributes).
 
     Returns ``(local_violations, shipments, groups)``:
 
@@ -50,11 +55,24 @@ def _site_batch_task(
     * per general CFD, the fragment's partial LHS groups
       ``{lhs_key: {rhs_value: {tids}}}`` for the coordinator to merge.
     """
+    from repro.columnar.store import column_store_of
+
     local_violations = [
         (cfd.name, CentralizedDetector.violations_of(cfd, tuples)) for cfd in local_cfds
     ]
     shipments: dict[str, list[tuple[Any, int]]] = {}
     groups: dict[str, dict[tuple, dict[Any, set[Any]]]] = {}
+    store = column_store_of(tuples)
+    if store is not None:
+        from repro.columnar import kernels
+
+        for cfd in general_cfds:
+            want_ship = cfd.name in ship_names
+            ship, by_key = kernels.horizontal_batch_scan(store, cfd, want_ship)
+            if want_ship:
+                shipments[cfd.name] = ship
+            groups[cfd.name] = by_key
+        return local_violations, shipments, groups
     for cfd in general_cfds:
         needed = list(cfd.attributes)
         ship = shipments.setdefault(cfd.name, []) if cfd.name in ship_names else None
@@ -127,6 +145,8 @@ class HorizontalBatchDetector:
             for cfd in self._general_cfds
         }
 
+        from repro.columnar.store import column_store_of
+
         tasks = [
             SiteTask(
                 site.site_id,
@@ -139,7 +159,9 @@ class HorizontalBatchDetector:
                         for name, shippers in shipping_sites.items()
                         if site.site_id in shippers
                     ),
-                    list(site.fragment),
+                    site.fragment
+                    if column_store_of(site.fragment) is not None
+                    else list(site.fragment),
                 ),
                 label="batHor",
             )

@@ -46,7 +46,7 @@ class ImprovedHorizontalBatchDetector:
         proportional to ``|D ⊕ delta-D|`` (Exp-10 of the paper).
         """
         final = updates.apply_to(base) if updates is not None else base
-        empty = Relation(self._partitioner.schema)
+        empty = Relation(self._partitioner.schema, storage=base.storage)
         cluster = Cluster.from_horizontal(
             self._partitioner, empty, network=self._network
         )

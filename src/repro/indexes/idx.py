@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Hashable, Iterable, Mapping
 
-from repro.core.cfd import CFD
+from repro.core.cfd import CFD, UNNAMED
 from repro.core.tuples import Tuple
 
 
@@ -34,6 +34,17 @@ class CFDIndex:
             )
         self._cfd = cfd
         self._groups: dict[tuple[Hashable, ...], dict[Any, set[Any]]] = {}
+        # Hot-path caches: the per-tuple methods below run once per tuple
+        # per CFD, so resolve the attribute lists and the pattern's LHS
+        # constants once here instead of walking the pattern entries
+        # (a linear scan each) on every call.
+        self._lhs: tuple[str, ...] = cfd.lhs
+        self._rhs: str = cfd.rhs
+        self._lhs_constants: tuple[tuple[str, Any], ...] = tuple(
+            (a, cfd.pattern.entry(a))
+            for a in cfd.lhs
+            if cfd.pattern.entry(a) is not UNNAMED
+        )
 
     @property
     def cfd(self) -> CFD:
@@ -43,11 +54,14 @@ class CFDIndex:
 
     def lhs_key(self, t: Mapping[str, Any]) -> tuple[Hashable, ...]:
         """The grouping key ``t[X]`` (the semantic content of ``id[t_X]``)."""
-        return tuple(t[a] for a in self._cfd.lhs)
+        return tuple(t[a] for a in self._lhs)
 
     def applies_to(self, t: Mapping[str, Any]) -> bool:
         """Whether the CFD's pattern covers ``t`` (i.e. ``t[X] ~ tp[X]``)."""
-        return self._cfd.lhs_matches(t)
+        for a, constant in self._lhs_constants:
+            if t[a] != constant:
+                return False
+        return True
 
     # -- queries -----------------------------------------------------------------------
 
@@ -92,7 +106,7 @@ class CFDIndex:
         """Index ``t`` if the CFD applies to it.  Returns True if indexed."""
         if not self.applies_to(t):
             return False
-        self.add(self.lhs_key(t), t[self._cfd.rhs], t.tid)
+        self.add(self.lhs_key(t), t[self._rhs], t.tid)
         return True
 
     def add(self, lhs_key: tuple[Hashable, ...], rhs_value: Any, tid: Any) -> None:
@@ -102,7 +116,7 @@ class CFDIndex:
         """Remove ``t`` if the CFD applies to it.  Returns True if removed."""
         if not self.applies_to(t):
             return False
-        self.remove(self.lhs_key(t), t[self._cfd.rhs], t.tid)
+        self.remove(self.lhs_key(t), t[self._rhs], t.tid)
         return True
 
     def remove(self, lhs_key: tuple[Hashable, ...], rhs_value: Any, tid: Any) -> None:
@@ -117,7 +131,29 @@ class CFDIndex:
         if not group:
             del self._groups[lhs_key]
 
+    def load_group(
+        self, lhs_key: tuple[Hashable, ...], by_rhs: Mapping[Any, set[Any]]
+    ) -> None:
+        """Merge one pre-grouped equivalence class (bulk columnar builds)."""
+        group = self._groups.setdefault(lhs_key, {})
+        for rhs_value, tids in by_rhs.items():
+            group.setdefault(rhs_value, set()).update(tids)
+
     def build_from(self, tuples: Iterable[Tuple]) -> None:
-        """Index every applicable tuple of an iterable (initial build)."""
+        """Index every applicable tuple of an iterable (initial build).
+
+        Column-backed relations are bulk-loaded from their encoded
+        columns: the grouped LHS keys are computed once per relation
+        (and shared with every other index/kernel over the same
+        attributes) instead of once per tuple.
+        """
+        from repro.columnar.store import column_store_of
+
+        store = column_store_of(tuples)
+        if store is not None:
+            from repro.columnar import kernels
+
+            kernels.build_cfd_index(self, store)
+            return
         for t in tuples:
             self.add_tuple(t)

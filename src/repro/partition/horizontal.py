@@ -97,7 +97,33 @@ class HorizontalPartitioner:
         return matches[0]
 
     def fragment(self, relation: Relation) -> "HorizontalPartition":
-        """Split ``relation`` into per-site fragment relations."""
+        """Split ``relation`` into per-site fragment relations.
+
+        Column-backed relations route each row through a zero-copy view
+        (same predicates, same disjointness checks) and then build every
+        fragment by column slicing instead of per-tuple insertion.
+        """
+        from repro.columnar.store import column_store_of
+
+        store = column_store_of(relation)
+        if store is not None:
+            site_rows: dict[int, list[int]] = {
+                frag.site: [] for frag in self._fragments
+            }
+            for row in store.iter_rows():
+                site_rows[self.route_tuple(store.row_view(row))].append(row)
+            return HorizontalPartition(
+                self,
+                {
+                    frag.site: Relation(
+                        Schema(
+                            frag.name, self._schema.attribute_names, self._schema.key
+                        ),
+                        storage=store.take_rows(site_rows[frag.site]),
+                    )
+                    for frag in self._fragments
+                },
+            )
         per_site: dict[int, Relation] = {
             frag.site: Relation(
                 Schema(frag.name, self._schema.attribute_names, self._schema.key)
@@ -142,11 +168,26 @@ class HorizontalPartition:
         return iter(sorted(self._per_site.items()))
 
     def reconstruct(self) -> Relation:
-        """Union all fragments back into the original relation."""
-        base = Relation(self._partitioner.schema)
-        for _, rel in sorted(self._per_site.items()):
-            for t in rel:
-                base.insert(t)
+        """Union all fragments back into the original relation.
+
+        The result keeps the fragments' storage backend (column-backed
+        fragments concatenate code arrays instead of inserting tuples).
+        """
+        from repro.columnar.store import column_store_of
+
+        schema = self._partitioner.schema
+        fragments = [rel for _, rel in sorted(self._per_site.items())]
+        first_store = column_store_of(fragments[0]) if fragments else None
+        if first_store is not None:
+            base = Relation(
+                schema, storage=first_store.project_columns(schema.attribute_names)
+            )
+            rest = fragments[1:]
+        else:
+            base = Relation(schema)
+            rest = fragments
+        for rel in rest:
+            base._extend(rel)
         return base
 
     def total_tuples(self) -> int:

@@ -175,7 +175,13 @@ class VerticalPartition:
         return iter(sorted(self._per_site.items()))
 
     def reconstruct(self) -> Relation:
-        """Join all fragments back into the original relation."""
+        """Join all fragments back into the original relation.
+
+        The result keeps the fragments' storage backend (column-backed
+        fragments join and re-order by column slicing).
+        """
+        from repro.columnar.store import column_store_of
+
         sites = self.sites()
         if not sites:
             raise PartitionError("empty partition cannot be reconstructed")
@@ -183,11 +189,13 @@ class VerticalPartition:
         for site in sites[1:]:
             result = result.join(self._per_site[site], name=self._partitioner.schema.name)
         # Re-order attributes to the base schema for a faithful reconstruction.
-        base = Relation(self._partitioner.schema)
+        schema = self._partitioner.schema
+        store = column_store_of(result)
+        if store is not None:
+            return Relation(schema, storage=store.reorder_columns(schema.attribute_names))
+        base = Relation(schema)
         for t in result:
-            base.insert(
-                Tuple(t.tid, {a: t[a] for a in self._partitioner.schema.attribute_names})
-            )
+            base.insert(Tuple(t.tid, {a: t[a] for a in schema.attribute_names}))
         return base
 
     def total_tuples(self) -> int:

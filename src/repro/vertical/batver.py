@@ -35,7 +35,7 @@ from repro.runtime.executor import SiteTask
 def _site_ship_task(
     constant_specs: list[tuple[str, list[str], dict[str, Any]]],
     variable_specs: list[tuple[str, list[str]]],
-    tuples: list[Tuple],
+    tuples: "list[Tuple] | Any",
 ) -> dict[str, list[tuple[Any, int]]]:
     """Plan one site's shipments for every CFD (pure, picklable).
 
@@ -45,8 +45,27 @@ def _site_ship_task(
     ``relevant`` attributes.  ``variable_specs`` carries ``(cfd_name,
     supplied_attrs)`` for each general variable CFD this site supplies
     columns to: every tuple ships its ``supplied`` projection.
+
+    ``tuples`` is the site's fragment: a tuple list for row storage, or
+    the fragment relation itself when column-backed (the projection
+    sweeps then run over encoded columns with cached per-code sizes).
     """
+    from repro.columnar.store import column_store_of
+
     shipments: dict[str, list[tuple[Any, int]]] = {}
+    store = column_store_of(tuples)
+    if store is not None:
+        from repro.columnar import kernels
+
+        for cfd_name, relevant, constants in constant_specs:
+            shipments.setdefault(cfd_name, []).extend(
+                kernels.constant_ship_scan(store, relevant, constants)
+            )
+        for cfd_name, supplied in variable_specs:
+            shipments.setdefault(cfd_name, []).extend(
+                kernels.project_ship_scan(store, supplied)
+            )
+        return shipments
     for cfd_name, relevant, constants in constant_specs:
         ship = shipments.setdefault(cfd_name, [])
         for t in tuples:
@@ -59,11 +78,13 @@ def _site_ship_task(
     return shipments
 
 
-def _check_cfds_task(cfds: list[CFD], tuples: list[Tuple]) -> list[set[Any]]:
+def _check_cfds_task(cfds: list[CFD], tuples: "list[Tuple] | Any") -> list[set[Any]]:
     """``V(phi, D)`` for each CFD checked at one coordinator site (pure).
 
     Bundling a site's CFDs into one task ships the snapshot across the
     process backend's pickle boundary once per site, not once per CFD.
+    ``tuples`` may be a column-backed relation, in which case each check
+    dispatches to the vectorized kernels (sharing LHS group sweeps).
     """
     return [CentralizedDetector.violations_of(cfd, tuples) for cfd in cfds]
 
@@ -125,7 +146,14 @@ class VerticalBatchDetector:
 
     def detect(self) -> ViolationSet:
         """Compute ``V(Sigma, D)`` from scratch, charging shipments to the network."""
-        snapshot = list(self._cluster.reconstruct())
+        from repro.columnar.store import column_store_of
+
+        reconstructed = self._cluster.reconstruct()
+        snapshot: Any = (
+            reconstructed
+            if column_store_of(reconstructed) is not None
+            else list(reconstructed)
+        )
         violations = ViolationSet()
 
         # Plan, per site, the per-CFD shipments (metadata only; the task scans
@@ -160,7 +188,9 @@ class VerticalBatchDetector:
                 (
                     constant_specs.get(site.site_id, []),
                     variable_specs.get(site.site_id, []),
-                    list(site.fragment),
+                    site.fragment
+                    if column_store_of(site.fragment) is not None
+                    else list(site.fragment),
                 ),
                 label="batVer:ship",
             )

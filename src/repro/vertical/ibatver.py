@@ -54,7 +54,7 @@ class ImprovedVerticalBatchDetector:
         incremental detector whose cost only depends on ``|delta-D|``.
         """
         final = updates.apply_to(base) if updates is not None else base
-        empty = Relation(self._partitioner.schema)
+        empty = Relation(self._partitioner.schema, storage=base.storage)
         cluster = Cluster.from_vertical(self._partitioner, empty, network=self._network)
         detector = VerticalIncrementalDetector(
             cluster,
