@@ -1,13 +1,30 @@
-"""Exp-10 / Fig. 11: incremental algorithms vs improved batch algorithms.
+"""Exp-10 / Fig. 11: incremental vs (improved) batch, and the ``auto`` planner.
 
 Paper claim: incVer/incHor beat even the improved (index-assisted) batch
 algorithms until the update batch gets very large relative to |D|, where
-the curves cross.
+the curves cross.  The adaptive planner turns that crossover into a
+runtime decision, so this module measures both:
+
+* the pytest-benchmark sweeps below time the fixed strategies and
+  ``auto`` (wall-clock, as before);
+* ``python benchmarks/bench_exp10_crossover.py`` sweeps shipped *bytes*
+  per strategy across batch sizes, locates the crossover point of every
+  (incremental, batch) strategy pair, records where ``auto`` lands, and
+  writes everything to ``BENCH_crossover.json`` via
+  ``bench_utils.write_bench_json``.  ``--gate`` additionally asserts
+  that ``auto`` ships within 10% of best-of(incremental, batch) at both
+  extremes of the sweep and that its violations are identical to every
+  fixed strategy — the CI contract of the adaptive planner.
 """
+
+import argparse
+import sys
+import time
 
 import pytest
 
 import bench_utils as bu
+from repro.engine.session import session
 
 
 @pytest.mark.parametrize("n_updates", bu.CROSSOVER_UPDATES)
@@ -62,3 +79,243 @@ def test_ibathor_crossover(benchmark, n_updates):
     )
     detector = bu.horizontal_improved_batch(generator, cfds)
     benchmark(lambda: detector.detect(relation, updates))
+
+
+@pytest.mark.parametrize("n_updates", bu.CROSSOVER_UPDATES)
+@pytest.mark.parametrize("partitioning", ["vertical", "horizontal"])
+def test_auto_crossover(benchmark, partitioning, n_updates):
+    generator = bu.tpch()
+    cfds = bu.tpch_cfds(bu.FIXED_CFDS)
+    relation = bu.tpch_relation(bu.CROSSOVER_BASE)
+    updates = bu.tpch_updates(bu.CROSSOVER_BASE, n_updates, insert_fraction=0.6)
+    benchmark.extra_info.update(
+        {
+            "experiment": "Exp-10",
+            "figure": "11",
+            "n_updates": n_updates,
+            "algorithm": "auto",
+            "partitioning": partitioning,
+        }
+    )
+
+    def make_session():
+        partitioner = (
+            generator.vertical_partitioner(bu.N_PARTITIONS)
+            if partitioning == "vertical"
+            else generator.horizontal_partitioner(bu.N_PARTITIONS)
+        )
+        return (
+            session(relation)
+            .partition(partitioner)
+            .rules(list(cfds))
+            .strategy("auto")
+            .build()
+        )
+
+    bu.bench_incremental_apply(benchmark, make_session, updates)
+
+
+# -- the shipped-bytes sweep (BENCH_crossover.json) ------------------------------------------
+
+STRATEGIES = {
+    "vertical": ["incVer", "ibatVer", "batVer", "auto"],
+    "horizontal": ["incHor", "ibatHor", "batHor", "auto"],
+}
+
+#: (incremental, batch) pairs whose crossover point the sweep locates.
+PAIRS = {
+    "vertical": [("incVer", "ibatVer"), ("incVer", "batVer")],
+    "horizontal": [("incHor", "ibatHor"), ("incHor", "batHor")],
+}
+
+#: The CI gate: auto ships at most this multiple of best-of at the extremes.
+GATE_FACTOR = 1.10
+
+
+def measure_point(generator, relation, cfds, partitioning, strategy, updates, n_sites):
+    """One (strategy, batch size) measurement: per-batch cost after setup.
+
+    Costs are reset after ``build()`` so every strategy is charged for
+    the batch only (the batch baselines charge one full detection during
+    setup, which Exp-10 does not measure).
+    """
+    partitioner = (
+        generator.vertical_partitioner(n_sites)
+        if partitioning == "vertical"
+        else generator.horizontal_partitioner(n_sites)
+    )
+    sess = (
+        session(relation)
+        .partition(partitioner)
+        .rules(list(cfds))
+        .strategy(strategy)
+        .build()
+    )
+    sess.reset_costs()
+    start = time.perf_counter()
+    sess.apply(updates)
+    wall = time.perf_counter() - start
+    report = sess.report()
+    record = {
+        "partitioning": partitioning,
+        "strategy": strategy,
+        "n_updates": len(updates),
+        "bytes": report.bytes_shipped,
+        "messages": report.messages,
+        "eqids": report.eqids_shipped,
+        "wall_seconds": wall,
+        "violations": {
+            str(tid): sorted(report.violations.cfds_of(tid))
+            for tid in report.violations.tids()
+        },
+    }
+    if report.plan_trace:
+        decision = report.plan_trace[0]
+        record["chosen"] = decision.chosen
+        record["estimated_bytes"] = decision.estimated.bytes
+        record["estimation_error"] = decision.error
+    sess.close()
+    return record
+
+
+def first_crossover(points, inc, bat):
+    """The smallest swept batch size where ``bat`` ships no more than ``inc``."""
+    for n in sorted({p["n_updates"] for p in points}):
+        inc_bytes = next(
+            p["bytes"] for p in points if p["strategy"] == inc and p["n_updates"] == n
+        )
+        bat_bytes = next(
+            p["bytes"] for p in points if p["strategy"] == bat and p["n_updates"] == n
+        )
+        if bat_bytes <= inc_bytes:
+            return n
+    return None
+
+
+def run_sweep(base, n_cfds, n_sites, update_sizes, gate):
+    generator = bu.tpch()
+    relation = bu.tpch_relation(base)
+    cfds = bu.tpch_cfds(n_cfds)
+    records = []
+    for partitioning, strategies in STRATEGIES.items():
+        for n in update_sizes:
+            updates = bu.tpch_updates(base, n, insert_fraction=0.6)
+            for strategy in strategies:
+                records.append(
+                    measure_point(
+                        generator, relation, cfds, partitioning, strategy, updates, n_sites
+                    )
+                )
+
+    crossover_points = {}
+    gate_results = []
+    failures = []
+    for partitioning in STRATEGIES:
+        points = [r for r in records if r["partitioning"] == partitioning]
+        for inc, bat in PAIRS[partitioning]:
+            crossover_points[f"{partitioning}:{inc}->{bat}"] = first_crossover(
+                points, inc, bat
+            )
+        # Where does auto itself switch sides?  The first swept size at
+        # which a cold session picks a batch strategy over incremental.
+        inc_name = STRATEGIES[partitioning][0]
+        auto_points = sorted(
+            (p for p in points if p["strategy"] == "auto"),
+            key=lambda p: p["n_updates"],
+        )
+        crossover_points[f"{partitioning}:auto"] = next(
+            (
+                p["n_updates"]
+                for p in auto_points
+                if p.get("chosen") not in (None, inc_name)
+            ),
+            None,
+        )
+        # Violations must be strategy-independent at every point.
+        for n in update_sizes:
+            group = [p for p in points if p["n_updates"] == n]
+            reference = group[0]["violations"]
+            for p in group[1:]:
+                if p["violations"] != reference:
+                    failures.append(
+                        f"{partitioning} n={n}: {p['strategy']} violations differ "
+                        f"from {group[0]['strategy']}"
+                    )
+        # The 10% gate at both extremes of the sweep.
+        for n in (min(update_sizes), max(update_sizes)):
+            group = {p["strategy"]: p["bytes"] for p in points if p["n_updates"] == n}
+            best = min(v for k, v in group.items() if k != "auto")
+            auto_bytes = group["auto"]
+            ok = auto_bytes <= GATE_FACTOR * best
+            gate_results.append(
+                {
+                    "partitioning": partitioning,
+                    "n_updates": n,
+                    "auto_bytes": auto_bytes,
+                    "best_fixed_bytes": best,
+                    "factor": auto_bytes / best if best else None,
+                    "ok": ok,
+                }
+            )
+            if gate and not ok:
+                failures.append(
+                    f"{partitioning} n={n}: auto shipped {auto_bytes}B, more than "
+                    f"{GATE_FACTOR:.2f}x the best fixed strategy ({best}B)"
+                )
+
+    for record in records:
+        record.pop("violations")  # bulky; the sweep asserted equality already
+    path = bu.write_bench_json(
+        "crossover",
+        records,
+        extra={
+            "base_size": base,
+            "n_cfds": n_cfds,
+            "n_sites": n_sites,
+            "update_sizes": list(update_sizes),
+            "crossover_points": crossover_points,
+            "gate_factor": GATE_FACTOR,
+            "gate": gate_results,
+        },
+    )
+    print(f"crossover sweep written to {path}")
+    for name, value in sorted(crossover_points.items()):
+        print(f"  crossover {name}: {value}")
+    for entry in gate_results:
+        status = "ok" if entry["ok"] else "FAIL"
+        print(
+            f"  gate [{status}] {entry['partitioning']} n={entry['n_updates']}: "
+            f"auto {entry['auto_bytes']}B vs best {entry['best_fixed_bytes']}B"
+        )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--base", type=int, default=bu.CROSSOVER_BASE)
+    parser.add_argument("--cfds", type=int, default=bu.FIXED_CFDS)
+    parser.add_argument("--sites", type=int, default=4)
+    parser.add_argument(
+        "--updates",
+        type=int,
+        nargs="+",
+        default=[25, 50, 100, 200, 300, 450],
+        help="batch sizes to sweep (both extremes feed the gate)",
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="fail unless auto ships within 10%% of best-of(incremental, batch) "
+        "at both extremes and violations match everywhere",
+    )
+    args = parser.parse_args(argv)
+    failures = run_sweep(args.base, args.cfds, args.sites, args.updates, args.gate)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -77,6 +77,7 @@ from repro.workloads import (
 )
 from repro.engine import (
     DEFAULT_REGISTRY,
+    AdaptiveStrategy,
     DetectionReport,
     DetectionSession,
     Detector,
@@ -100,6 +101,21 @@ from repro.similarity import (
     NormalizedStringMatch,
     NumericTolerance,
     detect_md_violations,
+)
+from repro.planner import (
+    AdaptivePlanner,
+    CostVector,
+    Estimate,
+    PlanDecision,
+    hev_plan_cost,
+)
+from repro.stats import (
+    EWMA,
+    BatchProfile,
+    RelationStats,
+    RuleProfile,
+    StatsCatalog,
+    StrategyFeedback,
 )
 from repro.runtime import (
     EXECUTOR_BACKENDS,
@@ -175,6 +191,19 @@ __all__ = [
     "FDSpec",
     "generate_cfds",
     "generate_updates",
+    # cost-based planner and statistics
+    "AdaptivePlanner",
+    "AdaptiveStrategy",
+    "BatchProfile",
+    "CostVector",
+    "EWMA",
+    "Estimate",
+    "PlanDecision",
+    "RelationStats",
+    "RuleProfile",
+    "StatsCatalog",
+    "StrategyFeedback",
+    "hev_plan_cost",
     # detection engine
     "session",
     "SessionBuilder",

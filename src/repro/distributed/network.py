@@ -51,6 +51,17 @@ class NetworkStats:
                 deltas[key] = delta
         return deltas
 
+    def cost_vector(self, local_work: float = 0.0):
+        """This snapshot as a planner :class:`~repro.planner.cost.CostVector`.
+
+        Estimates and actuals share one type, so the adaptive planner
+        can subtract them directly (lazy import: the planner package
+        depends on this module's snapshots, not the other way round).
+        """
+        from repro.planner.cost import CostVector
+
+        return CostVector.from_stats(self, local_work=local_work)
+
     def diff(self, earlier: "NetworkStats") -> "NetworkStats":
         """Counters accumulated since ``earlier`` was taken.
 

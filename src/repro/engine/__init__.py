@@ -11,6 +11,7 @@
 * :class:`Detector` — the protocol every strategy satisfies.
 """
 
+from repro.engine.adaptive import AdaptiveStrategy, AdaptiveStrategyError
 from repro.engine.adapters import (
     CentralizedStrategy,
     HorizontalBatchStrategy,
@@ -24,7 +25,7 @@ from repro.engine.adapters import (
     VerticalIncrementalStrategy,
     register_builtin_strategies,
 )
-from repro.engine.protocol import Detector, SingleSite
+from repro.engine.protocol import Detector, SingleSite, StrategyState
 from repro.engine.registry import (
     DEFAULT_REGISTRY,
     DetectorEntry,
@@ -43,6 +44,8 @@ register_builtin_strategies(DEFAULT_REGISTRY)
 
 __all__ = [
     "DEFAULT_REGISTRY",
+    "AdaptiveStrategy",
+    "AdaptiveStrategyError",
     "CentralizedStrategy",
     "DetectionReport",
     "DetectionSession",
@@ -63,6 +66,7 @@ __all__ = [
     "SiteTiming",
     "StorageEntry",
     "StrategyRegistry",
+    "StrategyState",
     "StrategyStateError",
     "VerticalBatchStrategy",
     "VerticalIncrementalStrategy",

@@ -23,8 +23,15 @@ from repro.core.updates import UpdateBatch
 from repro.core.violations import ViolationDelta, ViolationSet, diff_violations
 from repro.distributed.cluster import Cluster
 from repro.distributed.network import Network, NetworkStats
-from repro.engine.protocol import SingleSite
+from repro.engine.adaptive import AdaptiveStrategy
+from repro.engine.protocol import SingleSite, StrategyState
 from repro.engine.registry import StrategyRegistry
+from repro.planner.estimators import (
+    Estimate,
+    estimate_batch,
+    estimate_improved_batch,
+    estimate_incremental,
+)
 from repro.horizontal.bathor import HorizontalBatchDetector
 from repro.horizontal.ibathor import ImprovedHorizontalBatchDetector
 from repro.horizontal.inchor import HorizontalIncrementalDetector
@@ -131,6 +138,42 @@ class VerticalIncrementalStrategy(_BaseStrategy):
         self._require_setup()
         return self._detector.plan
 
+    # -- planner hooks -------------------------------------------------------------
+
+    def cost_estimate(self, stats: Any, profile: Any) -> Estimate:
+        """``O(|delta-D| + |delta-V|)`` work and eqid shipment (Prop. 6)."""
+        return estimate_incremental(stats, profile, "incVer")
+
+    def export_state(self) -> StrategyState:
+        """Deployment fragments are maintained in place, so they are current."""
+        self._require_setup()
+        return StrategyState(self._detector.violations.copy(), None, self.deployment)
+
+    def import_state(self, state: StrategyState, rules: Iterable[CFD]) -> ViolationSet:
+        """Warm handoff: rebuild the IDX/HEV indices over the current data,
+        seeding the violations instead of re-detecting them."""
+        cluster = _require_vertical(state.deployment)
+        if state.relation is not None:
+            # The exporter maintained the logical relation, not the
+            # fragments — re-fragment locally (no shipment is charged).
+            cluster = Cluster.from_vertical(
+                cluster.vertical_partitioner,
+                state.relation,
+                network=cluster.network,
+                scheduler=cluster.scheduler,
+            )
+        planner = None
+        if self._optimize and self._plan is None:
+            partitioner = cluster.vertical_partitioner
+            planner = HEVPlanner(
+                partitioner, ReplicationScheme(partitioner), beam_width=self._beam_width
+            )
+        self._detector = VerticalIncrementalDetector(
+            cluster, rules, plan=self._plan, planner=planner, violations=state.violations
+        )
+        self.deployment = cluster
+        return self._detector.violations
+
 
 class HorizontalIncrementalStrategy(_BaseStrategy):
     """``incHor`` (Fig. 8)."""
@@ -157,6 +200,33 @@ class HorizontalIncrementalStrategy(_BaseStrategy):
         self._require_setup()
         return self._detector.violations
 
+    # -- planner hooks -------------------------------------------------------------
+
+    def cost_estimate(self, stats: Any, profile: Any) -> Estimate:
+        """``O(|delta-D| + |delta-V|)`` work and fingerprint shipment (Prop. 8)."""
+        return estimate_incremental(stats, profile, "incHor")
+
+    def export_state(self) -> StrategyState:
+        """Deployment fragments are maintained in place, so they are current."""
+        self._require_setup()
+        return StrategyState(self._detector.violations.copy(), None, self.deployment)
+
+    def import_state(self, state: StrategyState, rules: Iterable[CFD]) -> ViolationSet:
+        """Warm handoff: rebuild the per-site indices, seeding the violations."""
+        cluster = _require_horizontal(state.deployment)
+        if state.relation is not None:
+            cluster = Cluster.from_horizontal(
+                cluster.horizontal_partitioner,
+                state.relation,
+                network=cluster.network,
+                scheduler=cluster.scheduler,
+            )
+        self._detector = HorizontalIncrementalDetector(
+            cluster, rules, violations=state.violations, use_md5=self._use_md5
+        )
+        self.deployment = cluster
+        return self._detector.violations
+
 
 # -- batch baselines (re-detect and diff) ----------------------------------------------------
 
@@ -180,6 +250,10 @@ class _BatchRedetectStrategy(_BaseStrategy):
 
     def apply(self, batch: UpdateBatch) -> ViolationDelta:
         self._require_setup()
+        if len(batch) == 0:
+            # Nothing changed: re-detecting would ship the whole database
+            # for an identical violation set.
+            return ViolationDelta()
         if self._relation is None:
             self._relation = self.deployment.reconstruct()
         self._relation = batch.apply_to(self._relation)
@@ -194,6 +268,22 @@ class _BatchRedetectStrategy(_BaseStrategy):
 
     @property
     def violations(self) -> ViolationSet:
+        return self._violations
+
+    # -- planner hooks -------------------------------------------------------------
+
+    def export_state(self) -> StrategyState:
+        """The logical relation (once materialized) is authoritative; the
+        deployment tracks it after every ``_rebuild``."""
+        self._require_setup()
+        return StrategyState(self._violations.copy(), self._relation, self.deployment)
+
+    def import_state(self, state: StrategyState, rules: Iterable[CFD]) -> ViolationSet:
+        """Adopt the current data and violations; re-detect only on ``apply``."""
+        self._rules = list(rules)
+        self.deployment = state.deployment
+        self._relation = state.relation
+        self._violations = state.violations.copy()
         return self._violations
 
 
@@ -218,6 +308,10 @@ class VerticalBatchStrategy(_BatchRedetectStrategy):
     def _detect(self) -> ViolationSet:
         return VerticalBatchDetector(self.deployment, self._rules).detect()
 
+    def cost_estimate(self, stats: Any, profile: Any) -> Estimate:
+        """Full recomputation: ``O(|D (+) delta-D|)`` shipment and scans."""
+        return estimate_batch(stats, profile, "batVer")
+
 
 class HorizontalBatchStrategy(_BatchRedetectStrategy):
     """``batHor``: re-fragment and re-detect from scratch on every batch."""
@@ -239,6 +333,10 @@ class HorizontalBatchStrategy(_BatchRedetectStrategy):
 
     def _detect(self) -> ViolationSet:
         return HorizontalBatchDetector(self.deployment, self._rules).detect()
+
+    def cost_estimate(self, stats: Any, profile: Any) -> Estimate:
+        """Full recomputation: ``O(|D (+) delta-D|)`` shipment and scans."""
+        return estimate_batch(stats, profile, "batHor")
 
 
 class ImprovedVerticalBatchStrategy(_BaseStrategy):
@@ -268,6 +366,8 @@ class ImprovedVerticalBatchStrategy(_BaseStrategy):
 
     def apply(self, batch: UpdateBatch) -> ViolationDelta:
         self._require_setup()
+        if len(batch) == 0:
+            return ViolationDelta()
         final = batch.apply_to(self._base)
         new = self._detector.detect(final)
         self._base = final
@@ -284,6 +384,33 @@ class ImprovedVerticalBatchStrategy(_BaseStrategy):
         """The rebuild ships over the wrapped detector's own network."""
         self._require_setup()
         return self._detector.network
+
+    # -- planner hooks -------------------------------------------------------------
+
+    def cost_estimate(self, stats: Any, profile: Any) -> Estimate:
+        """``O(|D| + |delta-D|)``: incremental insertion from empty (Exp-10)."""
+        return estimate_improved_batch(stats, profile, "ibatVer")
+
+    def export_state(self) -> StrategyState:
+        """``_base`` is authoritative; the deployment fragments are stale."""
+        self._require_setup()
+        return StrategyState(self._violations.copy(), self._base, self.deployment)
+
+    def import_state(self, state: StrategyState, rules: Iterable[CFD]) -> ViolationSet:
+        """Adopt the current data; rebuilds charge the shared session ledger."""
+        cluster = _require_vertical(state.deployment)
+        self._base = (
+            state.relation if state.relation is not None else cluster.reconstruct()
+        )
+        self._detector = ImprovedVerticalBatchDetector(
+            cluster.vertical_partitioner,
+            rules,
+            plan=self._plan,
+            network=cluster.network,
+        )
+        self._violations = state.violations.copy()
+        self.deployment = cluster
+        return self._violations
 
 
 class ImprovedHorizontalBatchStrategy(_BaseStrategy):
@@ -308,6 +435,8 @@ class ImprovedHorizontalBatchStrategy(_BaseStrategy):
 
     def apply(self, batch: UpdateBatch) -> ViolationDelta:
         self._require_setup()
+        if len(batch) == 0:
+            return ViolationDelta()
         final = batch.apply_to(self._base)
         new = self._detector.detect(final)
         self._base = final
@@ -324,6 +453,33 @@ class ImprovedHorizontalBatchStrategy(_BaseStrategy):
         """The rebuild ships over the wrapped detector's own network."""
         self._require_setup()
         return self._detector.network
+
+    # -- planner hooks -------------------------------------------------------------
+
+    def cost_estimate(self, stats: Any, profile: Any) -> Estimate:
+        """``O(|D| + |delta-D|)``: incremental insertion from empty (Exp-10)."""
+        return estimate_improved_batch(stats, profile, "ibatHor")
+
+    def export_state(self) -> StrategyState:
+        """``_base`` is authoritative; the deployment fragments are stale."""
+        self._require_setup()
+        return StrategyState(self._violations.copy(), self._base, self.deployment)
+
+    def import_state(self, state: StrategyState, rules: Iterable[CFD]) -> ViolationSet:
+        """Adopt the current data; rebuilds charge the shared session ledger."""
+        cluster = _require_horizontal(state.deployment)
+        self._base = (
+            state.relation if state.relation is not None else cluster.reconstruct()
+        )
+        self._detector = ImprovedHorizontalBatchDetector(
+            cluster.horizontal_partitioner,
+            rules,
+            use_md5=self._use_md5,
+            network=cluster.network,
+        )
+        self._violations = state.violations.copy()
+        self.deployment = cluster
+        return self._violations
 
 
 # -- single-site strategies ------------------------------------------------------------------
@@ -346,6 +502,8 @@ class CentralizedStrategy(_BaseStrategy):
 
     def apply(self, batch: UpdateBatch) -> ViolationDelta:
         self._require_setup()
+        if len(batch) == 0:
+            return ViolationDelta()
         self.deployment.relation = batch.apply_to(self.deployment.relation)
         new = self._detector.detect(self.deployment.relation)
         delta = diff_violations(self._violations, new)
@@ -354,6 +512,27 @@ class CentralizedStrategy(_BaseStrategy):
 
     @property
     def violations(self) -> ViolationSet:
+        return self._violations
+
+    # -- planner hooks -------------------------------------------------------------
+
+    def cost_estimate(self, stats: Any, profile: Any) -> Estimate:
+        """Re-detection over the whole updated database (no shipment)."""
+        return estimate_batch(stats, profile, "centralized")
+
+    def export_state(self) -> StrategyState:
+        self._require_setup()
+        return StrategyState(
+            self._violations.copy(), self.deployment.relation, self.deployment
+        )
+
+    def import_state(self, state: StrategyState, rules: Iterable[CFD]) -> ViolationSet:
+        store = _require_single(state.deployment)
+        if state.relation is not None:
+            store.relation = state.relation
+        self._detector = CentralizedDetector(rules, scheduler=store.scheduler)
+        self._violations = state.violations.copy()
+        self.deployment = store
         return self._violations
 
 
@@ -377,6 +556,8 @@ class MDBatchStrategy(_BaseStrategy):
 
     def apply(self, batch: UpdateBatch) -> ViolationDelta:
         self._require_setup()
+        if len(batch) == 0:
+            return ViolationDelta()
         self.deployment.relation = batch.apply_to(self.deployment.relation)
         new = self._detector.detect(self.deployment.relation)
         delta = diff_violations(self._violations, new)
@@ -385,6 +566,29 @@ class MDBatchStrategy(_BaseStrategy):
 
     @property
     def violations(self) -> ViolationSet:
+        return self._violations
+
+    # -- planner hooks -------------------------------------------------------------
+
+    def cost_estimate(self, stats: Any, profile: Any) -> Estimate:
+        """Pairwise re-matching over the whole updated database."""
+        return estimate_batch(stats, profile, "md")
+
+    def export_state(self) -> StrategyState:
+        self._require_setup()
+        return StrategyState(
+            self._violations.copy(), self.deployment.relation, self.deployment
+        )
+
+    def import_state(self, state: StrategyState, rules: Iterable[Any]) -> ViolationSet:
+        store = _require_single(state.deployment)
+        if state.relation is not None:
+            store.relation = state.relation
+        self._detector = MDDetector(
+            rules, use_blocking=self._use_blocking, scheduler=store.scheduler
+        )
+        self._violations = state.violations.copy()
+        self.deployment = store
         return self._violations
 
 
@@ -408,6 +612,30 @@ class MDIncrementalStrategy(_BaseStrategy):
     @property
     def violations(self) -> ViolationSet:
         self._require_setup()
+        return self.inner.violations
+
+    # -- planner hooks -------------------------------------------------------------
+
+    def cost_estimate(self, stats: Any, profile: Any) -> Estimate:
+        """``O(|delta-D| x blocking candidates)`` matching work."""
+        return estimate_incremental(stats, profile, "incMD")
+
+    def export_state(self) -> StrategyState:
+        """Materialize the maintained tuples back into a relation."""
+        self._require_setup()
+        template = self.deployment.relation
+        relation = Relation(
+            template.schema, self.inner.current_tuples(), storage=template.storage
+        )
+        return StrategyState(self.inner.violations.copy(), relation, self.deployment)
+
+    def import_state(self, state: StrategyState, rules: Iterable[Any]) -> ViolationSet:
+        """Rebuild the blocking indices and partner counts over the data."""
+        store = _require_single(state.deployment)
+        if state.relation is not None:
+            store.relation = state.relation
+        self.inner = IncrementalMDDetector(store.relation, rules)
+        self.deployment = store
         return self.inner.violations
 
     # Diagnostics forwarded from the wrapped detector.
@@ -528,6 +756,17 @@ def register_builtin_strategies(registry: StrategyRegistry) -> None:
         mode="incremental",
         rules="md",
         description="incremental matching-dependency detection with blocking",
+    )
+    registry.register_detector(
+        "auto",
+        AdaptiveStrategy,
+        partitioning="any",
+        mode="adaptive",
+        rules="any",
+        description=(
+            "cost-based adaptive planner: re-estimates incremental vs batch "
+            "per batch and switches at the measured crossover"
+        ),
     )
 
     registry.register_partitioner(

@@ -19,6 +19,7 @@ strategy — incremental or not — can serve the same streaming sessions.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Iterable, Protocol, runtime_checkable
 
 from repro.core.relation import Relation
@@ -48,6 +49,28 @@ class Detector(Protocol):
     def cost_stats(self) -> NetworkStats:
         """Communication cost charged by this strategy so far."""
         ...
+
+
+@dataclass
+class StrategyState:
+    """A strategy's exportable warm state, for mid-session handoff.
+
+    The adaptive planner swaps detectors between batches without
+    re-partitioning or re-shipping fragments: the outgoing strategy
+    exports its violations plus whichever of (logical relation,
+    deployment) is authoritative, and the incoming strategy imports
+    them — rebuilding only its own private indices.
+
+    ``relation`` is the current logical database when the exporter's
+    deployment fragments may be stale (the batch baselines maintain the
+    relation, not the fragments); ``None`` means the deployment's
+    fragments *are* current (the incremental detectors maintain them in
+    place) and the importer may reconstruct lazily.
+    """
+
+    violations: ViolationSet
+    relation: Relation | None
+    deployment: Any
 
 
 class SingleSite:

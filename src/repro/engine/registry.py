@@ -22,8 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-PARTITIONINGS = ("vertical", "horizontal", "single")
-RULE_KINDS = ("cfd", "md")
+#: ``"any"`` marks a strategy that adapts to whatever partitioning (or
+#: rule language) the session is built with — e.g. ``auto``.
+PARTITIONINGS = ("vertical", "horizontal", "single", "any")
+RULE_KINDS = ("cfd", "md", "any")
 
 
 class RegistryError(LookupError):
@@ -142,15 +144,16 @@ class StrategyRegistry:
         matches = [
             entry
             for entry in self._detectors.values()
-            if entry.partitioning == partitioning
+            if entry.partitioning in (partitioning, "any")
             and entry.mode == mode
-            and entry.rules == rules
+            and entry.rules in (rules, "any")
         ]
         if not matches:
             combos = sorted(
                 f"{e.mode!r} ({e.name})"
                 for e in self._detectors.values()
-                if e.partitioning == partitioning and e.rules == rules
+                if e.partitioning in (partitioning, "any")
+                and e.rules in (rules, "any")
             )
             available = ", ".join(combos) or "(none)"
             raise RegistryError(

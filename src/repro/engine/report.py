@@ -14,6 +14,7 @@ from typing import Any
 
 from repro.core.violations import ViolationSet
 from repro.distributed.network import NetworkStats
+from repro.planner.adaptive import PlanDecision
 from repro.runtime.scheduler import SchedulerTimings
 
 
@@ -72,6 +73,10 @@ class DetectionReport:
     timings: SchedulerTimings = field(default_factory=SchedulerTimings)
     #: Busy seconds per site, derived from the scheduler ledger.
     site_timings: tuple[SiteTiming, ...] = field(default_factory=tuple)
+    #: Per-batch plan decisions of the adaptive planner (chosen strategy,
+    #: estimated vs actual CostVector, estimation error); empty for fixed
+    #: strategies.
+    plan_trace: tuple[PlanDecision, ...] = field(default_factory=tuple)
 
     @classmethod
     def build(
@@ -91,6 +96,7 @@ class DetectionReport:
         setup_seconds: float = 0.0,
         apply_seconds: float = 0.0,
         timings: SchedulerTimings | None = None,
+        plan_trace: tuple[PlanDecision, ...] = (),
     ) -> "DetectionReport":
         timings = timings or SchedulerTimings()
         return cls(
@@ -113,6 +119,7 @@ class DetectionReport:
                 SiteTiming(site, seconds)
                 for site, seconds in sorted(timings.seconds_by_site.items())
             ),
+            plan_trace=tuple(plan_trace),
         )
 
     # -- convenient cost views -----------------------------------------------------
@@ -180,6 +187,7 @@ class DetectionReport:
                     for timing in self.site_timings
                 ],
             },
+            "plan_trace": [decision.as_dict() for decision in self.plan_trace],
         }
 
     def summary(self) -> str:
@@ -206,4 +214,28 @@ class DetectionReport:
             )
         for timing in self.site_timings:
             lines.append(f"  site {timing.site}: busy {timing.seconds:.6f}s in tasks")
+        if self.plan_trace:
+            lines.append("  plan trace         :")
+            for decision in self.plan_trace:
+                alternatives = ", ".join(
+                    f"{name} {cv.bytes:.0f}B"
+                    for name, cv in sorted(decision.estimates.items())
+                    if name != decision.chosen
+                )
+                actual = decision.actual
+                actual_part = (
+                    f"actual {actual.bytes:.0f}B"
+                    if actual is not None
+                    else "actual n/a"
+                )
+                error_part = (
+                    f", err {decision.error:.1%}" if decision.error is not None else ""
+                )
+                switch_part = " [switched]" if decision.switched else ""
+                lines.append(
+                    f"    batch {decision.batch_index}: {decision.chosen}"
+                    f"{switch_part}  est {decision.estimated.bytes:.0f}B, "
+                    f"{actual_part}{error_part}"
+                    + (f"  (vs {alternatives})" if alternatives else "")
+                )
         return "\n".join(lines)

@@ -200,7 +200,7 @@ class SessionBuilder:
         name = self._strategy_name or default_mode
         if self._registry.has_detector(name):
             entry = self._registry.detector(name)
-            if entry.partitioning != partitioning:
+            if entry.partitioning not in (partitioning, "any"):
                 raise SessionError(
                     f"strategy {name!r} requires {entry.partitioning} data but the "
                     f"session is {partitioning}"
@@ -210,7 +210,7 @@ class SessionBuilder:
                         else ""
                     )
                 )
-            if entry.rules != rule_kind:
+            if entry.rules not in (rule_kind, "any"):
                 raise SessionError(
                     f"strategy {name!r} checks {entry.rules} rules but the session "
                     f"rules are {rule_kind}"
@@ -260,8 +260,13 @@ class SessionBuilder:
         else:
             deployment = SingleSite(relation, network=network, scheduler=scheduler)
 
+        options = dict(self._strategy_options)
+        if entry.mode == "adaptive" and "registry" not in options:
+            # Adaptive strategies resolve their candidate detectors from
+            # the same registry the session was configured with.
+            options["registry"] = self._registry
         try:
-            detector = entry.create(**self._strategy_options)
+            detector = entry.create(**options)
         except TypeError as exc:
             if owns_executor:
                 executor.close()
@@ -329,6 +334,21 @@ class DetectionSession:
     def strategy(self) -> str:
         """The registry name of the strategy in use (``incVer``, ``batHor``, ...)."""
         return self._entry.name
+
+    @property
+    def active_strategy(self) -> str:
+        """The concrete strategy currently running the batches.
+
+        Equal to :attr:`strategy` for fixed sessions; for ``auto``
+        sessions it names the candidate the planner has currently
+        warmed up.
+        """
+        return getattr(self._detector, "active", None) or self._entry.name
+
+    @property
+    def plan_trace(self) -> tuple:
+        """Per-batch plan decisions (empty for non-adaptive strategies)."""
+        return tuple(getattr(self._detector, "plan_trace", ()) or ())
 
     @property
     def partitioning(self) -> str:
@@ -485,4 +505,5 @@ class DetectionSession:
             setup_seconds=self._setup_seconds,
             apply_seconds=self._apply_seconds,
             timings=self._scheduler.timings(),
+            plan_trace=self.plan_trace,
         )

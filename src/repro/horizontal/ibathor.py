@@ -28,11 +28,15 @@ class ImprovedHorizontalBatchDetector:
         partitioner: HorizontalPartitioner,
         cfds: Iterable[CFD],
         use_md5: bool = True,
+        network: Network | None = None,
     ):
         self._partitioner = partitioner
         self._cfds = list(cfds)
         self._use_md5 = use_md5
-        self._network = Network()
+        # A caller-owned network lets the adaptive planner charge the
+        # rebuild to the session ledger it measures; standalone use
+        # keeps a private ledger as before.
+        self._network = network or Network()
 
     @property
     def network(self) -> Network:

@@ -27,6 +27,7 @@ from repro.indexes.equivalence import EqidRegistry
 from repro.indexes.hev import CFDPlanEntry, HEVNode, HEVPlan
 from repro.partition.replication import ReplicationScheme
 from repro.partition.vertical import VerticalPartitioner
+from repro.planner.cost import CostVector, hev_plan_cost
 
 
 def _plannable(cfds: Iterable[CFD], partitioner: VerticalPartitioner) -> list[CFD]:
@@ -192,12 +193,17 @@ class HEVPlanner:
 
     def _cost(
         self, nodes: list[HEVNode], entries: Mapping[str, CFDPlanEntry]
-    ) -> int | None:
-        """Neqid for a candidate node pool, or None if the pool is not viable."""
+    ) -> CostVector | None:
+        """The cost of a candidate node pool, or None if it is not viable.
+
+        Priced through the shared cost core
+        (:func:`repro.planner.cost.hev_plan_cost`); the search minimises
+        the ``eqids`` dimension — Neqid of the paper.
+        """
         if not self._resolve_inputs(nodes):
             return None
         plan = HEVPlan(nodes, entries)
-        return plan.eqid_shipments_per_update()
+        return hev_plan_cost(plan)
 
     # -- the optVer search ----------------------------------------------------------------
 
@@ -272,7 +278,7 @@ class HEVPlanner:
         # (4) Finalization: beam-limited greedy removal of redundant HEVs.
         frontier: list[list[HEVNode]] = [list(all_nodes)]
         for _ in range(self._max_rounds):
-            candidates: list[tuple[int, list[HEVNode]]] = []
+            candidates: list[tuple[float, list[HEVNode]]] = []
             for state in frontier:
                 for node in state:
                     if id(node) in required:
@@ -281,18 +287,19 @@ class HEVPlanner:
                     cost = self._cost(reduced, entries)
                     if cost is None:
                         continue
-                    candidates.append((cost, reduced))
+                    candidates.append((cost.eqids, reduced))
             if not candidates:
                 break
             candidates.sort(key=lambda item: item[0])
             frontier = [state for _, state in candidates[: self._beam_width]]
-            if candidates[0][0] <= best_cost:
-                best_cost, best_nodes = candidates[0]
+            if candidates[0][0] <= best_cost.eqids:
+                best_eqids, best_nodes = candidates[0]
+                best_cost = CostVector(eqids=best_eqids)
 
         final_cost = self._cost(best_nodes, entries)
         if final_cost is None:
             return naive
-        if final_cost >= naive.eqid_shipments_per_update():
+        if final_cost.eqids >= naive.eqid_shipments_per_update():
             return naive
         return HEVPlan(best_nodes, entries, registry)
 

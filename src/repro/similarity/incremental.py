@@ -80,6 +80,10 @@ class IncrementalMDDetector:
         """With how many current tuples ``tid`` violates the given MD."""
         return self._partner_counts[md_name].get(tid, 0)
 
+    def current_tuples(self) -> list[Tuple]:
+        """The tuples currently held, in insertion order (state export)."""
+        return list(self._tuples.values())
+
     def candidate_count(self, md_name: str, t: Tuple) -> int:
         """How many stored tuples the blocking index would compare ``t`` against.
 

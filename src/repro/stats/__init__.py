@@ -1,0 +1,29 @@
+"""Live statistics for the cost-based adaptive planner.
+
+:class:`StatsCatalog` aggregates relation statistics, rule structure
+and per-strategy EWMA feedback; :class:`BatchProfile` summarises one
+update batch.  Collected cheaply during ``setup()``/``apply()`` on both
+row and columnar backends — see :mod:`repro.stats.collector`.
+"""
+
+from repro.stats.collector import (
+    EWMA,
+    SAMPLE_LIMIT,
+    BatchProfile,
+    RelationStats,
+    RuleProfile,
+    StatsCatalog,
+    StrategyFeedback,
+    profile_of,
+)
+
+__all__ = [
+    "EWMA",
+    "SAMPLE_LIMIT",
+    "BatchProfile",
+    "RelationStats",
+    "RuleProfile",
+    "StatsCatalog",
+    "StrategyFeedback",
+    "profile_of",
+]

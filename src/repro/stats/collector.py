@@ -1,0 +1,354 @@
+"""Live statistics for the cost-based planner.
+
+The adaptive planner needs three kinds of numbers to price a strategy
+before running it:
+
+* *data statistics* — cardinality, per-attribute distinct counts and
+  average tuple width of the relation under detection
+  (:class:`RelationStats`; collected once at ``setup()`` and kept
+  current arithmetically as batches apply);
+* *rule statistics* — how many CFDs are constant / locally checkable /
+  general, and how wide their LHSs are (:class:`RuleProfile`; these
+  drive the paper's Section 5/6 shipment formulas);
+* *feedback* — EWMA-smoothed observed cost per unit of each strategy's
+  complexity driver (:class:`StrategyFeedback`; ``O(|delta-D|)`` for the
+  incremental detectors, ``O(|D (+) delta-D|)`` for the batch ones), fed
+  back after every batch so estimates converge on measured behaviour.
+
+Everything here is cheap: columnar relations read distinct counts
+straight from their value dictionaries, row relations are sampled up to
+:data:`SAMPLE_LIMIT` tuples, and per-batch maintenance is O(1) plus the
+batch normalization the detectors perform anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.core.updates import UpdateBatch
+from repro.distributed.serialization import estimate_tuple_bytes
+
+#: Row-backend relations are sampled up to this many tuples when
+#: collecting distinct counts and average tuple width.
+SAMPLE_LIMIT = 1000
+
+
+class EWMA:
+    """An exponentially weighted moving average (the calibration loop).
+
+    ``alpha`` is the weight of the newest observation; the first
+    observation seeds the average directly.
+    """
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("EWMA alpha must lie in (0, 1]")
+        self.alpha = alpha
+        self._value = 0.0
+        self._n = 0
+
+    def observe(self, x: float) -> float:
+        """Fold one observation in and return the smoothed value."""
+        if self._n == 0:
+            self._value = float(x)
+        else:
+            self._value += self.alpha * (float(x) - self._value)
+        self._n += 1
+        return self._value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def n_observations(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EWMA({self._value:.3f}, n={self._n})"
+
+
+@dataclass(frozen=True)
+class BatchProfile:
+    """The shape of one update batch, as the planner prices it.
+
+    ``normalized_size`` counts the updates that survive cancellation
+    (line 1 of incVer/incHor) — the complexity driver ``|delta-D|`` of
+    the incremental detectors.  ``net_growth`` is the cardinality change
+    the batch applies to the database.
+    """
+
+    size: int
+    n_inserts: int
+    n_deletes: int
+    normalized_size: int
+    net_growth: int
+
+    @classmethod
+    def of(cls, batch: UpdateBatch) -> "BatchProfile":
+        normalized = batch.normalized()
+        n_ins = sum(1 for u in normalized if u.is_insert())
+        n_del = len(normalized) - n_ins
+        return cls(
+            size=len(batch),
+            n_inserts=n_ins,
+            n_deletes=n_del,
+            normalized_size=len(normalized),
+            net_growth=n_ins - n_del,
+        )
+
+
+@dataclass(frozen=True)
+class RelationStats:
+    """Cardinality, distinct counts and average width of a relation."""
+
+    cardinality: int
+    n_attributes: int
+    distinct_counts: dict[str, int]
+    avg_tuple_bytes: float
+    sampled: bool = False
+
+    @property
+    def avg_value_bytes(self) -> float:
+        """Average wire size of a single attribute value."""
+        return self.avg_tuple_bytes / max(1, self.n_attributes)
+
+    @classmethod
+    def collect(cls, relation: Any, sample_limit: int = SAMPLE_LIMIT) -> "RelationStats":
+        """Collect statistics from a relation on either storage backend.
+
+        Columnar relations read distinct counts from their value
+        dictionaries (O(attributes)); row relations are sampled up to
+        ``sample_limit`` tuples.  Average tuple width is sampled on both
+        backends.
+        """
+        attrs = list(relation.schema.attribute_names)
+        n = len(relation)
+        from repro.columnar.store import column_store_of
+
+        store = column_store_of(relation)
+        distinct: dict[str, int] = {}
+        sampled = False
+        if store is not None:
+            for a in attrs:
+                distinct[a] = len(store.dictionary(a))
+        else:
+            seen: dict[str, set] = {a: set() for a in attrs}
+            for i, t in enumerate(relation):
+                if i >= sample_limit:
+                    sampled = True
+                    break
+                for a in attrs:
+                    try:
+                        seen[a].add(t[a])
+                    except TypeError:  # unhashable value: give up on the column
+                        seen[a].add(id(t[a]))
+            distinct = {a: len(s) for a, s in seen.items()}
+
+        total_bytes = 0.0
+        n_sampled = 0
+        for i, t in enumerate(relation):
+            if i >= sample_limit:
+                sampled = True
+                break
+            total_bytes += estimate_tuple_bytes(t, attrs)
+            n_sampled += 1
+        avg = total_bytes / n_sampled if n_sampled else 0.0
+        return cls(
+            cardinality=n,
+            n_attributes=len(attrs),
+            distinct_counts=distinct,
+            avg_tuple_bytes=avg,
+            sampled=sampled,
+        )
+
+    def grown_by(self, net_growth: int) -> "RelationStats":
+        """Cardinality maintenance after a batch (distinct counts kept)."""
+        return RelationStats(
+            cardinality=max(0, self.cardinality + net_growth),
+            n_attributes=self.n_attributes,
+            distinct_counts=self.distinct_counts,
+            avg_tuple_bytes=self.avg_tuple_bytes,
+            sampled=self.sampled,
+        )
+
+
+@dataclass(frozen=True)
+class RuleProfile:
+    """The planner-relevant shape of a rule set.
+
+    For CFDs against a vertical partitioning, rules split into constant
+    (single-tuple checks, partial-tuple shipments), locally checkable
+    (no shipment) and general (eqid shipments through the HEV plan) —
+    the three cases of Fig. 5.  Horizontally, constant CFDs are locally
+    checkable and variable CFDs ship tuples or MD5 fingerprints
+    (Fig. 8).  Matching dependencies count as general rules.
+    """
+
+    n_rules: int
+    n_constant: int
+    n_local: int
+    n_general: int
+    avg_lhs: float
+    kind: str = "cfd"
+
+    @classmethod
+    def of(cls, rules: Iterable[Any], vertical_partitioner: Any = None) -> "RuleProfile":
+        rules = list(rules)
+        from repro.similarity.md import MatchingDependency
+
+        if rules and all(isinstance(r, MatchingDependency) for r in rules):
+            lhs_sizes = [len(r.lhs) for r in rules]
+            return cls(
+                n_rules=len(rules),
+                n_constant=0,
+                n_local=0,
+                n_general=len(rules),
+                avg_lhs=sum(lhs_sizes) / len(lhs_sizes),
+                kind="md",
+            )
+        n_constant = n_local = n_general = 0
+        lhs_sizes: list[int] = []
+        for cfd in rules:
+            if cfd.is_constant():
+                n_constant += 1
+                continue
+            if (
+                vertical_partitioner is not None
+                and vertical_partitioner.is_local(cfd.attributes) is not None
+            ):
+                n_local += 1
+            else:
+                n_general += 1
+                lhs_sizes.append(len(cfd.lhs))
+        return cls(
+            n_rules=len(rules),
+            n_constant=n_constant,
+            n_local=n_local,
+            n_general=n_general,
+            avg_lhs=sum(lhs_sizes) / len(lhs_sizes) if lhs_sizes else 1.0,
+            kind="cfd",
+        )
+
+
+class StrategyFeedback:
+    """Observed per-driver cost of one strategy, EWMA-smoothed.
+
+    The *driver* is the estimator-declared unit the strategy's
+    complexity scales with: normalized updates for the incremental
+    detectors, final database tuples for the batch ones.  Observing
+    ``(driver, actual cost, seconds)`` after each batch keeps the
+    smoothed per-unit rates, which the planner multiplies back by the
+    next batch's driver — the calibration loop.
+    """
+
+    def __init__(self, alpha: float = 0.3):
+        self.bytes_per_unit = EWMA(alpha)
+        self.messages_per_unit = EWMA(alpha)
+        self.eqids_per_unit = EWMA(alpha)
+        self.seconds_per_unit = EWMA(alpha)
+
+    @property
+    def n_observations(self) -> int:
+        return self.bytes_per_unit.n_observations
+
+    def observe(self, driver: float, cost: Any, seconds: float = 0.0) -> None:
+        """Fold one measured batch in.  ``cost`` is a CostVector-like."""
+        d = max(1.0, float(driver))
+        self.bytes_per_unit.observe(cost.bytes / d)
+        self.messages_per_unit.observe(cost.messages / d)
+        self.eqids_per_unit.observe(cost.eqids / d)
+        self.seconds_per_unit.observe(seconds / d)
+
+
+class StatsCatalog:
+    """Everything the planner knows about one detection session.
+
+    Built at ``setup()`` and maintained on every ``apply()``; the
+    catalog is local state — consulting it never ships a byte.
+    """
+
+    def __init__(
+        self,
+        relation: RelationStats,
+        rules: RuleProfile,
+        partitioning: str,
+        n_sites: int = 1,
+        n_violations: int = 0,
+        alpha: float = 0.3,
+    ):
+        self.relation = relation
+        self.rules = rules
+        self.partitioning = partitioning
+        self.n_sites = n_sites
+        self.n_violations = n_violations
+        self._alpha = alpha
+        self._feedback: dict[str, StrategyFeedback] = {}
+
+    @classmethod
+    def collect(
+        cls,
+        relation: Any,
+        rules: Iterable[Any],
+        partitioning: str,
+        n_sites: int = 1,
+        vertical_partitioner: Any = None,
+        n_violations: int = 0,
+        alpha: float = 0.3,
+    ) -> "StatsCatalog":
+        return cls(
+            relation=RelationStats.collect(relation),
+            rules=RuleProfile.of(rules, vertical_partitioner),
+            partitioning=partitioning,
+            n_sites=n_sites,
+            n_violations=n_violations,
+            alpha=alpha,
+        )
+
+    def feedback_for(self, strategy: str) -> StrategyFeedback:
+        if strategy not in self._feedback:
+            self._feedback[strategy] = StrategyFeedback(self._alpha)
+        return self._feedback[strategy]
+
+    def observe(
+        self, strategy: str, driver: float, cost: Any, seconds: float = 0.0
+    ) -> None:
+        """Feed one measured batch back into the strategy's EWMAs."""
+        self.feedback_for(strategy).observe(driver, cost, seconds)
+
+    def note_batch(self, profile: BatchProfile, n_violations: int | None = None) -> None:
+        """Cardinality (and violation-set) maintenance after a batch."""
+        self.relation = self.relation.grown_by(profile.net_growth)
+        if n_violations is not None:
+            self.n_violations = n_violations
+
+    def final_cardinality(self, profile: BatchProfile) -> int:
+        """``|D (+) delta-D|``: the database size after the batch."""
+        return max(0, self.relation.cardinality + profile.net_growth)
+
+    def as_dict(self) -> dict[str, Any]:
+        """A plain-dict snapshot (for reports and diagnostics)."""
+        return {
+            "cardinality": self.relation.cardinality,
+            "n_attributes": self.relation.n_attributes,
+            "avg_tuple_bytes": self.relation.avg_tuple_bytes,
+            "partitioning": self.partitioning,
+            "n_sites": self.n_sites,
+            "n_violations": self.n_violations,
+            "rules": {
+                "n_rules": self.rules.n_rules,
+                "n_constant": self.rules.n_constant,
+                "n_local": self.rules.n_local,
+                "n_general": self.rules.n_general,
+                "avg_lhs": self.rules.avg_lhs,
+                "kind": self.rules.kind,
+            },
+        }
+
+
+def profile_of(batch: UpdateBatch | Mapping[str, int]) -> BatchProfile:
+    """Coerce an update batch (or a ready profile mapping) to a profile."""
+    if isinstance(batch, UpdateBatch):
+        return BatchProfile.of(batch)
+    return BatchProfile(**dict(batch))

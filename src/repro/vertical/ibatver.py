@@ -32,11 +32,15 @@ class ImprovedVerticalBatchDetector:
         partitioner: VerticalPartitioner,
         cfds: Iterable[CFD],
         plan: HEVPlan | None = None,
+        network: Network | None = None,
     ):
         self._partitioner = partitioner
         self._cfds = list(cfds)
         self._plan = plan
-        self._network = Network()
+        # A caller-owned network lets the adaptive planner charge the
+        # rebuild to the session ledger it measures; standalone use
+        # keeps a private ledger as before.
+        self._network = network or Network()
 
     @property
     def network(self) -> Network:

@@ -11,6 +11,7 @@ relation without replacement.
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Protocol
 
 from repro.core.relation import Relation
@@ -36,9 +37,12 @@ def generate_updates(
 
     ``insert_fraction`` of the batch are insertions of fresh tuples; the
     rest are deletions of existing tuples (at most ``len(base)`` of
-    them).  The interleaving is shuffled deterministically so that
-    insertions and deletions are mixed as they would be in a real update
-    stream.
+    them — deletions sample the base without replacement, so demanding
+    more deletions than the base holds clamps the deletion count and
+    tops the batch up with extra insertions, with a :class:`UserWarning`
+    reporting the requested vs actual split).  The interleaving is
+    shuffled deterministically so that insertions and deletions are
+    mixed as they would be in a real update stream.
     """
     if size < 0:
         raise ValueError("update batch size must be non-negative")
@@ -46,7 +50,17 @@ def generate_updates(
         raise ValueError("insert_fraction must lie in [0, 1]")
     rng = random.Random(seed)
     n_inserts = round(size * insert_fraction)
-    n_deletes = min(size - n_inserts, len(base))
+    n_deletes_requested = size - n_inserts
+    n_deletes = min(n_deletes_requested, len(base))
+    if n_deletes < n_deletes_requested:
+        warnings.warn(
+            f"requested {n_deletes_requested} deletions but the base relation "
+            f"holds only {len(base)} tuples; the batch will contain "
+            f"{size - n_deletes} insertions and {n_deletes} deletions "
+            f"(requested split: {n_inserts}/{n_deletes_requested})",
+            UserWarning,
+            stacklevel=2,
+        )
     n_inserts = size - n_deletes
 
     max_tid = 0

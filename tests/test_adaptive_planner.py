@@ -1,0 +1,368 @@
+"""Unit coverage for the statistics layer and the cost-based planner."""
+
+import pytest
+
+from repro.core.schema import Schema
+from repro.core.tuples import Tuple
+from repro.core.updates import Update, UpdateBatch
+from repro.distributed.network import Network
+from repro.distributed.message import MessageKind
+from repro.engine.session import session
+from repro.planner.adaptive import AdaptivePlanner
+from repro.planner.cost import CostVector, hev_plan_cost
+from repro.planner.estimators import (
+    estimate_batch,
+    estimate_for_mode,
+    estimate_improved_batch,
+    estimate_incremental,
+)
+from repro.stats.collector import (
+    EWMA,
+    BatchProfile,
+    RelationStats,
+    RuleProfile,
+    StatsCatalog,
+)
+from repro.workloads.rules import generate_cfds
+from repro.workloads.tpch import TPCHGenerator
+from repro.workloads.updates import generate_updates
+
+SEED = 23
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return TPCHGenerator(seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def relation(generator):
+    return generator.relation(80)
+
+
+@pytest.fixture(scope="module")
+def cfds(generator):
+    return list(generate_cfds(generator.fd_specs(), 5, seed=SEED))
+
+
+def make_catalog(relation, cfds, partitioning="vertical", vp=None):
+    return StatsCatalog.collect(
+        relation, cfds, partitioning, n_sites=3, vertical_partitioner=vp
+    )
+
+
+class TestCostVector:
+    def test_arithmetic(self):
+        a = CostVector(bytes=100, messages=4, eqids=10, local_work=7)
+        b = CostVector(bytes=40, messages=1, eqids=2, local_work=3)
+        assert (a + b).bytes == 140
+        assert (a - b).eqids == 8
+        assert a.scale(2).local_work == 14
+
+    def test_from_network_stats_round_trip(self):
+        network = Network()
+        network.send(0, 1, MessageKind.EQID, payload=7, size_bytes=8, units=1)
+        network.send(1, 0, MessageKind.TUPLE, payload={}, size_bytes=50, units=1)
+        cv = network.stats().cost_vector(local_work=5.0)
+        assert cv == CostVector(bytes=58, messages=2, eqids=1, local_work=5.0)
+
+    def test_relative_error_uses_shipment_when_present(self):
+        est = CostVector(bytes=110)
+        actual = CostVector(bytes=100)
+        assert est.relative_error(actual) == pytest.approx(0.1)
+
+    def test_relative_error_falls_back_to_local_work(self):
+        est = CostVector(local_work=80)
+        actual = CostVector(local_work=100)
+        assert est.relative_error(actual) == pytest.approx(0.2)
+
+    def test_hev_plan_cost_prices_eqids(self, generator, cfds):
+        from repro.indexes.planner import naive_chain_plan
+
+        partitioner = generator.vertical_partitioner(3)
+        plan = naive_chain_plan(cfds, partitioner)
+        cost = hev_plan_cost(plan)
+        assert cost.eqids == plan.eqid_shipments_per_update()
+        assert cost.bytes == cost.eqids * 8
+
+
+class TestEWMA:
+    def test_first_observation_seeds(self):
+        e = EWMA(alpha=0.5)
+        assert e.observe(10) == 10
+        assert e.observe(20) == 15
+        assert e.n_observations == 2
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            EWMA(alpha=0.0)
+
+
+class TestBatchProfile:
+    def test_counts_normalized_updates(self):
+        schema = Schema("R", ["k", "a"], key="k")
+        t1 = Tuple(1, {"k": 1, "a": "x"})
+        t2 = Tuple(2, {"k": 2, "a": "y"})
+        batch = UpdateBatch([Update.insert(t1), Update.delete(t1), Update.insert(t2)])
+        profile = BatchProfile.of(batch)
+        assert profile.size == 3
+        # insert+delete of the same tid cancels entirely.
+        assert profile.normalized_size == 1
+        assert profile.net_growth == 1
+        assert (profile.n_inserts, profile.n_deletes) == (1, 0)
+        assert schema.key == "k"
+
+
+class TestRelationStats:
+    def test_columnar_reads_dictionaries(self, relation):
+        rows = RelationStats.collect(relation)
+        cols = RelationStats.collect(relation.with_storage("columnar"))
+        assert rows.cardinality == cols.cardinality == len(relation)
+        assert rows.distinct_counts == cols.distinct_counts
+        assert rows.avg_tuple_bytes == pytest.approx(cols.avg_tuple_bytes)
+
+    def test_grown_by_clamps_at_zero(self, relation):
+        stats = RelationStats.collect(relation)
+        assert stats.grown_by(-10 * len(relation)).cardinality == 0
+
+
+class TestRuleProfile:
+    def test_cfd_classification_against_vertical_partitioner(self, generator, cfds):
+        vp = generator.vertical_partitioner(3)
+        profile = RuleProfile.of(cfds, vp)
+        assert profile.n_rules == len(cfds)
+        assert (
+            profile.n_constant + profile.n_local + profile.n_general == profile.n_rules
+        )
+        assert profile.kind == "cfd"
+
+    def test_md_rules_are_all_general(self):
+        from repro.similarity.md import MatchingDependency
+        from repro.similarity.predicates import ExactMatch
+
+        mds = [MatchingDependency([("a", ExactMatch())], ["b"], name="m")]
+        profile = RuleProfile.of(mds)
+        assert profile.kind == "md"
+        assert profile.n_general == 1
+
+
+class TestEstimators:
+    def test_incremental_scales_with_batch_not_database(self, relation, cfds, generator):
+        catalog = make_catalog(relation, cfds, vp=generator.vertical_partitioner(3))
+        small = BatchProfile(10, 8, 2, 10, 6)
+        large = BatchProfile(100, 80, 20, 100, 60)
+        e_small = estimate_incremental(catalog, small)
+        e_large = estimate_incremental(catalog, large)
+        assert e_small.driver == 10
+        assert e_large.cost.bytes == pytest.approx(10 * e_small.cost.bytes)
+
+    def test_batch_scales_with_final_database(self, relation, cfds, generator):
+        catalog = make_catalog(relation, cfds, vp=generator.vertical_partitioner(3))
+        profile = BatchProfile(10, 8, 2, 10, 6)
+        est = estimate_batch(catalog, profile)
+        assert est.driver == len(relation) + 6
+        assert est.cost.bytes > 0
+
+    def test_improved_batch_shares_the_incremental_per_unit_prior(
+        self, relation, cfds, generator
+    ):
+        catalog = make_catalog(relation, cfds, vp=generator.vertical_partitioner(3))
+        profile = BatchProfile(10, 8, 2, 10, 6)
+        inc = estimate_incremental(catalog, profile)
+        ibat = estimate_improved_batch(catalog, profile)
+        assert ibat.cost.bytes / ibat.driver == pytest.approx(
+            inc.cost.bytes / inc.driver
+        )
+
+    def test_single_site_estimates_never_ship(self, relation, cfds):
+        catalog = make_catalog(relation, cfds, partitioning="single")
+        profile = BatchProfile(10, 8, 2, 10, 6)
+        for est in (
+            estimate_incremental(catalog, profile),
+            estimate_batch(catalog, profile),
+        ):
+            assert est.cost.bytes == 0
+            assert est.cost.local_work > 0
+
+    def test_unknown_mode_is_rejected(self, relation, cfds):
+        catalog = make_catalog(relation, cfds)
+        with pytest.raises(KeyError, match="no cost estimator"):
+            estimate_for_mode("nope", catalog, BatchProfile(1, 1, 0, 1, 1))
+
+
+class TestAdaptivePlanner:
+    def make_planner(self, relation, cfds, generator):
+        catalog = make_catalog(relation, cfds, vp=generator.vertical_partitioner(3))
+        hooks = {
+            "inc": lambda stats, profile: estimate_incremental(stats, profile, "inc"),
+            "ibat": lambda stats, profile: estimate_improved_batch(
+                stats, profile, "ibat"
+            ),
+        }
+        return AdaptivePlanner(catalog, hooks)
+
+    def test_small_batches_pick_incremental_large_pick_batch(
+        self, relation, cfds, generator
+    ):
+        planner = self.make_planner(relation, cfds, generator)
+        small = BatchProfile(5, 4, 1, 5, 3)
+        huge = BatchProfile(900, 700, 200, 900, 500)
+        assert planner.choose(small)[0] == "inc"
+        assert planner.choose(huge)[0] == "ibat"
+
+    def test_feedback_calibrates_the_estimate(self, relation, cfds, generator):
+        planner = self.make_planner(relation, cfds, generator)
+        profile = BatchProfile(10, 8, 2, 10, 6)
+        prior = planner.estimate("inc", profile)
+        actual = CostVector(bytes=prior.cost.bytes / 4, messages=1, eqids=2)
+        planner.record(0, "inc", {"inc": prior}, actual, seconds=0.01)
+        calibrated = planner.estimate("inc", profile)
+        assert calibrated.cost.bytes == pytest.approx(actual.bytes)
+        assert planner.decisions[0].error == pytest.approx(
+            prior.cost.relative_error(actual)
+        )
+
+    def test_ties_resolve_in_candidate_order(self, relation, cfds):
+        catalog = make_catalog(relation, cfds, partitioning="single")
+        flat = CostVector(local_work=5.0)
+        hooks = {
+            "first": lambda s, p: type(
+                "E", (), {"strategy": "first", "cost": flat, "driver": 1.0}
+            )(),
+            "second": lambda s, p: type(
+                "E", (), {"strategy": "second", "cost": flat, "driver": 1.0}
+            )(),
+        }
+        planner = AdaptivePlanner(catalog, hooks)
+        assert planner.choose(BatchProfile(1, 1, 0, 1, 1))[0] == "first"
+
+    def test_needs_at_least_one_candidate(self, relation, cfds):
+        with pytest.raises(ValueError):
+            AdaptivePlanner(make_catalog(relation, cfds), {})
+
+
+class TestAdaptiveSessionReporting:
+    def test_report_carries_estimated_vs_actual_per_batch(
+        self, generator, relation, cfds
+    ):
+        updates = generate_updates(relation, generator, 30, seed=SEED)
+        with (
+            session(relation)
+            .partition(generator.vertical_partitioner(3))
+            .rules(cfds)
+            .strategy("auto")
+            .build()
+        ) as sess:
+            sess.apply(updates)
+            report = sess.report()
+        assert report.strategy == "auto"
+        assert len(report.plan_trace) == 1
+        decision = report.plan_trace[0]
+        assert decision.actual is not None
+        assert decision.estimated.bytes >= 0
+        payload = report.as_dict()["plan_trace"][0]
+        assert payload["chosen"] == decision.chosen
+        assert payload["actual"]["bytes"] == decision.actual.bytes
+        assert f"batch 0: {decision.chosen}" in report.summary()
+
+    def test_session_exposes_the_active_strategy(self, generator, relation, cfds):
+        updates = generate_updates(relation, generator, 10, seed=SEED)
+        with (
+            session(relation)
+            .partition(generator.vertical_partitioner(3))
+            .rules(cfds)
+            .strategy("auto")
+            .build()
+        ) as sess:
+            assert sess.strategy == "auto"
+            assert sess.active_strategy == "incVer"
+            sess.apply(updates)
+            assert sess.active_strategy in ("incVer", "ibatVer", "batVer")
+
+    def test_single_batch_candidate_charges_the_session_ledger(
+        self, generator, relation, cfds
+    ):
+        # ibatVer bound via setup() used to ship on a private network,
+        # so auto reported zero bytes and learned the strategy was free.
+        updates = generate_updates(relation, generator, 30, seed=SEED)
+        with (
+            session(relation)
+            .partition(generator.vertical_partitioner(3))
+            .rules(cfds)
+            .strategy("auto", candidates=["ibatVer"])
+            .build()
+        ) as auto_sess:
+            auto_sess.apply(updates)
+            auto_report = auto_sess.report()
+        with (
+            session(relation)
+            .partition(generator.vertical_partitioner(3))
+            .rules(cfds)
+            .strategy("ibatVer")
+            .build()
+        ) as fixed_sess:
+            fixed_sess.apply(updates)
+            fixed_report = fixed_sess.report()
+        assert auto_report.bytes_shipped == fixed_report.bytes_shipped > 0
+        assert auto_report.plan_trace[0].actual.bytes == fixed_report.bytes_shipped
+
+    def test_auto_rejects_partitioning_mismatched_candidates(
+        self, generator, relation, cfds
+    ):
+        from repro.engine.adaptive import AdaptiveStrategyError
+
+        with pytest.raises(AdaptiveStrategyError, match="requires horizontal data"):
+            (
+                session(relation)
+                .partition(generator.vertical_partitioner(3))
+                .rules(cfds)
+                .strategy("auto", candidates=["incVer", "batHor"])
+                .build()
+            )
+
+    def test_auto_rejects_rule_kind_mismatched_candidates(
+        self, generator, relation, cfds
+    ):
+        from repro.engine.adaptive import AdaptiveStrategyError
+
+        with pytest.raises(AdaptiveStrategyError, match="checks md rules"):
+            (
+                session(relation)
+                .rules(cfds)
+                .strategy("auto", candidates=["centralized", "md"])
+                .build()
+            )
+
+    def test_auto_rejects_unknown_candidates(self, generator, relation, cfds):
+        from repro.engine.registry import RegistryError
+
+        with pytest.raises(RegistryError):
+            (
+                session(relation)
+                .partition(generator.vertical_partitioner(3))
+                .rules(cfds)
+                .strategy("auto", candidates=["nope"])
+                .build()
+            )
+
+    def test_adaptive_mode_resolves_via_generic_name(self, generator, relation, cfds):
+        with (
+            session(relation)
+            .partition(generator.vertical_partitioner(3))
+            .rules(cfds)
+            .strategy("adaptive")
+            .build()
+        ) as sess:
+            assert sess.strategy == "auto"
+
+    def test_fixed_strategies_report_an_empty_trace(self, generator, relation, cfds):
+        with (
+            session(relation)
+            .partition(generator.vertical_partitioner(3))
+            .rules(cfds)
+            .strategy("incVer")
+            .build()
+        ) as sess:
+            report = sess.report()
+        assert report.plan_trace == ()
+        assert report.as_dict()["plan_trace"] == []

@@ -166,9 +166,27 @@ class TestUpdateGeneration:
 
     def test_deletions_capped_at_base_size(self, tpch):
         base = tpch.relation(10)
-        updates = generate_updates(base, tpch, 100, insert_fraction=0.0, seed=1)
+        with pytest.warns(UserWarning, match="requested 100 deletions"):
+            updates = generate_updates(base, tpch, 100, insert_fraction=0.0, seed=1)
         assert len(updates.deletions) == 10
         assert len(updates) == 100
+
+    def test_clamped_deletions_warn_with_requested_vs_actual_split(self, tpch):
+        base = tpch.relation(5)
+        with pytest.warns(UserWarning) as caught:
+            updates = generate_updates(base, tpch, 20, insert_fraction=0.5, seed=1)
+        message = str(caught[0].message)
+        assert "requested 10 deletions" in message
+        assert "holds only 5 tuples" in message
+        assert "15 insertions and 5 deletions" in message
+        assert "requested split: 10/10" in message
+        assert len(updates.insertions) == 15
+        assert len(updates.deletions) == 5
+
+    def test_satisfiable_deletion_demand_does_not_warn(self, tpch, recwarn):
+        base = tpch.relation(50)
+        generate_updates(base, tpch, 20, insert_fraction=0.5, seed=1)
+        assert not [w for w in recwarn.list if issubclass(w.category, UserWarning)]
 
     def test_determinism(self, tpch):
         base = tpch.relation(50)
