@@ -1,0 +1,241 @@
+"""Exp-12 (extension): elastic deployment under a skewed update stream.
+
+The paper deploys once and never moves a fragment; this bench measures
+what the elasticity layer buys on realistic hot-shard traffic.  A
+TPCH-like relation is hash-partitioned by supplier and hit with
+Zipf-skewed update waves (``generate_updates(skew=...)``), so a few hot
+suppliers concentrate the incremental detectors' per-site work on one
+site.  Mid-stream, ``session.rebalance()`` re-plans the bucket map from
+the observed per-bucket load and migrates only the reassigned buckets —
+warm state, charged to the session ledger.
+
+``python benchmarks/bench_exp12_elasticity.py`` records, in
+``BENCH_elasticity.json``:
+
+* the hottest-site share of routed updates before vs after the
+  rebalance (the local-work concentration the skew causes), plus the
+  counterfactual share the *same* post-rebalance traffic would have had
+  on the old layout;
+* the migration bill (tuples, bytes, seconds) vs the shipment bytes the
+  post-phase saved against a never-rebalanced control session;
+* the scale-out/scale-in cost of the same session, for reference.
+
+``--gate`` fails unless the rebalance cuts the hottest-site share by at
+least ``GATE_REDUCTION`` (30%) — the CI contract of skew-aware
+rebalancing — and detection results match the control session exactly.
+"""
+
+import argparse
+import sys
+import time
+from collections import Counter
+
+import bench_utils as bu
+from repro.engine.session import session
+from repro.partition.horizontal import hash_horizontal_scheme
+from repro.partition.predicates import stable_hash
+from repro.workloads.rules import generate_cfds
+from repro.workloads.tpch import TPCHGenerator
+from repro.workloads.updates import generate_updates
+
+#: The rebalance must cut the hottest-site share by at least this factor.
+GATE_REDUCTION = 0.30
+
+
+def hottest_share(batches, partitioner):
+    """The hottest site's share of the batches' updates under a layout."""
+    attribute, n_buckets, per_site = partitioner.hash_family()
+    owner = {b: site for site, buckets in per_site.items() for b in buckets}
+    hits = Counter(
+        owner[stable_hash(u.tuple[attribute]) % n_buckets]
+        for batch in batches
+        for u in batch
+    )
+    return max(hits.values()) / sum(hits.values())
+
+
+def viol_key(violations):
+    return {tid: frozenset(violations.cfds_of(tid)) for tid in violations.tids()}
+
+
+def run_bench(
+    base_size: int,
+    n_sites: int,
+    n_cfds: int,
+    wave_size: int,
+    n_waves: int,
+    skew: float,
+    attribute: str,
+    seed: int,
+    gate: bool,
+):
+    generator = TPCHGenerator(seed=seed)
+    base = generator.relation(base_size)
+    cfds = list(generate_cfds(generator.fd_specs(), n_cfds, seed=seed))
+    scheme = hash_horizontal_scheme(generator.schema, n_sites, attribute)
+
+    elastic = session(base).partition(scheme).rules(cfds).strategy("incHor").build()
+    control = (
+        session(base)
+        .partition(hash_horizontal_scheme(generator.schema, n_sites, attribute))
+        .rules(cfds)
+        .strategy("incHor")
+        .build()
+    )
+
+    def wave(current, index):
+        return generate_updates(
+            current, generator, wave_size,
+            insert_fraction=0.6, seed=100 * (index + 1), skew=skew,
+            hot_attribute=attribute,
+        )
+
+    current = base
+    pre_waves = []
+    for i in range(n_waves):
+        batch = wave(current, i)
+        elastic.apply(batch)
+        control.apply(batch)
+        current = batch.apply_to(current)
+        pre_waves.append(batch)
+    old_partitioner = elastic.deployment.horizontal_partitioner
+    share_before = hottest_share(pre_waves, old_partitioner)
+
+    event = elastic.rebalance()
+
+    elastic_mark = elastic.network.stats()
+    control_mark = control.network.stats()
+    post_waves = []
+    for i in range(n_waves):
+        batch = wave(current, n_waves + i)
+        elastic.apply(batch)
+        control.apply(batch)
+        current = batch.apply_to(current)
+        post_waves.append(batch)
+    elastic_post_bytes = elastic.network.stats().diff(elastic_mark).bytes
+    control_post_bytes = control.network.stats().diff(control_mark).bytes
+
+    new_partitioner = elastic.deployment.horizontal_partitioner
+    share_after = hottest_share(post_waves, new_partitioner)
+    share_counterfactual = hottest_share(post_waves, old_partitioner)
+    reduction = 1.0 - share_after / share_before
+
+    # Reference: what a scale-out + scale-in round trip costs this session.
+    out_event = elastic.scale(sites=n_sites + 2)
+    in_event = elastic.scale(sites=n_sites)
+
+    failures = []
+    if viol_key(elastic.violations) != viol_key(control.violations):
+        failures.append("elastic session's violations diverged from the control")
+    if gate and reduction < GATE_REDUCTION:
+        failures.append(
+            f"rebalancing cut the hottest-site share by {reduction:.1%}, below "
+            f"the {GATE_REDUCTION:.0%} gate "
+            f"({share_before:.3f} -> {share_after:.3f})"
+        )
+
+    records = [
+        {
+            "phase": "rebalance",
+            "hottest_share_before": share_before,
+            "hottest_share_after": share_after,
+            "hottest_share_counterfactual": share_counterfactual,
+            "reduction": reduction,
+            "reduction_counterfactual": 1.0 - share_after / share_counterfactual,
+            "fair_share": 1.0 / n_sites,
+            "tuples_moved": event.tuples_moved,
+            "migration_bytes": event.bytes_shipped,
+            "migration_seconds": event.seconds,
+            "post_phase_bytes_elastic": elastic_post_bytes,
+            "post_phase_bytes_control": control_post_bytes,
+            "saved_shipment_bytes": control_post_bytes - elastic_post_bytes,
+        },
+        {
+            "phase": "scale-out",
+            "sites": f"{n_sites} -> {n_sites + 2}",
+            "tuples_moved": out_event.tuples_moved,
+            "migration_bytes": out_event.bytes_shipped,
+            "migration_seconds": out_event.seconds,
+        },
+        {
+            "phase": "scale-in",
+            "sites": f"{n_sites + 2} -> {n_sites}",
+            "tuples_moved": in_event.tuples_moved,
+            "migration_bytes": in_event.bytes_shipped,
+            "migration_seconds": in_event.seconds,
+        },
+    ]
+    path = bu.write_bench_json(
+        "elasticity",
+        records,
+        extra={
+            "base_size": base_size,
+            "n_sites": n_sites,
+            "n_cfds": n_cfds,
+            "wave_size": wave_size,
+            "n_waves_per_phase": n_waves,
+            "skew": skew,
+            "hot_attribute": attribute,
+            "seed": seed,
+            "gate_reduction": GATE_REDUCTION,
+            "strategy": "incHor",
+        },
+    )
+    print(f"elasticity bench written to {path}")
+    print(
+        f"  hottest-site share: {share_before:.3f} -> {share_after:.3f} "
+        f"({reduction:.1%} reduction; counterfactual on old layout "
+        f"{share_counterfactual:.3f}, fair {1.0 / n_sites:.3f})"
+    )
+    print(
+        f"  rebalance moved {event.tuples_moved} tuple(s) / "
+        f"{event.bytes_shipped}B in {event.seconds:.4f}s; post-phase shipped "
+        f"{elastic_post_bytes}B vs control {control_post_bytes}B "
+        f"(saved {control_post_bytes - elastic_post_bytes}B)"
+    )
+    print(
+        f"  scale-out moved {out_event.tuples_moved} tuple(s) / "
+        f"{out_event.bytes_shipped}B; scale-in {in_event.tuples_moved} / "
+        f"{in_event.bytes_shipped}B"
+    )
+    elastic.close()
+    control.close()
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--base", type=int, default=600)
+    parser.add_argument("--sites", type=int, default=4)
+    parser.add_argument("--cfds", type=int, default=3)
+    parser.add_argument("--wave-size", type=int, default=400)
+    parser.add_argument("--waves", type=int, default=4, help="waves per phase")
+    parser.add_argument("--skew", type=float, default=1.0)
+    parser.add_argument(
+        "--attribute",
+        default="sname",
+        help="routing/hot attribute (supplier name: ~60 distinct values)",
+    )
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help=f"fail unless rebalancing cuts the hottest-site share by "
+        f">={GATE_REDUCTION:.0%} and detection matches the control session",
+    )
+    args = parser.parse_args(argv)
+    start = time.time()
+    failures = run_bench(
+        args.base, args.sites, args.cfds, args.wave_size, args.waves,
+        args.skew, args.attribute, args.seed, args.gate,
+    )
+    print(f"  total bench time: {time.time() - start:.1f}s")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

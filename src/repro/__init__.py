@@ -50,7 +50,10 @@ from repro.partition import (
     AttributeEquals,
     AttributeIn,
     AttributeRange,
+    BucketMap,
     HashBucket,
+    MigrationPlan,
+    MigrationResult,
     HorizontalFragment,
     HorizontalPartitioner,
     ReplicationScheme,
@@ -86,6 +89,7 @@ from repro.engine import (
     SessionError,
     SiteCost,
     StrategyRegistry,
+    TopologyEvent,
     register_detector,
     register_partitioner,
     register_storage,
@@ -107,11 +111,14 @@ from repro.planner import (
     CostVector,
     Estimate,
     PlanDecision,
+    RebalancePolicy,
     hev_plan_cost,
 )
 from repro.stats import (
     EWMA,
     BatchProfile,
+    SiteLoad,
+    SiteLoadTracker,
     RelationStats,
     RuleProfile,
     StatsCatalog,
@@ -203,6 +210,12 @@ __all__ = [
     "RuleProfile",
     "StatsCatalog",
     "StrategyFeedback",
+    "SiteLoad",
+    "SiteLoadTracker",
+    "RebalancePolicy",
+    "BucketMap",
+    "MigrationPlan",
+    "MigrationResult",
     "hev_plan_cost",
     # detection engine
     "session",
@@ -212,6 +225,7 @@ __all__ = [
     "DetectionReport",
     "Detector",
     "SiteCost",
+    "TopologyEvent",
     "StrategyRegistry",
     "RegistryError",
     "DEFAULT_REGISTRY",

@@ -12,15 +12,41 @@ from __future__ import annotations
 from typing import Iterator, Union
 
 from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.core.tuples import Tuple
 from repro.distributed.network import Network
+from repro.distributed.serialization import ship_fragment
 from repro.distributed.site import Site
 from repro.partition.horizontal import HorizontalPartition, HorizontalPartitioner
+from repro.partition.migration import MigrationPlan, MigrationResult
 from repro.partition.vertical import VerticalPartition, VerticalPartitioner
 from repro.runtime.scheduler import SiteScheduler
 
 
 class ClusterError(RuntimeError):
     """Raised on invalid cluster configurations or unknown sites."""
+
+
+def _validate_site_ids(site_ids: list) -> None:
+    """Custom schemes may emit any ids; reject negatives and duplicates."""
+    bad = sorted(
+        {s for s in site_ids if not isinstance(s, int) or isinstance(s, bool) or s < 0},
+        key=repr,
+    )
+    if bad:
+        raise ClusterError(
+            f"site ids must be non-negative integers; scheme emitted {bad}"
+        )
+    seen: set[int] = set()
+    duplicates: set[int] = set()
+    for site_id in site_ids:
+        if site_id in seen:
+            duplicates.add(site_id)
+        seen.add(site_id)
+    if duplicates:
+        raise ClusterError(
+            f"site ids must be unique; scheme emitted duplicates {sorted(duplicates)}"
+        )
 
 
 class Cluster:
@@ -35,8 +61,10 @@ class Cluster:
         self._partition = partition
         self._network = network or Network()
         self._scheduler = scheduler or SiteScheduler()
+        entries = list(partition)
+        _validate_site_ids([site_id for site_id, _ in entries])
         self._sites: dict[int, Site] = {}
-        for site_id, fragment in partition:
+        for site_id, fragment in entries:
             self._sites[site_id] = Site(site_id, fragment)
         if not self._sites:
             raise ClusterError("a cluster needs at least one site")
@@ -139,6 +167,213 @@ class Cluster:
 
     def total_tuples(self) -> int:
         return sum(len(site.fragment) for site in self.sites())
+
+    # -- elasticity -----------------------------------------------------------------------
+
+    def refresh_fragments(self, relation: Relation) -> None:
+        """Re-host ``relation`` under the *unchanged* scheme (free, no shipment).
+
+        Strategies whose authoritative state is the logical relation
+        (the batch baselines) leave site fragments stale between
+        detections; before a migration the session brings the fragments
+        current.  The layout does not change, so by the paper's model —
+        updates are delivered to their owning sites for free — nothing
+        is charged.
+        """
+        partition = self._partition.partitioner.fragment(relation)
+        for site_id, fragment in partition:
+            self._sites[site_id].replace_fragment(fragment)
+        self._partition = partition
+
+    def _check_plan(self, plan: MigrationPlan) -> None:
+        expected = "vertical" if self.is_vertical() else "horizontal"
+        if plan.kind != expected:
+            raise ClusterError(
+                f"cannot apply a {plan.kind} migration plan to a {expected} cluster"
+            )
+        # The same validation a cold build gets: a target scheme with
+        # negative/duplicate site ids must fail *before* anything ships,
+        # not on the next strategy rebuild.
+        _validate_site_ids(plan.target.sites())
+        current = self._partition.partitioner
+        if plan.source is not current and (
+            plan.source.schema.attribute_names != current.schema.attribute_names
+            or plan.source.sites() != current.sites()
+        ):
+            raise ClusterError(
+                "migration plan was computed against a different deployment "
+                f"(plan sites {plan.source.sites()}, cluster sites {self.site_ids()})"
+            )
+
+    def apply_migration(self, plan: MigrationPlan) -> MigrationResult:
+        """Re-deploy to ``plan.target``, shipping only what must move.
+
+        Sites are added and retired in place (the cluster object — and
+        its network and scheduler — survive), and every moved fragment
+        piece is charged to the cluster :class:`Network` with
+        ``tag="migration"``, so elasticity costs land in
+        :class:`~repro.distributed.network.NetworkStats` like any other
+        shipment.  Returns a :class:`MigrationResult` whose ``moved``
+        map lets detectors re-home their per-site state tuple by tuple.
+        """
+        self._check_plan(plan)
+        sites_before = tuple(self.site_ids())
+        stats_before = self._network.stats()
+        if self.is_horizontal():
+            moved = self._migrate_horizontal(plan)
+        else:
+            moved = self._migrate_vertical(plan)
+        cost = self._network.stats().diff(stats_before)
+        return MigrationResult(
+            plan=plan,
+            sites_before=sites_before,
+            sites_after=tuple(self.site_ids()),
+            tuples_moved=sum(len(ts) for ts in moved.values()),
+            bytes_shipped=cost.bytes,
+            messages=cost.messages,
+            moved=moved,
+        )
+
+    @staticmethod
+    def _moved_bucket_map(
+        source: HorizontalPartitioner, target: HorizontalPartitioner
+    ) -> tuple[str, int, dict[int, int]] | None:
+        """``(attribute, n_fine, bucket -> new site)`` for reassigned buckets.
+
+        Only hash-family pairs over the same attribute support the
+        bucket-granular fast path; the map holds exactly the buckets
+        whose owner changes, so unmoved tuples cost one hash lookup and
+        a genuinely empty migration touches nothing.
+        """
+        import math
+
+        mine, theirs = source.hash_family(), target.hash_family()
+        if mine is None or theirs is None or mine[0] != theirs[0]:
+            return None
+        n_fine = math.lcm(mine[1], theirs[1])
+        old = HorizontalPartitioner._refine_buckets(mine[2], mine[1], n_fine // mine[1])
+        new = HorizontalPartitioner._refine_buckets(
+            theirs[2], theirs[1], n_fine // theirs[1]
+        )
+        old_owner = {b: s for s, bs in old.items() for b in bs}
+        new_owner = {b: s for s, bs in new.items() for b in bs}
+        moved = {
+            b: new_owner[b] for b in old_owner if new_owner[b] != old_owner[b]
+        }
+        return mine[0], n_fine, moved
+
+    def _migrate_horizontal(
+        self, plan: MigrationPlan
+    ) -> dict[tuple[int, int], tuple[Tuple, ...]]:
+        target: HorizontalPartitioner = plan.target
+        source: HorizontalPartitioner = self._partition.partitioner
+        moves: dict[tuple[int, int], list[Tuple]] = {}
+        fast = self._moved_bucket_map(source, target)
+        if fast is not None:
+            attribute, n_fine, moved_buckets = fast
+            if moved_buckets:
+                from repro.partition.predicates import stable_hash
+
+                for site in self.sites():
+                    for t in list(site.fragment):
+                        dest = moved_buckets.get(stable_hash(t[attribute]) % n_fine)
+                        if dest is not None and dest != site.site_id:
+                            moves.setdefault((site.site_id, dest), []).append(t)
+        else:
+            for site in self.sites():
+                for t in list(site.fragment):
+                    dest = target.route_tuple(t)
+                    if dest != site.site_id:
+                        moves.setdefault((site.site_id, dest), []).append(t)
+
+        schema = target.schema
+        storage = next(iter(self._sites.values())).fragment.storage
+        per_site: dict[int, Relation] = {}
+        for frag in target.fragments:
+            if frag.site in self._sites:
+                per_site[frag.site] = self._sites[frag.site].fragment
+            else:
+                per_site[frag.site] = Relation(
+                    Schema(frag.name, schema.attribute_names, schema.key),
+                    storage=storage,
+                )
+
+        for (src, dst), tuples in sorted(moves.items()):
+            shipment = Relation(
+                Schema(f"{schema.name}_mig", schema.attribute_names, schema.key),
+                storage=storage,
+            )
+            for t in tuples:
+                shipment.insert(t)
+            ship_fragment(self._network, src, dst, shipment, tag="migration")
+            source = self._sites[src].fragment
+            for t in tuples:
+                source.discard(t.tid)
+                per_site[dst].insert(t)
+
+        self._partition = HorizontalPartition(target, per_site)
+        self._rebind_sites(per_site)
+        return {edge: tuple(tuples) for edge, tuples in sorted(moves.items())}
+
+    def _migrate_vertical(
+        self, plan: MigrationPlan
+    ) -> dict[tuple[int, int], tuple[Tuple, ...]]:
+        target: VerticalPartitioner = plan.target
+        source = self._partition.partitioner
+        key = source.schema.key
+        current_sites = set(self.site_ids())
+        moved: dict[tuple[int, int], tuple[Tuple, ...]] = {}
+
+        per_site: dict[int, Relation] = {}
+        for frag in target.fragments:
+            stored = (
+                set(source.fragment_for_site(frag.site).attributes)
+                if frag.site in current_sites
+                else set()
+            )
+            if stored == set(frag.attributes):
+                per_site[frag.site] = self._sites[frag.site].fragment
+                continue
+            local = [a for a in frag.attributes if a in stored]
+            by_source: dict[int, list[str]] = {}
+            for a in frag.attributes:
+                if a not in stored:
+                    by_source.setdefault(source.home_site(a), []).append(a)
+            parts: list[Relation] = []
+            if local:
+                keep = tuple(dict.fromkeys((key, *local)))
+                parts.append(self._sites[frag.site].fragment.project(keep))
+            for src, attrs in sorted(by_source.items()):
+                src_rel = self._sites[src].fragment
+                ship_fragment(
+                    self._network, src, frag.site, src_rel,
+                    attributes=attrs, tag="migration",
+                )
+                moved[(src, frag.site)] = tuple(src_rel)
+                keep = tuple(dict.fromkeys((key, *attrs)))
+                parts.append(src_rel.project(keep))
+            rebuilt = parts[0]
+            for part in parts[1:]:
+                rebuilt = rebuilt.join(part)
+            per_site[frag.site] = rebuilt.project(frag.attributes, name=frag.name)
+
+        self._partition = VerticalPartition(target, per_site)
+        self._rebind_sites(per_site)
+        return moved
+
+    def _rebind_sites(self, per_site: dict[int, Relation]) -> None:
+        """Add/retire/update :class:`Site` objects after a migration."""
+        for site_id in list(self._sites):
+            if site_id not in per_site:
+                del self._sites[site_id]
+        for site_id, fragment in per_site.items():
+            existing = self._sites.get(site_id)
+            if existing is None:
+                self._sites[site_id] = Site(site_id, fragment)
+            elif existing.fragment is not fragment:
+                existing.replace_fragment(fragment)
+        if not self._sites:
+            raise ClusterError("migration retired every site")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flavour = "vertical" if self.is_vertical() else "horizontal"

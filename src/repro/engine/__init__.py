@@ -37,7 +37,7 @@ from repro.engine.registry import (
     register_partitioner,
     register_storage,
 )
-from repro.engine.report import DetectionReport, SiteCost, SiteTiming
+from repro.engine.report import DetectionReport, SiteCost, SiteTiming, TopologyEvent
 from repro.engine.session import DetectionSession, SessionBuilder, SessionError, session
 
 register_builtin_strategies(DEFAULT_REGISTRY)
@@ -63,6 +63,7 @@ __all__ = [
     "SessionError",
     "SingleSite",
     "SiteCost",
+    "TopologyEvent",
     "SiteTiming",
     "StorageEntry",
     "StrategyRegistry",

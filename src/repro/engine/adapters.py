@@ -149,6 +149,25 @@ class VerticalIncrementalStrategy(_BaseStrategy):
         self._require_setup()
         return StrategyState(self._detector.violations.copy(), None, self.deployment)
 
+    def migrate(self, result: Any, rules: Iterable[CFD]) -> None:
+        """Warm re-homing after the deployment migrated in place.
+
+        The detector keeps its logical IDX indices and violations; only
+        placement metadata (classification, HEV plan, coordinators) is
+        re-derived.  A caller-supplied HEV plan referencing the old
+        topology is discarded in favour of a re-planned one.
+        """
+        self._require_setup()
+        cluster = _require_vertical(self.deployment)
+        self._plan = None
+        planner = None
+        if self._optimize:
+            partitioner = cluster.vertical_partitioner
+            planner = HEVPlanner(
+                partitioner, ReplicationScheme(partitioner), beam_width=self._beam_width
+            )
+        self._detector.rehome(cluster, planner=planner)
+
     def import_state(self, state: StrategyState, rules: Iterable[CFD]) -> ViolationSet:
         """Warm handoff: rebuild the IDX/HEV indices over the current data,
         seeding the violations instead of re-detecting them."""
@@ -211,6 +230,16 @@ class HorizontalIncrementalStrategy(_BaseStrategy):
         self._require_setup()
         return StrategyState(self._detector.violations.copy(), None, self.deployment)
 
+    def migrate(self, result: Any, rules: Iterable[CFD]) -> None:
+        """Warm re-homing: per-site index slices follow the moved tuples.
+
+        ``result.moved`` drives an O(|moved| x |CFDs|) relocation of
+        index rows; nothing is re-detected and no index is rebuilt.
+        """
+        self._require_setup()
+        cluster = _require_horizontal(self.deployment)
+        self._detector.rehome(cluster, result.moved)
+
     def import_state(self, state: StrategyState, rules: Iterable[CFD]) -> ViolationSet:
         """Warm handoff: rebuild the per-site indices, seeding the violations."""
         cluster = _require_horizontal(state.deployment)
@@ -271,6 +300,12 @@ class _BatchRedetectStrategy(_BaseStrategy):
         return self._violations
 
     # -- planner hooks -------------------------------------------------------------
+
+    def migrate(self, result: Any, rules: Iterable[CFD]) -> None:
+        """Lazy invalidation: the deployment migrated in place and the next
+        ``apply`` re-fragments from it (or from the maintained relation)
+        under the *new* partitioner — there is no warm state to move."""
+        self._require_setup()
 
     def export_state(self) -> StrategyState:
         """The logical relation (once materialized) is authoritative; the
@@ -391,6 +426,23 @@ class ImprovedVerticalBatchStrategy(_BaseStrategy):
         """``O(|D| + |delta-D|)``: incremental insertion from empty (Exp-10)."""
         return estimate_improved_batch(stats, profile, "ibatVer")
 
+    def migrate(self, result: Any, rules: Iterable[CFD]) -> None:
+        """Rebind the rebuild detector to the migrated partitioner.
+
+        ``_base`` and the violations stay warm; only the wrapped
+        detector — which re-fragments per batch anyway — is recreated
+        against the new layout, charging the shared session ledger.
+        Costs already accrued on a private ledger move over with it.
+        """
+        self._require_setup()
+        cluster = _require_vertical(self.deployment)
+        if self._detector.network is not cluster.network:
+            cluster.network.absorb(self._detector.network.stats())
+        self._plan = None
+        self._detector = ImprovedVerticalBatchDetector(
+            cluster.vertical_partitioner, rules, network=cluster.network
+        )
+
     def export_state(self) -> StrategyState:
         """``_base`` is authoritative; the deployment fragments are stale."""
         self._require_setup()
@@ -459,6 +511,20 @@ class ImprovedHorizontalBatchStrategy(_BaseStrategy):
     def cost_estimate(self, stats: Any, profile: Any) -> Estimate:
         """``O(|D| + |delta-D|)``: incremental insertion from empty (Exp-10)."""
         return estimate_improved_batch(stats, profile, "ibatHor")
+
+    def migrate(self, result: Any, rules: Iterable[CFD]) -> None:
+        """Rebind the rebuild detector to the migrated partitioner
+        (``_base``, the violations and the accrued costs stay warm)."""
+        self._require_setup()
+        cluster = _require_horizontal(self.deployment)
+        if self._detector.network is not cluster.network:
+            cluster.network.absorb(self._detector.network.stats())
+        self._detector = ImprovedHorizontalBatchDetector(
+            cluster.horizontal_partitioner,
+            rules,
+            use_md5=self._use_md5,
+            network=cluster.network,
+        )
 
     def export_state(self) -> StrategyState:
         """``_base`` is authoritative; the deployment fragments are stale."""

@@ -29,7 +29,7 @@ from repro.core.updates import Update, UpdateBatch
 from repro.core.violations import ViolationDelta, ViolationSet
 from repro.distributed.cluster import Cluster
 from repro.distributed.network import Network, NetworkStats
-from repro.engine.protocol import SingleSite
+from repro.engine.protocol import SingleSite, StrategyState
 from repro.planner.adaptive import AdaptivePlanner, PlanDecision
 from repro.planner.cost import MESSAGE_OVERHEAD_BYTES
 from repro.planner.estimators import estimate_for_mode
@@ -285,6 +285,28 @@ class AdaptiveStrategy:
 
     def cost_stats(self) -> NetworkStats:
         return self.network.stats()
+
+    # -- elasticity ----------------------------------------------------------------------
+
+    def export_state(self) -> StrategyState:
+        """The active candidate's warm state (for session-level migration)."""
+        self._require_setup()
+        return self._instances[self._active].export_state()
+
+    def migrate(self, result: Any, rules: Iterable[Any]) -> None:
+        """Re-home the *active* candidate; the others re-import on activation.
+
+        Dormant candidates receive the post-migration deployment through
+        the ordinary ``export_state``/``import_state`` handoff the next
+        time the planner activates them, so only the warm side pays
+        re-homing work.  The catalog's topology statistics follow the
+        new site count.
+        """
+        self._require_setup()
+        active = self._instances[self._active]
+        active.migrate(result, rules)
+        self.deployment = getattr(active, "deployment", None) or self.deployment
+        self._planner.catalog.n_sites = len(self.deployment)
 
     # -- switching -----------------------------------------------------------------------
 

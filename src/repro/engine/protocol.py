@@ -15,6 +15,15 @@ exposed to the engine through one uniform surface:
 
 Batch baselines satisfy ``apply`` by re-detecting and diffing, so every
 strategy — incremental or not — can serve the same streaming sessions.
+
+Strategies additionally expose three *warm-state* hooks the engine uses
+for mid-session handoff and elasticity: ``export_state()`` /
+``import_state(state, rules)`` (adaptive strategy switching, PR 4) and
+``migrate(result, rules)`` — called after the deployment migrated in
+place (``session.scale()`` / ``session.rebalance()``), with the
+:class:`~repro.partition.migration.MigrationResult` describing what
+moved, so the strategy can re-home its per-site state per moved tuple
+instead of rebuilding or re-detecting.
 """
 
 from __future__ import annotations

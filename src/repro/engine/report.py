@@ -35,6 +35,47 @@ class SiteTiming:
     seconds: float = 0.0
 
 
+@dataclass(frozen=True)
+class TopologyEvent:
+    """One elasticity event of a session: a scale or rebalance migration.
+
+    ``batch_index`` is how many batches the session had applied when the
+    event fired; ``trigger`` is ``"manual"`` for explicit
+    ``session.scale()``/``session.rebalance()`` calls and ``"policy"``
+    when the session's :class:`~repro.planner.rebalance.RebalancePolicy`
+    fired on its own.  ``bytes_shipped``/``messages`` are the migration
+    traffic charged to the session :class:`Network` ledger during the
+    event — the same ledger every detection shipment lands in.
+    """
+
+    kind: str
+    trigger: str
+    batch_index: int
+    sites_before: int
+    sites_after: int
+    tuples_moved: int
+    bytes_shipped: int
+    messages: int
+    seconds: float
+    hottest_share_before: float | None = None
+    hottest_share_after: float | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "trigger": self.trigger,
+            "batch_index": self.batch_index,
+            "sites_before": self.sites_before,
+            "sites_after": self.sites_after,
+            "tuples_moved": self.tuples_moved,
+            "bytes_shipped": self.bytes_shipped,
+            "messages": self.messages,
+            "seconds": self.seconds,
+            "hottest_share_before": self.hottest_share_before,
+            "hottest_share_after": self.hottest_share_after,
+        }
+
+
 def site_costs_from_stats(stats: NetworkStats) -> tuple[SiteCost, ...]:
     """Aggregate the per-(sender, receiver) counters into per-site totals."""
     sent: dict[int, int] = {}
@@ -77,6 +118,10 @@ class DetectionReport:
     #: estimated vs actual CostVector, estimation error); empty for fixed
     #: strategies.
     plan_trace: tuple[PlanDecision, ...] = field(default_factory=tuple)
+    #: Elasticity events (scale-out/in, rebalances): per event the moved
+    #: tuples/bytes, wall time and sites before/after; empty for static
+    #: sessions.
+    topology_trace: tuple[TopologyEvent, ...] = field(default_factory=tuple)
 
     @classmethod
     def build(
@@ -97,6 +142,7 @@ class DetectionReport:
         apply_seconds: float = 0.0,
         timings: SchedulerTimings | None = None,
         plan_trace: tuple[PlanDecision, ...] = (),
+        topology_trace: tuple[TopologyEvent, ...] = (),
     ) -> "DetectionReport":
         timings = timings or SchedulerTimings()
         return cls(
@@ -120,6 +166,7 @@ class DetectionReport:
                 for site, seconds in sorted(timings.seconds_by_site.items())
             ),
             plan_trace=tuple(plan_trace),
+            topology_trace=tuple(topology_trace),
         )
 
     # -- convenient cost views -----------------------------------------------------
@@ -188,6 +235,7 @@ class DetectionReport:
                 ],
             },
             "plan_trace": [decision.as_dict() for decision in self.plan_trace],
+            "topology_trace": [event.as_dict() for event in self.topology_trace],
         }
 
     def summary(self) -> str:
@@ -214,6 +262,24 @@ class DetectionReport:
             )
         for timing in self.site_timings:
             lines.append(f"  site {timing.site}: busy {timing.seconds:.6f}s in tasks")
+        if self.topology_trace:
+            lines.append("  topology trace     :")
+            for event in self.topology_trace:
+                share_part = ""
+                if (
+                    event.hottest_share_before is not None
+                    and event.hottest_share_after is not None
+                ):
+                    share_part = (
+                        f", hottest share {event.hottest_share_before:.0%}"
+                        f" -> {event.hottest_share_after:.0%}"
+                    )
+                lines.append(
+                    f"    batch {event.batch_index}: {event.kind} ({event.trigger})  "
+                    f"{event.sites_before} -> {event.sites_after} sites, "
+                    f"{event.tuples_moved} tuple(s) / {event.bytes_shipped}B moved "
+                    f"in {event.seconds:.6f}s{share_part}"
+                )
         if self.plan_trace:
             lines.append("  plan trace         :")
             for decision in self.plan_trace:

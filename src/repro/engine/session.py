@@ -40,10 +40,16 @@ from repro.engine.registry import (
     RegistryError,
     StrategyRegistry,
 )
-from repro.engine.report import DetectionReport
+from repro.engine.report import DetectionReport, TopologyEvent
 from repro.partition.horizontal import HorizontalPartitioner
-from repro.partition.vertical import VerticalPartitioner
+from repro.partition.migration import MigrationPlan
+from repro.partition.vertical import PartitionError, VerticalPartitioner
+from repro.planner.rebalance import RebalanceDecision, RebalancePolicy
 from repro.similarity.md import MatchingDependency
+from repro.stats.collector import SiteLoad, SiteLoadTracker
+
+#: Fine buckets per site tracked for rebalancing when no policy sets one.
+DEFAULT_LOAD_GRANULARITY = 8
 
 
 class SessionError(ValueError):
@@ -72,6 +78,7 @@ class SessionBuilder:
         self._executor_spec: str | Executor = "serial"
         self._executor_options: dict[str, Any] = {}
         self._storage_name: str | None = None
+        self._rebalance_policy: RebalancePolicy | None = None
 
     # -- configuration ----------------------------------------------------------------
 
@@ -152,6 +159,25 @@ class SessionBuilder:
         except RegistryError as exc:
             raise SessionError(str(exc)) from None
         self._storage_name = backend
+        return self
+
+    def rebalance_policy(self, policy: RebalancePolicy | None) -> "SessionBuilder":
+        """Let the session trigger skew-aware rebalancing on its own.
+
+        With a :class:`~repro.planner.rebalance.RebalancePolicy` set,
+        the session evaluates observed per-site load after every batch
+        and calls :meth:`DetectionSession.rebalance` itself whenever the
+        policy prices migrating cheaper than keeping the skew — the
+        self-managing mode ``strategy("auto")`` deployments are meant to
+        run with.  Requires a hash-family horizontal partitioning; pass
+        ``None`` (the default) for manual-only elasticity.
+        """
+        if policy is not None and not isinstance(policy, RebalancePolicy):
+            raise SessionError(
+                "rebalance_policy(...) takes a RebalancePolicy or None, not "
+                f"{type(policy).__name__}"
+            )
+        self._rebalance_policy = policy
         return self
 
     def executor(self, backend: str | Executor, **options: Any) -> "SessionBuilder":
@@ -293,6 +319,7 @@ class SessionBuilder:
             owns_executor=owns_executor,
             setup_seconds=setup_seconds,
             storage=storage_name,
+            rebalance_policy=self._rebalance_policy,
         )
 
 
@@ -312,6 +339,7 @@ class DetectionSession:
         owns_executor: bool = True,
         setup_seconds: float = 0.0,
         storage: str = "rows",
+        rebalance_policy: RebalancePolicy | None = None,
     ):
         self._entry = entry
         self._detector = detector
@@ -327,6 +355,12 @@ class DetectionSession:
         self._storage = storage
         self._apply_seconds = 0.0
         self._closed = False
+        self._rebalance_policy = rebalance_policy
+        self._topology: list[TopologyEvent] = []
+        self._load_tracker: SiteLoadTracker | None = None
+        self._tracker_batches = 0
+        self._avg_tuple_bytes: float | None = None
+        self._make_load_tracker()
 
     # -- introspection ------------------------------------------------------------------
 
@@ -423,6 +457,267 @@ class DetectionSession:
         """The per-site/per-round timing ledger of the scheduler."""
         return self._scheduler.timings()
 
+    # -- elasticity ---------------------------------------------------------------------
+
+    @property
+    def topology_trace(self) -> tuple[TopologyEvent, ...]:
+        """Every scale/rebalance event this session performed, in order."""
+        return tuple(self._topology)
+
+    def _make_load_tracker(self) -> None:
+        """(Re)build the per-bucket load tracker for the current layout.
+
+        Only hash-family horizontal deployments are trackable; the
+        tracker is recreated (hits reset) whenever the bucket space
+        changes, i.e. after scale events but not after rebalances.
+        """
+        self._load_tracker = None
+        self._tracker_batches = 0
+        self._policy_resume_hits = 0
+        deployment = self.deployment
+        if not isinstance(deployment, Cluster) or not deployment.is_horizontal():
+            return
+        family = deployment.horizontal_partitioner.hash_family()
+        if family is None:
+            return
+        attribute, n_buckets, _per_site = family
+        granularity = (
+            self._rebalance_policy.granularity
+            if self._rebalance_policy is not None
+            else DEFAULT_LOAD_GRANULARITY
+        )
+        self._load_tracker = SiteLoadTracker(attribute, n_buckets * granularity)
+
+    def _bucket_owner(self) -> dict[int, int] | None:
+        """``fine bucket -> site`` for the current layout, at tracker granularity."""
+        tracker = self._load_tracker
+        deployment = self.deployment
+        if tracker is None or not isinstance(deployment, Cluster):
+            return None
+        family = deployment.horizontal_partitioner.hash_family()
+        if family is None or tracker.n_buckets % family[1]:
+            return None
+        refined = HorizontalPartitioner._refine_buckets(
+            family[2], family[1], tracker.n_buckets // family[1]
+        )
+        return {b: site for site, buckets in refined.items() for b in buckets}
+
+    def _hottest_share(self) -> float | None:
+        owner = self._bucket_owner()
+        if owner is None or self._load_tracker is None:
+            return None
+        if not self._load_tracker.total_hits:
+            return None
+        return self._load_tracker.hottest_share(owner)
+
+    def site_loads(self) -> list[SiteLoad]:
+        """Per-site load snapshot: stored tuples, update hits, busy seconds."""
+        deployment = self.deployment
+        if not isinstance(deployment, Cluster):
+            return []
+        owner = self._bucket_owner()
+        hits = (
+            self._load_tracker.site_hits(owner)
+            if owner is not None and self._load_tracker is not None
+            else {}
+        )
+        busy = self._scheduler.timings().seconds_by_site
+        return [
+            SiteLoad(
+                site=site.site_id,
+                tuples=len(site.fragment),
+                update_hits=hits.get(site.site_id, 0),
+                busy_seconds=busy.get(site.site_id, 0.0),
+            )
+            for site in deployment.sites()
+        ]
+
+    def _require_cluster(self, verb: str) -> Cluster:
+        if self._closed:
+            raise SessionError("session is closed; build a new session to continue")
+        deployment = self.deployment
+        if not isinstance(deployment, Cluster):
+            raise SessionError(
+                f"cannot {verb} a single-site session; partition the data first"
+            )
+        return deployment
+
+    def scale(
+        self, sites: int | None = None, scheme: Any = None
+    ) -> TopologyEvent:
+        """Live re-partitioning to ``sites`` sites (or an explicit ``scheme``).
+
+        Computes the minimal :class:`~repro.partition.migration.MigrationPlan`
+        from the current layout, ships only the moved fragments through
+        the session :class:`Network` ledger, and re-homes the strategy's
+        warm state — incremental strategies relocate their per-site
+        index slices per moved tuple, batch strategies invalidate
+        lazily; detection is never re-run.  Returns the recorded
+        :class:`~repro.engine.report.TopologyEvent`.
+        """
+        cluster = self._require_cluster("scale")
+        state = self._detector.export_state()
+        if state.relation is not None:
+            # The strategy maintains the logical relation, not the
+            # fragments; bring the sites current under the unchanged
+            # scheme (free by the delta-delivery convention) so the
+            # migration moves — and charges — real data.
+            cluster.refresh_fragments(state.relation)
+        if cluster.is_vertical():
+            partitioner = cluster.vertical_partitioner
+        else:
+            partitioner = cluster.horizontal_partitioner
+        try:
+            plan = partitioner.replan(n_sites=sites, scheme=scheme)
+        except PartitionError as exc:
+            raise SessionError(str(exc)) from None
+        # The kind is derived from what actually happened (vertical
+        # replans clamp n_sites to the attribute count, so the requested
+        # number is not authoritative).
+        return self._apply_plan(plan, None, "manual")
+
+    def rebalance(self, trigger: str = "manual") -> TopologyEvent:
+        """Skew-aware re-partitioning: move hot buckets off loaded sites.
+
+        Uses the session's observed per-bucket update hits (tracked
+        automatically for hash-family horizontal deployments) to plan a
+        bucket reassignment that evens out the load, then migrates like
+        :meth:`scale` — warm state, ledger-charged, never re-detecting.
+        """
+        cluster = self._require_cluster("rebalance")
+        if not cluster.is_horizontal():
+            raise SessionError(
+                "rebalance() requires a horizontal deployment; vertical layouts "
+                "re-plan by attribute via scale(scheme=...)"
+            )
+        tracker = self._load_tracker
+        if tracker is None:
+            raise SessionError(
+                "rebalance() requires a hash-family horizontal scheme "
+                "(HashBucket/BucketMap fragments) so load can be tracked per bucket"
+            )
+        state = self._detector.export_state()
+        if state.relation is not None:
+            cluster.refresh_fragments(state.relation)
+        try:
+            plan = cluster.horizontal_partitioner.rebalance_plan(
+                tracker.bucket_loads, n_buckets=tracker.n_buckets
+            )
+        except PartitionError as exc:
+            raise SessionError(str(exc)) from None
+        if plan.is_noop():
+            # Nothing to move (e.g. one unsplittably hot bucket already
+            # alone on its site): record the attempt without touching
+            # the deployment or the detector.
+            share = self._hottest_share()
+            event = TopologyEvent(
+                kind="rebalance",
+                trigger=trigger,
+                batch_index=self._batches_applied,
+                sites_before=len(cluster),
+                sites_after=len(cluster),
+                tuples_moved=0,
+                bytes_shipped=0,
+                messages=0,
+                seconds=0.0,
+                hottest_share_before=share,
+                hottest_share_after=share,
+            )
+            self._topology.append(event)
+            return event
+        return self._apply_plan(plan, "rebalance", trigger)
+
+    def _apply_plan(
+        self, plan: MigrationPlan, kind: str | None, trigger: str
+    ) -> TopologyEvent:
+        cluster = self.deployment
+        share_before = self._hottest_share()
+        start = time.perf_counter()
+        result = cluster.apply_migration(plan)
+        self._detector.migrate(result, self._rules)
+        seconds = time.perf_counter() - start
+        if kind is None:
+            before, after = len(result.sites_before), len(result.sites_after)
+            kind = "scale-out" if after > before else "scale-in" if after < before else "scale"
+        if kind == "rebalance":
+            # Same bucket space: the observed loads stay meaningful.
+            share_after = self._hottest_share()
+        else:
+            self._make_load_tracker()
+            share_after = None
+        event = TopologyEvent(
+            kind=kind,
+            trigger=trigger,
+            batch_index=self._batches_applied,
+            sites_before=len(result.sites_before),
+            sites_after=len(result.sites_after),
+            tuples_moved=result.tuples_moved,
+            bytes_shipped=result.bytes_shipped,
+            messages=result.messages,
+            seconds=seconds,
+            hottest_share_before=share_before,
+            hottest_share_after=share_after,
+        )
+        self._topology.append(event)
+        return event
+
+    def _session_avg_tuple_bytes(self) -> float:
+        """Average wire width of a stored tuple (sampled once, cached).
+
+        Horizontal fragments hold whole tuples, so sampling streams a
+        few rows per site without materializing the database; other
+        deployments (where the policy never fires) reconstruct.
+        """
+        if self._avg_tuple_bytes is None:
+            from itertools import chain, islice
+
+            from repro.distributed.serialization import estimate_tuple_bytes
+
+            deployment = self.deployment
+            if isinstance(deployment, Cluster) and deployment.is_horizontal():
+                rows = chain.from_iterable(
+                    islice(iter(site.fragment), 64) for site in deployment.sites()
+                )
+            elif isinstance(deployment, Cluster):
+                rows = iter(deployment.reconstruct())
+            else:
+                rows = iter(deployment.relation)
+            total, count = 0.0, 0
+            for t in islice(rows, 200):
+                total += estimate_tuple_bytes(t)
+                count += 1
+            self._avg_tuple_bytes = total / count if count else 0.0
+        return self._avg_tuple_bytes
+
+    def _maybe_auto_rebalance(self) -> None:
+        """Evaluate the rebalance policy after a batch; fire if it says go."""
+        policy = self._rebalance_policy
+        tracker = self._load_tracker
+        if policy is None or tracker is None:
+            return
+        if tracker.total_hits < self._policy_resume_hits:
+            # A previous policy firing found nothing movable (one
+            # unsplittably hot bucket); hold off until the observed
+            # loads have materially changed instead of re-planning a
+            # no-op on every batch.
+            return
+        share = self._hottest_share()
+        if share is None:
+            return
+        deployment = self.deployment
+        decision: RebalanceDecision = policy.evaluate(
+            n_sites=len(deployment),
+            hottest_share=share,
+            total_hits=tracker.total_hits,
+            hits_per_batch=tracker.total_hits / max(1, self._tracker_batches),
+            cardinality=deployment.total_tuples(),
+            avg_tuple_bytes=self._session_avg_tuple_bytes(),
+        )
+        if decision.rebalance:
+            event = self.rebalance(trigger="policy")
+            if event.tuples_moved == 0:
+                self._policy_resume_hits = max(1, tracker.total_hits) * 2
+
     # -- lifecycle ----------------------------------------------------------------------
 
     def close(self) -> None:
@@ -456,6 +751,13 @@ class DetectionSession:
         self._apply_seconds += time.perf_counter() - start
         self._batches_applied += 1
         self._updates_applied += len(batch)
+        if self._load_tracker is not None:
+            self._load_tracker.note_batch(batch)
+            self._tracker_batches += 1
+            catalog = getattr(self._detector, "catalog", None)
+            if catalog is not None:
+                catalog.update_site_loads(self.site_loads())
+            self._maybe_auto_rebalance()
         return delta
 
     def stream(
@@ -506,4 +808,5 @@ class DetectionSession:
             apply_seconds=self._apply_seconds,
             timings=self._scheduler.timings(),
             plan_trace=self.plan_trace,
+            topology_trace=self.topology_trace,
         )

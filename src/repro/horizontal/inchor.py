@@ -89,16 +89,7 @@ class HorizontalIncrementalDetector:
             cfd.validate_against(schema)
         self._use_md5 = use_md5
 
-        self._constant_cfds: list[CFD] = []
-        self._local_cfds: list[CFD] = []
-        self._general_cfds: list[CFD] = []
-        for cfd in self._cfds:
-            if cfd.is_constant():
-                self._constant_cfds.append(cfd)
-            elif self._is_locally_checkable(cfd):
-                self._local_cfds.append(cfd)
-            else:
-                self._general_cfds.append(cfd)
+        self._classify()
 
         # Per-site local indices for every variable CFD (setup phase).
         self._site_indices: dict[str, dict[int, CFDIndex]] = {}
@@ -117,7 +108,23 @@ class HorizontalIncrementalDetector:
                 cluster.reconstruct()
             )
 
-        self._protocols: dict[str, GeneralCFDProtocol] = {}
+        self._bind_protocols()
+
+    def _classify(self) -> None:
+        """Split the CFDs into the three cases of Section 6 for the current layout."""
+        self._constant_cfds: list[CFD] = []
+        self._local_cfds: list[CFD] = []
+        self._general_cfds: list[CFD] = []
+        for cfd in self._cfds:
+            if cfd.is_constant():
+                self._constant_cfds.append(cfd)
+            elif self._is_locally_checkable(cfd):
+                self._local_cfds.append(cfd)
+            else:
+                self._general_cfds.append(cfd)
+
+    def _bind_protocols(self) -> None:
+        self._protocols = {}
         for cfd in self._general_cfds:
             self._protocols[cfd.name] = GeneralCFDProtocol(
                 cfd,
@@ -125,8 +132,43 @@ class HorizontalIncrementalDetector:
                 self._violations,
                 self._network,
                 eligible_sites=self._eligible_sites(cfd),
-                use_md5=use_md5,
+                use_md5=self._use_md5,
             )
+
+    def rehome(self, cluster: Cluster, moved: Any) -> None:
+        """Warm re-homing after an in-place cluster migration.
+
+        ``moved`` maps ``(from_site, to_site)`` edges to the tuples that
+        migrated along them (a
+        :class:`~repro.partition.migration.MigrationResult` ``moved``
+        mapping).  Each variable CFD's per-site index slices follow the
+        moved tuples one by one — remove at the source, add at the
+        destination — instead of rebuilding from the fragments, so the
+        work is ``O(|moved| x |CFDs|)``.  The violation set is untouched
+        (migration does not change the logical database); the
+        local/general classification and the broadcast protocols are
+        re-derived from the new fragment predicates.
+        """
+        if not cluster.is_horizontal():
+            raise ValueError("rehome requires a horizontal cluster")
+        self._cluster = cluster
+        self._network = cluster.network
+        self._partitioner = cluster.horizontal_partitioner
+        self._classify()
+        site_ids = set(cluster.site_ids())
+        for cfd in self._local_cfds + self._general_cfds:
+            per_site = self._site_indices[cfd.name]
+            for site_id in site_ids - per_site.keys():
+                per_site[site_id] = CFDIndex(cfd)
+            for (src, dst), tuples in sorted(moved.items()):
+                source_index = per_site[src]
+                target_index = per_site[dst]
+                for t in tuples:
+                    if source_index.remove_tuple(t):
+                        target_index.add_tuple(t)
+            for site_id in list(per_site.keys() - site_ids):
+                del per_site[site_id]
+        self._bind_protocols()
 
     # -- classification helpers --------------------------------------------------------
 

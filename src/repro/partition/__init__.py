@@ -8,13 +8,23 @@ union.  Replication schemes record which attributes are additionally
 available at which sites (used by the eqid-shipment planner).
 """
 
+from repro.partition.migration import (
+    BucketMove,
+    ColumnMove,
+    MigrationError,
+    MigrationPlan,
+    MigrationResult,
+)
 from repro.partition.predicates import (
     AttributeEquals,
     AttributeIn,
     AttributeRange,
+    BucketMap,
     HashBucket,
+    OrPredicate,
     Predicate,
     TruePredicate,
+    stable_hash,
 )
 from repro.partition.vertical import VerticalFragment, VerticalPartitioner, VerticalPartition
 from repro.partition.horizontal import (
@@ -38,4 +48,12 @@ __all__ = [
     "HorizontalPartitioner",
     "HorizontalPartition",
     "ReplicationScheme",
+    "BucketMap",
+    "BucketMove",
+    "ColumnMove",
+    "MigrationError",
+    "MigrationPlan",
+    "MigrationResult",
+    "OrPredicate",
+    "stable_hash",
 ]

@@ -138,6 +138,21 @@ class AttributeRange(Predicate):
         return f"{self.low!r} <= {self.attribute} < {self.high!r}"
 
 
+def stable_hash(value: Any) -> int:
+    """A process-independent hash for partitioning values.
+
+    ``hash()`` is salted per-process for str; this deterministic digest
+    keeps experiments reproducible run to run (and site assignments
+    stable across the process backend's workers).
+    """
+    if isinstance(value, int):
+        return value
+    acc = 0
+    for ch in str(value):
+        acc = (acc * 131 + ord(ch)) & 0x7FFFFFFF
+    return acc
+
+
 class HashBucket(Predicate):
     """``hash(attribute) mod n == bucket`` — the generic disjoint partitioner.
 
@@ -155,16 +170,7 @@ class HashBucket(Predicate):
         self.n_buckets = n_buckets
         self.bucket = bucket
 
-    @staticmethod
-    def _stable_hash(value: Any) -> int:
-        # hash() is salted per-process for str; use a deterministic digest so
-        # experiments are reproducible run to run.
-        if isinstance(value, int):
-            return value
-        acc = 0
-        for ch in str(value):
-            acc = (acc * 131 + ord(ch)) & 0x7FFFFFFF
-        return acc
+    _stable_hash = staticmethod(stable_hash)
 
     def __call__(self, t: Mapping[str, Any]) -> bool:
         return self._stable_hash(t[self.attribute]) % self.n_buckets == self.bucket
@@ -174,3 +180,67 @@ class HashBucket(Predicate):
 
     def describe(self) -> str:
         return f"hash({self.attribute}) % {self.n_buckets} == {self.bucket}"
+
+
+class BucketMap(Predicate):
+    """``hash(attribute) mod n_buckets ∈ buckets`` — a re-assignable hash fragment.
+
+    The elastic generalization of :class:`HashBucket`: the bucket space
+    is finer than the site count and every site owns a *set* of buckets,
+    so re-partitioning (scale-out/in, skew-aware rebalancing) moves
+    individual buckets between sites instead of re-hashing the world.
+    A :class:`HashBucket` is the special case ``buckets == {bucket}``
+    with ``n_buckets == n_sites``.
+    """
+
+    def __init__(self, attribute: str, n_buckets: int, buckets: Iterable[int]):
+        if n_buckets <= 0:
+            raise ValueError("n_buckets must be positive")
+        bucket_set = frozenset(buckets)
+        bad = sorted(b for b in bucket_set if not 0 <= b < n_buckets)
+        if bad:
+            raise ValueError(f"buckets {bad} out of range for {n_buckets} buckets")
+        self.attribute = attribute
+        self.n_buckets = n_buckets
+        self.buckets = bucket_set
+
+    def bucket_of(self, value: Any) -> int:
+        return stable_hash(value) % self.n_buckets
+
+    def __call__(self, t: Mapping[str, Any]) -> bool:
+        return self.bucket_of(t[self.attribute]) in self.buckets
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+    def describe(self) -> str:
+        shown = sorted(self.buckets)
+        return f"hash({self.attribute}) % {self.n_buckets} in {shown}"
+
+
+class OrPredicate(Predicate):
+    """The disjunction of several predicates (the fragment-merge path).
+
+    Merging horizontal fragments unions their selection conditions:
+    ``sigma_{F1 ∨ F2}(D) = sigma_F1(D) ∪ sigma_F2(D)`` for disjoint
+    fragments, so a merged site's predicate is exactly the OR of the
+    predicates it absorbed.
+    """
+
+    def __init__(self, predicates: Iterable[Predicate]):
+        self.predicates = tuple(predicates)
+        if not self.predicates:
+            raise ValueError("OrPredicate needs at least one branch")
+
+    def __call__(self, t: Mapping[str, Any]) -> bool:
+        return any(p(t) for p in self.predicates)
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset().union(*(p.attributes() for p in self.predicates))
+
+    def conflicts_with_constants(self, constants: Mapping[str, Any]) -> bool:
+        # The disjunction is unsatisfiable only if every branch is.
+        return all(p.conflicts_with_constants(constants) for p in self.predicates)
+
+    def describe(self) -> str:
+        return " OR ".join(f"({p.describe()})" for p in self.predicates)

@@ -9,6 +9,7 @@ Section 5 exploits replication to choose cheaper index locations.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
@@ -16,6 +17,7 @@ from repro.core.relation import Relation
 from repro.core.schema import Schema
 from repro.core.tuples import Tuple
 from repro.core.updates import UpdateBatch
+from repro.partition.migration import ColumnMove, MigrationPlan
 
 
 class PartitionError(ValueError):
@@ -149,6 +151,88 @@ class VerticalPartitioner:
         return {
             frag.site: updates.project(frag.attributes) for frag in self._fragments
         }
+
+    # -- elastic re-planning -----------------------------------------------------------
+
+    def replan(
+        self,
+        n_sites: int | None = None,
+        scheme: "VerticalPartitioner | None" = None,
+        reason: str = "scale",
+    ) -> MigrationPlan:
+        """Plan the minimal column migration to ``n_sites`` (or to ``scheme``).
+
+        Scaling to ``n_sites`` builds a balanced attribute layout that
+        keeps every attribute on its current home site whenever the
+        balance cap allows, so only overflow attributes (and everything
+        on retired sites) relocate.  The plan's ``column_moves`` list
+        the attribute columns that must ship; attributes a site merely
+        *stops* storing are dropped for free.
+        """
+        if (n_sites is None) == (scheme is None):
+            raise PartitionError("replan(...) takes exactly one of n_sites or scheme")
+        if scheme is not None:
+            target = scheme
+            if not isinstance(target, VerticalPartitioner):
+                raise PartitionError(
+                    f"replan target must be a VerticalPartitioner, not "
+                    f"{type(target).__name__}"
+                )
+            if target.schema.attribute_names != self._schema.attribute_names:
+                raise PartitionError("replan target schema does not match")
+        else:
+            target = self._balanced_target(n_sites)
+        return self._plan_to_scheme(target, reason)
+
+    def _balanced_target(self, n_sites: int) -> "VerticalPartitioner":
+        if n_sites <= 0:
+            raise PartitionError("need at least one site")
+        non_key = self._schema.non_key_attributes()
+        if n_sites > len(non_key):
+            n_sites = max(1, len(non_key))
+        cap = math.ceil(len(non_key) / n_sites)
+        buckets: dict[int, list[str]] = {site: [] for site in range(n_sites)}
+        leftover: list[str] = []
+        for attr in non_key:
+            home = self.home_site(attr)
+            if home in buckets and len(buckets[home]) < cap:
+                buckets[home].append(attr)
+            else:
+                leftover.append(attr)
+        for attr in leftover:
+            site = min(buckets, key=lambda s: (len(buckets[s]), s))
+            buckets[site].append(attr)
+        fragments = [
+            VerticalFragment(
+                f"{self._schema.name}_V{site + 1}",
+                site,
+                (self._schema.key, *attrs),
+            )
+            for site, attrs in sorted(buckets.items())
+        ]
+        return VerticalPartitioner(self._schema, fragments)
+
+    def _plan_to_scheme(self, target: "VerticalPartitioner", reason: str) -> MigrationPlan:
+        current, new = set(self.sites()), set(target.sites())
+        moves: list[ColumnMove] = []
+        for frag in target.fragments:
+            stored = (
+                set(self.fragment_for_site(frag.site).attributes)
+                if frag.site in current
+                else set()
+            )
+            for attr in frag.attributes:
+                if attr not in stored:
+                    moves.append(ColumnMove(attr, self.home_site(attr), frag.site))
+        return MigrationPlan(
+            kind="vertical",
+            source=self,
+            target=target,
+            new_sites=tuple(sorted(new - current)),
+            retired_sites=tuple(sorted(current - new)),
+            column_moves=tuple(moves),
+            reason=reason,
+        )
 
 
 class VerticalPartition:

@@ -12,6 +12,7 @@
 
 from repro.planner.adaptive import AdaptivePlanner, PlanDecision
 from repro.planner.cost import MESSAGE_OVERHEAD_BYTES, CostVector, hev_plan_cost
+from repro.planner.rebalance import RebalanceDecision, RebalancePolicy
 from repro.planner.estimators import (
     ESTIMATORS,
     Estimate,
@@ -28,6 +29,8 @@ __all__ = [
     "Estimate",
     "MESSAGE_OVERHEAD_BYTES",
     "PlanDecision",
+    "RebalanceDecision",
+    "RebalancePolicy",
     "estimate_batch",
     "estimate_for_mode",
     "estimate_improved_batch",

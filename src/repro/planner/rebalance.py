@@ -1,0 +1,158 @@
+"""Rebalancing policy: price "migrate now" against "keep paying skew".
+
+A :class:`RebalancePolicy` turns observed per-site load skew into a
+migration decision the same way the adaptive planner chooses strategies:
+both options become :class:`~repro.planner.cost.CostVector`s and the
+cheaper one wins.
+
+* *Migrate now* costs the bytes of relocating the excess share of the
+  database (the tuples the hottest site holds beyond its fair share) —
+  a one-off shipment charged to the session ledger.
+* *Keep paying skew* costs the extra local work the hottest site absorbs
+  beyond its fair share on every future batch, amortized over the
+  policy's ``horizon_batches``.  Local work is priced into bytes via
+  ``local_work_bytes`` so the two vectors collapse onto the planner's
+  shipment scalar.
+
+``strategy("auto")`` sessions evaluate the policy after every batch and
+trigger :meth:`~repro.engine.session.DetectionSession.rebalance`
+themselves when it says migrate; fixed-strategy sessions may do the same
+by configuring a policy on the builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.planner.cost import CostVector
+
+
+@dataclass(frozen=True)
+class RebalanceDecision:
+    """The priced outcome of one policy evaluation."""
+
+    rebalance: bool
+    hottest_share: float
+    fair_share: float
+    migrate_cost: CostVector
+    skew_cost: CostVector
+    reason: str
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rebalance": self.rebalance,
+            "hottest_share": self.hottest_share,
+            "fair_share": self.fair_share,
+            "migrate_cost": self.migrate_cost.as_dict(),
+            "skew_cost": self.skew_cost.as_dict(),
+            "reason": self.reason,
+        }
+
+
+class RebalancePolicy:
+    """Decides when observed skew justifies a live re-partitioning.
+
+    Parameters
+    ----------
+    threshold:
+        Trigger factor over the fair share: the policy never fires while
+        the hottest site's update-hit share is below
+        ``threshold * (1 / n_sites)``.
+    horizon_batches:
+        How many future batches the skew penalty is amortized over —
+        larger horizons make migration pay off sooner.
+    min_hits:
+        Minimum observed update hits before the loads are trusted.
+    local_work_bytes:
+        Exchange rate pricing one unit of skewed local work (one update
+        processed at the hot site beyond its fair share) in shipment
+        bytes, so both options collapse onto one scalar.
+    granularity:
+        Fine buckets per site used when the session builds its
+        :class:`~repro.stats.collector.SiteLoadTracker` and when the
+        rebalance plan refines the hash scheme.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 1.5,
+        horizon_batches: int = 20,
+        min_hits: int = 32,
+        local_work_bytes: float = 64.0,
+        granularity: int = 8,
+    ):
+        if threshold < 1.0:
+            raise ValueError("threshold must be >= 1.0 (1.0 fires on any skew)")
+        if horizon_batches <= 0:
+            raise ValueError("horizon_batches must be positive")
+        if granularity <= 0:
+            raise ValueError("granularity must be positive")
+        self.threshold = threshold
+        self.horizon_batches = horizon_batches
+        self.min_hits = min_hits
+        self.local_work_bytes = local_work_bytes
+        self.granularity = granularity
+
+    def evaluate(
+        self,
+        *,
+        n_sites: int,
+        hottest_share: float,
+        total_hits: int,
+        hits_per_batch: float,
+        cardinality: int,
+        avg_tuple_bytes: float,
+    ) -> RebalanceDecision:
+        """Price both options for the observed skew and pick one."""
+        fair = 1.0 / max(1, n_sites)
+        excess = max(0.0, hottest_share - fair)
+        migrate = CostVector(bytes=excess * cardinality * avg_tuple_bytes)
+        skew = CostVector(
+            local_work=self.horizon_batches * hits_per_batch * excess
+        )
+        if n_sites < 2:
+            return RebalanceDecision(
+                False, hottest_share, fair, migrate, skew, "single site"
+            )
+        if total_hits < self.min_hits:
+            return RebalanceDecision(
+                False,
+                hottest_share,
+                fair,
+                migrate,
+                skew,
+                f"only {total_hits} update hit(s) observed (min {self.min_hits})",
+            )
+        if hottest_share < self.threshold * fair:
+            return RebalanceDecision(
+                False,
+                hottest_share,
+                fair,
+                migrate,
+                skew,
+                f"hottest share {hottest_share:.2f} below "
+                f"{self.threshold:.2f}x fair share {fair:.2f}",
+            )
+        migrate_scalar = migrate.bytes
+        skew_scalar = skew.local_work * self.local_work_bytes
+        if skew_scalar <= migrate_scalar:
+            return RebalanceDecision(
+                False,
+                hottest_share,
+                fair,
+                migrate,
+                skew,
+                f"skew cost {skew_scalar:.0f}B over {self.horizon_batches} "
+                f"batch(es) does not repay migrating {migrate_scalar:.0f}B",
+            )
+        return RebalanceDecision(
+            True,
+            hottest_share,
+            fair,
+            migrate,
+            skew,
+            f"hottest site holds {hottest_share:.0%} of the load "
+            f"(fair {fair:.0%}); migrating {migrate_scalar:.0f}B saves "
+            f"~{skew_scalar - migrate_scalar:.0f}B over the horizon",
+        )

@@ -12,6 +12,8 @@ from repro.stats.collector import (
     BatchProfile,
     RelationStats,
     RuleProfile,
+    SiteLoad,
+    SiteLoadTracker,
     StatsCatalog,
     StrategyFeedback,
     profile_of,
@@ -23,6 +25,8 @@ __all__ = [
     "BatchProfile",
     "RelationStats",
     "RuleProfile",
+    "SiteLoad",
+    "SiteLoadTracker",
     "StatsCatalog",
     "StrategyFeedback",
     "profile_of",

@@ -262,6 +262,77 @@ class StrategyFeedback:
         self.seconds_per_unit.observe(seconds / d)
 
 
+@dataclass(frozen=True)
+class SiteLoad:
+    """One site's load snapshot: stored tuples, update hits, local work."""
+
+    site: int
+    tuples: int = 0
+    update_hits: int = 0
+    busy_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "site": self.site,
+            "tuples": self.tuples,
+            "update_hits": self.update_hits,
+            "busy_seconds": self.busy_seconds,
+        }
+
+
+class SiteLoadTracker:
+    """Per-bucket (and per-site) update-hit accounting for rebalancing.
+
+    The tracker hashes every update's routing value into a *fine* bucket
+    space — a multiple of the deployment's current bucket count, so the
+    observed loads can drive
+    :meth:`~repro.partition.horizontal.HorizontalPartitioner.rebalance_plan`
+    directly.  Tracking is O(1) per update and entirely local.
+    """
+
+    def __init__(self, attribute: str, n_buckets: int):
+        if n_buckets <= 0:
+            raise ValueError("n_buckets must be positive")
+        self.attribute = attribute
+        self.n_buckets = n_buckets
+        self._hits: dict[int, int] = {}
+        self.total_hits = 0
+
+    def note_update(self, t: Mapping[str, Any]) -> int:
+        """Count one update against its fine bucket; returns the bucket."""
+        from repro.partition.predicates import stable_hash
+
+        bucket = stable_hash(t[self.attribute]) % self.n_buckets
+        self._hits[bucket] = self._hits.get(bucket, 0) + 1
+        self.total_hits += 1
+        return bucket
+
+    def note_batch(self, batch: UpdateBatch) -> None:
+        for update in batch:
+            self.note_update(update.tuple)
+
+    @property
+    def bucket_loads(self) -> dict[int, int]:
+        """Update hits per fine bucket (only touched buckets appear)."""
+        return dict(self._hits)
+
+    def site_hits(self, bucket_owner: Mapping[int, int]) -> dict[int, int]:
+        """Aggregate bucket hits per owning site (``bucket -> site`` map)."""
+        per_site: dict[int, int] = {}
+        for bucket, hits in self._hits.items():
+            site = bucket_owner.get(bucket)
+            if site is not None:
+                per_site[site] = per_site.get(site, 0) + hits
+        return per_site
+
+    def hottest_share(self, bucket_owner: Mapping[int, int]) -> float:
+        """The hottest site's share of all observed update hits (0 if none)."""
+        per_site = self.site_hits(bucket_owner)
+        if not per_site or not self.total_hits:
+            return 0.0
+        return max(per_site.values()) / self.total_hits
+
+
 class StatsCatalog:
     """Everything the planner knows about one detection session.
 
@@ -283,6 +354,7 @@ class StatsCatalog:
         self.partitioning = partitioning
         self.n_sites = n_sites
         self.n_violations = n_violations
+        self.site_loads: dict[int, SiteLoad] = {}
         self._alpha = alpha
         self._feedback: dict[str, StrategyFeedback] = {}
 
@@ -323,6 +395,17 @@ class StatsCatalog:
         if n_violations is not None:
             self.n_violations = n_violations
 
+    def update_site_loads(self, loads: Iterable[SiteLoad]) -> None:
+        """Replace the per-site load snapshot (sessions push this per batch)."""
+        self.site_loads = {load.site: load for load in loads}
+
+    def hottest_site_share(self) -> float:
+        """The hottest site's share of all recorded update hits (0 if none)."""
+        total = sum(load.update_hits for load in self.site_loads.values())
+        if not total:
+            return 0.0
+        return max(load.update_hits for load in self.site_loads.values()) / total
+
     def final_cardinality(self, profile: BatchProfile) -> int:
         """``|D (+) delta-D|``: the database size after the batch."""
         return max(0, self.relation.cardinality + profile.net_growth)
@@ -344,6 +427,9 @@ class StatsCatalog:
                 "avg_lhs": self.rules.avg_lhs,
                 "kind": self.rules.kind,
             },
+            "site_loads": [
+                self.site_loads[site].as_dict() for site in sorted(self.site_loads)
+            ],
         }
 
 

@@ -82,18 +82,7 @@ class VerticalIncrementalDetector:
         for cfd in self._cfds:
             cfd.validate_against(schema)
 
-        self._constant_cfds: list[CFD] = []
-        self._local_cfds: list[tuple[CFD, int]] = []
-        self._general_cfds: list[CFD] = []
-        for cfd in self._cfds:
-            if cfd.is_constant():
-                self._constant_cfds.append(cfd)
-                continue
-            local_site = self._partitioner.is_local(cfd.attributes)
-            if local_site is not None:
-                self._local_cfds.append((cfd, local_site))
-            else:
-                self._general_cfds.append(cfd)
+        self._classify()
 
         if plan is not None:
             self._plan = plan
@@ -121,6 +110,54 @@ class VerticalIncrementalDetector:
         else:
             self._violations = CentralizedDetector(self._cfds).detect(snapshot)
 
+        self._constant_coordinator = {
+            cfd.name: self._partitioner.home_site(cfd.rhs) for cfd in self._constant_cfds
+        }
+
+    def _classify(self) -> None:
+        """Split the CFDs into the three cases of Fig. 5 for the current layout."""
+        self._constant_cfds = []
+        self._local_cfds = []
+        self._general_cfds = []
+        for cfd in self._cfds:
+            if cfd.is_constant():
+                self._constant_cfds.append(cfd)
+                continue
+            local_site = self._partitioner.is_local(cfd.attributes)
+            if local_site is not None:
+                self._local_cfds.append((cfd, local_site))
+            else:
+                self._general_cfds.append(cfd)
+
+    def rehome(
+        self,
+        cluster: Cluster,
+        plan: HEVPlan | None = None,
+        planner: HEVPlanner | None = None,
+    ) -> None:
+        """Warm re-homing after an in-place cluster migration.
+
+        The IDX indices are *logical* — grouped by LHS value over the
+        whole database — so moving columns between sites never touches
+        their contents, and the maintained violation set stays valid
+        because migration does not change the logical database.  Only
+        the placement metadata depends on the layout: the local/general
+        classification, the HEV plan and the constant-CFD coordinators
+        are recomputed against the new partitioner; nothing is
+        re-detected and nothing ships.
+        """
+        if not cluster.is_vertical():
+            raise ValueError("rehome requires a vertical cluster")
+        self._cluster = cluster
+        self._network = cluster.network
+        self._partitioner = cluster.vertical_partitioner
+        self._classify()
+        if plan is not None:
+            self._plan = plan
+        elif planner is not None:
+            self._plan = planner.plan(self._cfds)
+        else:
+            self._plan = naive_chain_plan(self._cfds, self._partitioner)
         self._constant_coordinator = {
             cfd.name: self._partitioner.home_site(cfd.rhs) for cfd in self._constant_cfds
         }

@@ -26,12 +26,19 @@ class TupleGenerator(Protocol):
         ...
 
 
+def _zipf_weights(n: int, skew: float) -> list[float]:
+    """Rank weights ``1 / (rank+1)^skew`` (Zipf-ish hot-key concentration)."""
+    return [1.0 / (rank + 1) ** skew for rank in range(n)]
+
+
 def generate_updates(
     base: Relation,
     generator: TupleGenerator,
     size: int,
     insert_fraction: float = 0.8,
     seed: int = 0,
+    skew: float = 0.0,
+    hot_attribute: str | None = None,
 ) -> UpdateBatch:
     """A batch of ``size`` updates against ``base``.
 
@@ -43,11 +50,22 @@ def generate_updates(
     reporting the requested vs actual split).  The interleaving is
     shuffled deterministically so that insertions and deletions are
     mixed as they would be in a real update stream.
+
+    ``skew`` (default 0: uniform, the paper's workload) concentrates the
+    batch on hot keys, Zipf-style: the distinct ``hot_attribute`` values
+    of the base (default: the schema key) are ranked and weighted
+    ``1/rank^skew``; deletions sample victims by their value's weight,
+    and each insertion overwrites its fresh tuple's ``hot_attribute``
+    with a weight-sampled existing value.  Hash-partitioned deployments
+    then see realistic hot-shard traffic — the workload the elasticity
+    and crossover benches stress rebalancing with.
     """
     if size < 0:
         raise ValueError("update batch size must be non-negative")
     if not 0.0 <= insert_fraction <= 1.0:
         raise ValueError("insert_fraction must lie in [0, 1]")
+    if skew < 0.0:
+        raise ValueError("skew must be non-negative")
     rng = random.Random(seed)
     n_inserts = round(size * insert_fraction)
     n_deletes_requested = size - n_inserts
@@ -67,10 +85,33 @@ def generate_updates(
     for t in base:
         if isinstance(t.tid, int) and t.tid > max_tid:
             max_tid = t.tid
-    inserts = [Update.insert(t) for t in generator.tuples(max_tid + 1, n_inserts)]
-
+    fresh = generator.tuples(max_tid + 1, n_inserts)
     existing = sorted(base, key=lambda t: str(t.tid))
-    victims = rng.sample(existing, n_deletes) if n_deletes else []
+
+    if skew > 0.0 and existing:
+        attribute = hot_attribute or base.schema.key
+        base.schema.validate_attributes([attribute])
+        values = sorted({t[attribute] for t in existing}, key=str)
+        weights = _zipf_weights(len(values), skew)
+        weight_of = dict(zip(values, weights))
+        # Hot inserts: land each fresh tuple on a weight-sampled existing
+        # hot value, so new traffic concentrates on the same shards.
+        fresh = [
+            t.with_values(**{attribute: rng.choices(values, weights)[0]})
+            for t in fresh
+        ]
+        # Hot deletes: weighted sampling without replacement
+        # (Efraimidis-Spirakis keys), so victims cluster on hot values too.
+        keyed = sorted(
+            existing,
+            key=lambda t: rng.random() ** (1.0 / weight_of[t[attribute]]),
+            reverse=True,
+        )
+        victims = keyed[:n_deletes]
+    else:
+        victims = rng.sample(existing, n_deletes) if n_deletes else []
+
+    inserts = [Update.insert(t) for t in fresh]
     deletes = [Update.delete(t) for t in victims]
 
     updates = inserts + deletes
