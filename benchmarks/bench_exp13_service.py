@@ -1,0 +1,416 @@
+"""Exp-13 (extension): multi-tenant service under a client-scaling load.
+
+BRAD-style sustained-load harness for the service layer: ramp 1 -> 64
+simulated clients (dealt round-robin across 2-4 tenants) submitting
+Zipf-skewed single-update streams against a shared
+:class:`~repro.service.DetectionService`, and record per-tenant
+p50/p95/p99 ingest-to-report latency plus updates/sec at every level.
+Each level runs twice — with the coalescing batch window enabled
+(``max_batch``/``max_delay`` fold queued singletons into real batches)
+and in per-update mode (``max_batch=1``: every submission applied as
+its own batch) — so the file captures exactly what the window buys as
+client counts grow.  A final backpressure phase floods one tenant past
+a small quota while a steady in-quota tenant keeps its paced stream,
+recording the steady tenant's tail latency against its solo baseline
+and the flooded tenant's reject/retry-after accounting.
+
+``--json`` writes the measurements to ``BENCH_service.json``;
+``--gate`` enforces the CI contracts:
+
+* at the highest client level, coalescing sustains at least
+  ``GATE_COALESCING_SPEEDUP`` (1.3x) the updates/sec of per-update
+  apply — the window wins by amortizing per-batch overhead (scheduler
+  round, normalization, shipment wave), not by parallelism, so the
+  gate holds on a 1-core host;
+* under flooding, the in-quota tenant's p99 stays within
+  ``GATE_P99_RATIO`` (2x) of its solo baseline, and no update is
+  silently dropped: every flooded submission is either applied or
+  rejected back to the client with a retry-after hint.
+"""
+
+import argparse
+import random
+import sys
+import threading
+import time
+from math import ceil
+
+import bench_utils as bu
+from repro.engine.session import session
+from repro.service import DetectionService, TenantQuota
+from repro.workloads.rules import generate_cfds
+from repro.workloads.tpch import TPCHGenerator
+from repro.workloads.updates import generate_updates
+
+#: Coalescing must sustain at least this multiple of per-update updates/sec.
+GATE_COALESCING_SPEEDUP = 1.3
+#: The in-quota tenant's p99 must stay within this factor of its solo run.
+GATE_P99_RATIO = 2.0
+
+COALESCED = "coalesced"
+PER_UPDATE = "per-update"
+
+
+def tenant_name(index: int) -> str:
+    return f"tenant-{index}"
+
+
+def build_service(base, cfds, generator, n_tenants, n_sites, quota):
+    svc = DetectionService()
+    for j in range(n_tenants):
+        svc.register(
+            tenant_name(j),
+            session(base)
+            .partition(generator.horizontal_partitioner(n_sites))
+            .rules(cfds)
+            .strategy("auto"),
+            quota=quota,
+        )
+    return svc
+
+
+def deal_client_streams(base, generator, n_clients, n_tenants, ops_per_client,
+                        skew, attribute, seed):
+    """Per-client update lists: one generation pass per tenant (unique
+    tids), dealt round-robin to that tenant's clients."""
+    streams = {}
+    for j in range(n_tenants):
+        clients = [i for i in range(n_clients) if i % n_tenants == j]
+        if not clients:
+            continue
+        stream = list(
+            generate_updates(
+                base,
+                generator,
+                ops_per_client * len(clients),
+                insert_fraction=0.9,
+                skew=skew,
+                hot_attribute=attribute,
+                rng=random.Random(seed * 7919 + j),
+            )
+        )
+        for position, client in enumerate(clients):
+            streams[client] = stream[position :: len(clients)]
+    return streams
+
+
+def run_clients(svc, streams, n_tenants, think_time):
+    """Paced open-loop clients: each submits its stream one update at a
+    time with ``think_time`` between submissions."""
+
+    def client(i, ops):
+        target = tenant_name(i % n_tenants)
+        for update in ops:
+            svc.submit(target, update)
+            if think_time:
+                time.sleep(think_time)
+
+    threads = [
+        threading.Thread(target=client, args=(i, ops)) for i, ops in streams.items()
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    svc.drain()
+    return time.perf_counter() - start
+
+
+def run_level(base, cfds, generator, *, n_clients, n_tenants, n_sites, mode,
+              ops_per_client, think_time, skew, attribute, seed):
+    if mode == COALESCED:
+        quota = TenantQuota(max_pending=1_000_000, max_batch=64, max_delay=0.01)
+    else:
+        quota = TenantQuota(max_pending=1_000_000, max_batch=1, max_delay=0.0)
+    svc = build_service(base, cfds, generator, n_tenants, n_sites, quota)
+    streams = deal_client_streams(
+        base, generator, n_clients, n_tenants, ops_per_client, skew, attribute, seed
+    )
+    try:
+        wall = run_clients(svc, streams, n_tenants, think_time)
+        metrics = svc.metrics()
+        total_applied = metrics.applied_updates
+        record = {
+            "phase": "ramp",
+            "clients": n_clients,
+            "mode": mode,
+            "total_ops": sum(len(ops) for ops in streams.values()),
+            "wall_seconds": wall,
+            "aggregate_updates_per_sec": total_applied / wall if wall else 0.0,
+            "tenants": [
+                {
+                    "tenant": m.tenant,
+                    "applied_updates": m.applied_updates,
+                    "batches_applied": m.batches_applied,
+                    "batches_coalesced": m.batches_coalesced,
+                    "avg_batch_size": m.avg_batch_size,
+                    "updates_per_second": m.updates_per_second,
+                    "p50_s": m.latency.p50,
+                    "p95_s": m.latency.p95,
+                    "p99_s": m.latency.p99,
+                    "bytes_shipped": m.bytes_shipped,
+                    "messages": m.messages,
+                }
+                for m in metrics.tenants
+            ],
+        }
+        assert metrics.applied_updates == metrics.accepted == metrics.submitted
+        return record
+    finally:
+        svc.close()
+
+
+def run_backpressure(base, cfds, generator, *, n_sites, skew, attribute, seed,
+                     steady_ops=240, think_time=0.002):
+    """The steady tenant's p99 solo vs beside a flooding over-quota tenant."""
+    steady_quota = TenantQuota(max_pending=4096, max_batch=64, max_delay=0.02)
+    hog_quota = TenantQuota(max_pending=128, max_batch=64, max_delay=0.005)
+
+    def steady_stream():
+        return list(
+            generate_updates(
+                base, generator, steady_ops, insert_fraction=0.9,
+                skew=skew, hot_attribute=attribute, rng=random.Random(seed * 31),
+            )
+        )
+
+    def run_steady(svc):
+        for update in steady_stream():
+            svc.submit("steady", update)
+            time.sleep(think_time)
+        svc.flush("steady")
+
+    # Solo baseline.
+    svc = DetectionService()
+    svc.register(
+        "steady",
+        session(base)
+        .partition(generator.horizontal_partitioner(n_sites))
+        .rules(cfds)
+        .strategy("auto"),
+        quota=steady_quota,
+    )
+    run_steady(svc)
+    solo = svc.metrics("steady")
+    svc.close()
+
+    # Contended: an over-quota tenant floods bursts beside the steady one.
+    svc = DetectionService()
+    for name, quota in (("steady", steady_quota), ("hog", hog_quota)):
+        svc.register(
+            name,
+            session(base)
+            .partition(generator.horizontal_partitioner(n_sites))
+            .rules(cfds)
+            .strategy("auto"),
+            quota=quota,
+        )
+    hog_stream = list(
+        generate_updates(
+            base, generator, 4096, insert_fraction=1.0,
+            skew=skew, hot_attribute=attribute, rng=random.Random(seed * 97),
+        )
+    )
+    retry_hints = []
+    stop_hog = threading.Event()
+
+    def hog_client():
+        cursor = 0
+        while cursor < len(hog_stream) and not stop_hog.is_set():
+            burst = hog_stream[cursor : cursor + 64]
+            result = svc.submit("hog", burst)
+            cursor += result.accepted
+            if result.rejected:
+                retry_hints.append(result.retry_after)
+                # Honour the backpressure protocol (capped so the bench
+                # never stalls on a long hint).
+                time.sleep(min(result.retry_after, 0.02))
+
+    hog = threading.Thread(target=hog_client)
+    hog.start()
+    run_steady(svc)
+    stop_hog.set()
+    hog.join()
+    svc.drain()
+    contended = svc.metrics("steady")
+    hog_metrics = svc.metrics("hog")
+    svc.close()
+
+    assert hog_metrics.accepted + hog_metrics.rejected == hog_metrics.submitted
+    assert hog_metrics.applied_updates == hog_metrics.accepted
+    ratio = (
+        contended.latency.p99 / solo.latency.p99 if solo.latency.p99 else float("inf")
+    )
+    return {
+        "phase": "backpressure",
+        "steady_ops": steady_ops,
+        "p99_solo_s": solo.latency.p99,
+        "p99_contended_s": contended.latency.p99,
+        "p50_solo_s": solo.latency.p50,
+        "p50_contended_s": contended.latency.p50,
+        "p99_ratio": ratio,
+        "gate_p99_ratio": GATE_P99_RATIO,
+        "hog": {
+            "submitted": hog_metrics.submitted,
+            "accepted": hog_metrics.accepted,
+            "rejected": hog_metrics.rejected,
+            "applied_updates": hog_metrics.applied_updates,
+            "rejections_with_retry_after": len(retry_hints),
+            "mean_retry_after_s": sum(retry_hints) / len(retry_hints)
+            if retry_hints
+            else None,
+        },
+    }
+
+
+def run_bench(args):
+    generator = TPCHGenerator(seed=args.seed)
+    base = generator.relation(args.base)
+    cfds = list(generate_cfds(generator.fd_specs(), args.cfds, seed=args.seed))
+
+    records = []
+    for n_clients in args.clients:
+        ops_per_client = max(1, ceil(args.ops_total / n_clients))
+        for mode in (COALESCED, PER_UPDATE):
+            record = run_level(
+                base, cfds, generator,
+                n_clients=n_clients, n_tenants=args.tenants, n_sites=args.sites,
+                mode=mode, ops_per_client=ops_per_client,
+                think_time=args.think_time, skew=args.skew,
+                attribute=args.attribute, seed=args.seed,
+            )
+            records.append(record)
+            print(
+                f"  clients={n_clients:3d} mode={mode:10s} "
+                f"{record['aggregate_updates_per_sec']:8.0f} updates/s "
+                f"(wall {record['wall_seconds']:.3f}s, "
+                f"{record['total_ops']} ops)"
+            )
+
+    top = args.clients[-1]
+    coalesced_ups = next(
+        r["aggregate_updates_per_sec"]
+        for r in records
+        if r["clients"] == top and r["mode"] == COALESCED
+    )
+    per_update_ups = next(
+        r["aggregate_updates_per_sec"]
+        for r in records
+        if r["clients"] == top and r["mode"] == PER_UPDATE
+    )
+    speedup = coalesced_ups / per_update_ups if per_update_ups else float("inf")
+    records.append(
+        {
+            "phase": "throughput-gate",
+            "clients": top,
+            "coalesced_updates_per_sec": coalesced_ups,
+            "per_update_updates_per_sec": per_update_ups,
+            "speedup": speedup,
+            "gate_speedup": GATE_COALESCING_SPEEDUP,
+        }
+    )
+    print(
+        f"  gate: coalescing {coalesced_ups:.0f} vs per-update "
+        f"{per_update_ups:.0f} updates/s at {top} clients = {speedup:.2f}x "
+        f"(gate {GATE_COALESCING_SPEEDUP}x)"
+    )
+
+    bp = run_backpressure(
+        base, cfds, generator, n_sites=args.sites,
+        skew=args.skew, attribute=args.attribute, seed=args.seed,
+        steady_ops=args.steady_ops, think_time=args.think_time,
+    )
+    records.append(bp)
+    print(
+        f"  backpressure: steady p99 {bp['p99_solo_s'] * 1e3:.1f}ms solo -> "
+        f"{bp['p99_contended_s'] * 1e3:.1f}ms contended "
+        f"({bp['p99_ratio']:.2f}x, gate {GATE_P99_RATIO}x); hog "
+        f"{bp['hog']['accepted']}/{bp['hog']['submitted']} accepted, "
+        f"{bp['hog']['rejected']} rejected with retry-after"
+    )
+
+    failures = []
+    if args.gate:
+        if speedup < GATE_COALESCING_SPEEDUP:
+            failures.append(
+                f"coalescing sustained {speedup:.2f}x per-update throughput at "
+                f"{top} clients, below the {GATE_COALESCING_SPEEDUP}x gate"
+            )
+        if bp["p99_ratio"] > GATE_P99_RATIO:
+            failures.append(
+                f"in-quota tenant's p99 degraded {bp['p99_ratio']:.2f}x beside the "
+                f"flooding tenant, above the {GATE_P99_RATIO}x gate"
+            )
+        if not bp["hog"]["rejected"]:
+            failures.append("the flooding tenant was never pushed back")
+
+    if args.json:
+        path = bu.write_bench_json(
+            "service",
+            records,
+            extra={
+                "base_size": args.base,
+                "n_tenants": args.tenants,
+                "n_sites": args.sites,
+                "n_cfds": args.cfds,
+                "clients": args.clients,
+                "ops_total_per_level": args.ops_total,
+                "think_time_s": args.think_time,
+                "skew": args.skew,
+                "hot_attribute": args.attribute,
+                "seed": args.seed,
+                "strategy": "auto",
+                "gate_speedup": GATE_COALESCING_SPEEDUP,
+                "gate_p99_ratio": GATE_P99_RATIO,
+            },
+        )
+        print(f"service bench written to {path}")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--base", type=int, default=300)
+    parser.add_argument("--tenants", type=int, default=2)
+    parser.add_argument("--sites", type=int, default=4)
+    parser.add_argument("--cfds", type=int, default=4)
+    parser.add_argument(
+        "--clients", type=int, nargs="+", default=[1, 4, 16, 64],
+        help="client-count ramp (BRAD-style NUM_CLIENTS)",
+    )
+    parser.add_argument(
+        "--ops-total", type=int, default=960,
+        help="updates per level, split across the clients",
+    )
+    parser.add_argument("--steady-ops", type=int, default=240)
+    parser.add_argument("--think-time", type=float, default=0.002)
+    parser.add_argument("--skew", type=float, default=1.0)
+    parser.add_argument(
+        "--attribute", default="sname",
+        help="routing/hot attribute (supplier name: ~60 distinct values)",
+    )
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument(
+        "--json", action="store_true",
+        help="write the measurements to BENCH_service.json",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help=f"fail unless coalescing sustains >={GATE_COALESCING_SPEEDUP}x "
+        f"per-update throughput at the top client level and the in-quota "
+        f"tenant's p99 stays within {GATE_P99_RATIO}x of solo under flooding",
+    )
+    args = parser.parse_args(argv)
+    start = time.time()
+    failures = run_bench(args)
+    print(f"  total bench time: {time.time() - start:.1f}s")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -124,6 +124,15 @@ from repro.stats import (
     StatsCatalog,
     StrategyFeedback,
 )
+from repro.service import (
+    DetectionService,
+    ServiceError,
+    ServiceMetrics,
+    SubmitResult,
+    TenantFailed,
+    TenantMetrics,
+    TenantQuota,
+)
 from repro.runtime import (
     EXECUTOR_BACKENDS,
     Executor,
@@ -232,6 +241,14 @@ __all__ = [
     "register_detector",
     "register_partitioner",
     "register_storage",
+    # multi-tenant detection service
+    "DetectionService",
+    "ServiceError",
+    "ServiceMetrics",
+    "SubmitResult",
+    "TenantFailed",
+    "TenantMetrics",
+    "TenantQuota",
     # parallel execution runtime
     "EXECUTOR_BACKENDS",
     "Executor",

@@ -122,6 +122,11 @@ class DetectionReport:
     #: tuples/bytes, wall time and sites before/after; empty for static
     #: sessions.
     topology_trace: tuple[TopologyEvent, ...] = field(default_factory=tuple)
+    #: Service-layer counters for this session's tenant (ingest latency
+    #: percentiles, updates/sec, queue depth, admission counts) when the
+    #: report was produced through a
+    #: :class:`~repro.service.DetectionService`; None for direct sessions.
+    service_metrics: dict[str, Any] | None = None
 
     @classmethod
     def build(
@@ -236,6 +241,7 @@ class DetectionReport:
             },
             "plan_trace": [decision.as_dict() for decision in self.plan_trace],
             "topology_trace": [event.as_dict() for event in self.topology_trace],
+            "service_metrics": self.service_metrics,
         }
 
     def summary(self) -> str:
@@ -304,4 +310,18 @@ class DetectionReport:
                     f"{actual_part}{error_part}"
                     + (f"  (vs {alternatives})" if alternatives else "")
                 )
+        if self.service_metrics:
+            sm = self.service_metrics
+            latency = sm.get("latency") or {}
+            lines.append(
+                f"  service            : tenant {sm.get('tenant')!r}, "
+                f"{sm.get('accepted', 0)}/{sm.get('submitted', 0)} accepted "
+                f"({sm.get('rejected', 0)} rejected), "
+                f"{sm.get('batches_applied', 0)} batch(es) applied"
+            )
+            lines.append(
+                f"    latency p50/p95/p99: {latency.get('p50_s', 0.0):.6f}s / "
+                f"{latency.get('p95_s', 0.0):.6f}s / {latency.get('p99_s', 0.0):.6f}s, "
+                f"{sm.get('updates_per_second', 0.0):.1f} update(s)/s"
+            )
         return "\n".join(lines)

@@ -23,6 +23,7 @@ for CFDs, the MD detectors for matching dependencies).
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Iterable, Iterator, Sequence
 
@@ -355,6 +356,7 @@ class DetectionSession:
         self._storage = storage
         self._apply_seconds = 0.0
         self._closed = False
+        self._close_lock = threading.Lock()
         self._rebalance_policy = rebalance_policy
         self._topology: list[TopologyEvent] = []
         self._load_tracker: SiteLoadTracker | None = None
@@ -721,15 +723,20 @@ class DetectionSession:
     # -- lifecycle ----------------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the session's executor workers (idempotent).
+        """Release the session's executor workers (idempotent, thread-safe).
 
         Caller-supplied executor instances are left running — whoever
-        built them owns their lifetime.
+        built them owns their lifetime.  Concurrent closers (e.g. a
+        service drain path racing the session's owner) are serialized on
+        a lock, so the executor is released exactly once and a
+        double-close never raises.
         """
-        if not self._closed:
+        with self._close_lock:
+            if self._closed:
+                return
             self._closed = True
-            if self._owns_executor:
-                self._scheduler.executor.close()
+        if self._owns_executor:
+            self._scheduler.executor.close()
 
     def __enter__(self) -> "DetectionSession":
         return self

@@ -1,0 +1,39 @@
+"""The multi-tenant detection service layer.
+
+A long-lived front over the detection engine: per-tenant streaming
+sessions with strict cost isolation, asynchronous ingestion through a
+coalescing batch window, admission control with retry-after
+backpressure, and service-level latency/throughput metrics.
+"""
+
+from repro.service.admission import AdmissionController, TenantQuota
+from repro.service.batcher import CoalescingQueue, PendingUpdate
+from repro.service.metrics import (
+    LatencyRecorder,
+    LatencySummary,
+    ServiceMetrics,
+    TenantMetrics,
+    percentile,
+)
+from repro.service.service import (
+    DetectionService,
+    ServiceError,
+    SubmitResult,
+    TenantFailed,
+)
+
+__all__ = [
+    "AdmissionController",
+    "CoalescingQueue",
+    "DetectionService",
+    "LatencyRecorder",
+    "LatencySummary",
+    "PendingUpdate",
+    "percentile",
+    "ServiceError",
+    "ServiceMetrics",
+    "SubmitResult",
+    "TenantFailed",
+    "TenantMetrics",
+    "TenantQuota",
+]

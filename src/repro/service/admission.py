@@ -1,0 +1,96 @@
+"""Admission control: per-tenant quotas, bounded queues, retry-after.
+
+A tenant's :class:`TenantQuota` bounds how many updates may sit in its
+ingestion queue (``max_pending``) and shapes its coalescing window
+(``max_batch`` updates or ``max_delay`` seconds, whichever fills
+first).  When a submission would overflow the bound, the service admits
+what fits and rejects the rest *visibly*: the rejected updates come
+back to the caller together with a ``retry_after`` estimate derived
+from the tenant's observed drain rate, so clients can back off and
+resubmit — nothing is silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stats.collector import EWMA
+
+#: Lower bound on any retry-after hint (seconds); also the fallback when
+#: no drain rate has been observed yet.
+MIN_RETRY_AFTER = 0.001
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Ingestion limits of one tenant.
+
+    ``max_pending`` bounds the tenant's queue (admission rejects past
+    it); ``max_batch``/``max_delay`` bound its coalescing window.  A
+    ``max_batch`` of 1 disables coalescing — every update is applied as
+    its own batch (the per-update baseline the throughput harness
+    compares against).
+    """
+
+    max_pending: int = 4096
+    max_batch: int = 64
+    max_delay: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.max_delay < 0.0:
+            raise ValueError("max_delay must be non-negative")
+
+
+class AdmissionController:
+    """Bounded-queue admission with a drain-rate-based retry hint.
+
+    The controller never drops work on its own: :meth:`admit` splits a
+    submission into the part that fits under ``max_pending`` and the
+    part the caller must retry.  The drain rate is an EWMA over the
+    apply path's observed updates/second, fed by the dispatcher after
+    every folded batch; until the first observation the hint falls back
+    to the coalescing window length.
+    """
+
+    def __init__(self, quota: TenantQuota, alpha: float = 0.3):
+        self.quota = quota
+        self._drain_rate = EWMA(alpha)
+
+    def observe_drain(self, n_updates: int, seconds: float) -> None:
+        """Fold one completed apply into the drain-rate estimate."""
+        if seconds > 0.0 and n_updates > 0:
+            self._drain_rate.observe(n_updates / seconds)
+
+    @property
+    def drain_rate(self) -> float:
+        """Observed updates/second through the apply path (0 until seen)."""
+        return self._drain_rate.value
+
+    def room(self, pending: int) -> int:
+        """How many more updates the queue admits right now."""
+        return max(0, self.quota.max_pending - pending)
+
+    def admit(self, pending: int, requested: int) -> tuple[int, int]:
+        """Split ``requested`` updates into (admitted, rejected) counts."""
+        admitted = min(requested, self.room(pending))
+        return admitted, requested - admitted
+
+    def retry_after(self, pending: int, rejected: int) -> float:
+        """Seconds until the queue has plausibly freed ``rejected`` slots.
+
+        Estimated from the observed drain rate; when the queue is full
+        the backlog ahead of the retried updates is ``pending`` deep, so
+        the hint covers draining that backlog down to where the retry
+        fits.  Clamped below by the coalescing window (the service never
+        drains faster than one window).
+        """
+        floor = max(MIN_RETRY_AFTER, self.quota.max_delay)
+        rate = self._drain_rate.value
+        if rate <= 0.0:
+            return floor
+        backlog = max(0, pending + rejected - self.quota.max_pending)
+        return max(floor, backlog / rate)

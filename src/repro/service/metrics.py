@@ -1,0 +1,192 @@
+"""Service-level metrics: ingest-to-report latency and throughput.
+
+Every update accepted by the :class:`~repro.service.DetectionService`
+is stamped on ingest; when the coalescing batcher's fold is applied the
+per-update latency (enqueue -> apply complete) lands in a bounded
+reservoir, so percentile queries stay O(reservoir) no matter how long
+the service runs.  :meth:`DetectionService.metrics` snapshots these
+accumulators into immutable :class:`TenantMetrics`/:class:`ServiceMetrics`
+values, and :meth:`DetectionService.report` threads the same snapshot
+into the session's :class:`~repro.engine.report.DetectionReport`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+#: Latency samples kept per tenant; older samples are reservoir-replaced.
+RESERVOIR_SIZE = 32768
+
+
+def percentile(sorted_values: list[float], p: float) -> float:
+    """The ``p``-th percentile (0-100) by linear interpolation.
+
+    ``sorted_values`` must be ascending; returns 0.0 when empty.
+    """
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= p <= 100.0:
+        raise ValueError("percentile must lie in [0, 100]")
+    rank = (p / 100.0) * (len(sorted_values) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = rank - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+class LatencyRecorder:
+    """A bounded latency reservoir (algorithm R, deterministic RNG).
+
+    Not thread-safe on its own; the service records under its lock.
+    """
+
+    def __init__(self, capacity: int = RESERVOIR_SIZE, seed: int = 0x5EED):
+        if capacity <= 0:
+            raise ValueError("reservoir capacity must be positive")
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._samples: list[float] = []
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+        if len(self._samples) < self.capacity:
+            self._samples.append(seconds)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.capacity:
+                self._samples[slot] = seconds
+
+    def record_many(self, latencies: Iterable[float]) -> None:
+        for seconds in latencies:
+            self.record(seconds)
+
+    def summary(self) -> "LatencySummary":
+        ordered = sorted(self._samples)
+        return LatencySummary(
+            count=self.count,
+            mean=self.total / self.count if self.count else 0.0,
+            p50=percentile(ordered, 50.0),
+            p95=percentile(ordered, 95.0),
+            p99=percentile(ordered, 99.0),
+            max=self.max,
+        )
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Ingest-to-report latency percentiles of one tenant (seconds)."""
+
+    count: int = 0
+    mean: float = 0.0
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
+    max: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean_s": self.mean,
+            "p50_s": self.p50,
+            "p95_s": self.p95,
+            "p99_s": self.p99,
+            "max_s": self.max,
+        }
+
+
+@dataclass(frozen=True)
+class TenantMetrics:
+    """One tenant's service counters, snapshotted at a point in time.
+
+    ``batches_coalesced`` counts the applies that folded more than one
+    queued update into a single batch; ``updates_per_second`` is the
+    sustained ingest-to-apply rate over the tenant's active window
+    (first accepted update to last completed apply).
+    """
+
+    tenant: str
+    submitted: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    applied_updates: int = 0
+    batches_applied: int = 0
+    batches_coalesced: int = 0
+    queue_depth: int = 0
+    max_queue_depth: int = 0
+    updates_per_second: float = 0.0
+    latency: LatencySummary = LatencySummary()
+    bytes_shipped: int = 0
+    messages: int = 0
+
+    @property
+    def avg_batch_size(self) -> float:
+        return self.applied_updates / self.batches_applied if self.batches_applied else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "applied_updates": self.applied_updates,
+            "batches_applied": self.batches_applied,
+            "batches_coalesced": self.batches_coalesced,
+            "avg_batch_size": self.avg_batch_size,
+            "queue_depth": self.queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+            "updates_per_second": self.updates_per_second,
+            "latency": self.latency.as_dict(),
+            "bytes_shipped": self.bytes_shipped,
+            "messages": self.messages,
+        }
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """The whole service: every tenant's snapshot plus cross-tenant totals."""
+
+    tenants: tuple[TenantMetrics, ...] = ()
+
+    def tenant(self, name: str) -> TenantMetrics:
+        for metrics in self.tenants:
+            if metrics.tenant == name:
+                return metrics
+        raise KeyError(f"no metrics for tenant {name!r}")
+
+    @property
+    def submitted(self) -> int:
+        return sum(m.submitted for m in self.tenants)
+
+    @property
+    def accepted(self) -> int:
+        return sum(m.accepted for m in self.tenants)
+
+    @property
+    def rejected(self) -> int:
+        return sum(m.rejected for m in self.tenants)
+
+    @property
+    def applied_updates(self) -> int:
+        return sum(m.applied_updates for m in self.tenants)
+
+    @property
+    def batches_applied(self) -> int:
+        return sum(m.batches_applied for m in self.tenants)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "applied_updates": self.applied_updates,
+            "batches_applied": self.batches_applied,
+            "tenants": [m.as_dict() for m in self.tenants],
+        }

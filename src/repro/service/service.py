@@ -1,0 +1,460 @@
+"""A long-lived multi-tenant detection service.
+
+:class:`DetectionService` owns many concurrent streaming sessions —
+one :class:`~repro.engine.session.DetectionSession` per registered
+tenant, each with its own :class:`~repro.distributed.network.Network`
+ledger (and, for adaptive strategies, its own
+:class:`~repro.stats.collector.StatsCatalog`), so no tenant's shipment
+costs, statistics or violations ever leak into another's accounting.
+Registration enforces that isolation: sharing a Network or catalog
+between tenants is rejected outright.
+
+Ingestion is asynchronous.  ``submit(tenant, ops)`` stamps and enqueues
+updates under admission control (bounded queue, reject-with-retry-after
+past the quota — rejected updates are returned to the caller, never
+dropped) and returns immediately; a single background dispatcher walks
+the tenants round-robin, folds each due coalescing window into one
+:class:`~repro.core.updates.UpdateBatch` and applies it through the
+tenant's session.  Round-robin with one window per turn bounds how long
+any tenant can stall the others: a flooding tenant costs its neighbours
+at most one ``max_batch`` apply per turn, which is what keeps the
+in-quota tenant's tail latency within the backpressure gate.
+
+``flush``/``drain`` force the open windows and block until the queues
+are empty; ``close()`` drains, stops the dispatcher and closes every
+session (sessions' ``close()`` is idempotent and thread-safe, so a
+tenant closed by its owner earlier is fine).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.core.updates import Update, UpdateBatch
+from repro.core.violations import ViolationSet
+from repro.engine.report import DetectionReport
+from repro.engine.session import DetectionSession, SessionBuilder
+from repro.service.admission import AdmissionController, TenantQuota
+from repro.service.batcher import CoalescingQueue, PendingUpdate
+from repro.service.metrics import LatencyRecorder, ServiceMetrics, TenantMetrics
+
+
+class ServiceError(RuntimeError):
+    """Raised on invalid service operations (unknown tenant, closed, ...)."""
+
+
+class TenantFailed(ServiceError):
+    """A tenant's apply path raised; the original error is ``__cause__``."""
+
+
+@dataclass(frozen=True)
+class SubmitResult:
+    """The outcome of one ``submit`` call.
+
+    ``rejected_updates`` holds every update that did not fit under the
+    tenant's quota, in submission order, so the caller can resubmit
+    after ``retry_after`` seconds — the service never drops an update
+    silently.
+    """
+
+    tenant: str
+    accepted: int
+    rejected: int
+    retry_after: float | None = None
+    rejected_updates: tuple[Update, ...] = ()
+
+    @property
+    def fully_accepted(self) -> bool:
+        return self.rejected == 0
+
+
+class _Tenant:
+    """Internal per-tenant state; mutated only under the service lock
+    (except ``session``, which the dispatcher drives via ``apply_lock``)."""
+
+    def __init__(self, name: str, session: DetectionSession, quota: TenantQuota):
+        self.name = name
+        self.session = session
+        self.quota = quota
+        self.queue = CoalescingQueue(quota)
+        self.admission = AdmissionController(quota)
+        self.latency = LatencyRecorder()
+        self.apply_lock = threading.Lock()
+        self.submitted = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.applied_updates = 0
+        self.batches_applied = 0
+        self.batches_coalesced = 0
+        self.first_ingest_at: float | None = None
+        self.last_apply_at: float | None = None
+        self.in_flight = False
+        self.flush_requested = False
+        self.error: BaseException | None = None
+
+    def updates_per_second(self) -> float:
+        if (
+            self.first_ingest_at is None
+            or self.last_apply_at is None
+            or not self.applied_updates
+        ):
+            return 0.0
+        window = self.last_apply_at - self.first_ingest_at
+        if window <= 0.0:
+            return 0.0
+        return self.applied_updates / window
+
+    def metrics(self) -> TenantMetrics:
+        stats = self.session.network.stats()
+        return TenantMetrics(
+            tenant=self.name,
+            submitted=self.submitted,
+            accepted=self.accepted,
+            rejected=self.rejected,
+            applied_updates=self.applied_updates,
+            batches_applied=self.batches_applied,
+            batches_coalesced=self.batches_coalesced,
+            queue_depth=self.queue.pending,
+            max_queue_depth=self.queue.max_depth,
+            updates_per_second=self.updates_per_second(),
+            latency=self.latency.summary(),
+            bytes_shipped=stats.bytes,
+            messages=stats.messages,
+        )
+
+
+class DetectionService:
+    """Many tenants, one dispatcher, strict per-tenant cost isolation."""
+
+    def __init__(self, default_quota: TenantQuota | None = None):
+        self._default_quota = default_quota or TenantQuota()
+        self._cond = threading.Condition()
+        self._tenants: dict[str, _Tenant] = {}
+        self._rr_start = 0
+        self._dispatcher: threading.Thread | None = None
+        self._closing = False
+        self._closed = False
+
+    # -- registration -------------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        session: DetectionSession | SessionBuilder,
+        quota: TenantQuota | None = None,
+    ) -> DetectionSession:
+        """Add a tenant owning ``session`` (a built session or a builder).
+
+        Builders are built here, giving the tenant a private Network by
+        default.  Pre-built sessions are checked for strict isolation:
+        a Network or StatsCatalog shared with an already-registered
+        tenant is a configuration error, because it would merge two
+        tenants' shipment ledgers (or planner statistics) into one.
+        The service closes every registered session on ``close()``.
+        """
+        if not isinstance(name, str) or not name:
+            raise ServiceError("tenant name must be a non-empty string")
+        if isinstance(session, SessionBuilder):
+            session = session.build()
+        elif not isinstance(session, DetectionSession):
+            raise ServiceError(
+                "register(...) takes a DetectionSession or a SessionBuilder, "
+                f"not {type(session).__name__}"
+            )
+        quota = quota or self._default_quota
+        with self._cond:
+            if self._closed or self._closing:
+                session.close()
+                raise ServiceError("service is closed; tenants cannot be added")
+            if name in self._tenants:
+                session.close()
+                raise ServiceError(f"tenant {name!r} is already registered")
+            for other in self._tenants.values():
+                if other.session.network is session.network:
+                    session.close()
+                    raise ServiceError(
+                        f"tenant {name!r} shares a Network ledger with tenant "
+                        f"{other.name!r}; every tenant needs its own ledger "
+                        "for cost isolation"
+                    )
+                catalog = getattr(session.detector, "catalog", None)
+                if catalog is not None and catalog is getattr(
+                    other.session.detector, "catalog", None
+                ):
+                    session.close()
+                    raise ServiceError(
+                        f"tenant {name!r} shares a StatsCatalog with tenant "
+                        f"{other.name!r}; planner statistics must stay per-tenant"
+                    )
+            self._tenants[name] = _Tenant(name, session, quota)
+            if self._dispatcher is None:
+                self._dispatcher = threading.Thread(
+                    target=self._dispatch_loop,
+                    name="repro-detection-service",
+                    daemon=True,
+                )
+                self._dispatcher.start()
+        return session
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        with self._cond:
+            return tuple(self._tenants)
+
+    def _tenant(self, name: str) -> _Tenant:
+        try:
+            return self._tenants[name]
+        except KeyError:
+            raise ServiceError(f"unknown tenant {name!r}") from None
+
+    # -- ingestion ----------------------------------------------------------------------
+
+    def submit(
+        self, tenant: str, updates: Update | UpdateBatch | Iterable[Update]
+    ) -> SubmitResult:
+        """Enqueue updates for ``tenant``; returns immediately.
+
+        Admits as many updates as the tenant's quota allows (in order)
+        and rejects the rest with a ``retry_after`` hint; the result
+        carries the rejected updates for resubmission.
+        """
+        if isinstance(updates, Update):
+            ops = [updates]
+        else:
+            ops = list(updates)
+        for op in ops:
+            if not isinstance(op, Update):
+                raise ServiceError(
+                    f"submit(...) takes Update values, got {type(op).__name__}"
+                )
+        with self._cond:
+            if self._closed or self._closing:
+                raise ServiceError("service is closed; build a new service to continue")
+            state = self._tenant(tenant)
+            if state.error is not None:
+                raise TenantFailed(
+                    f"tenant {tenant!r} failed while applying an earlier batch"
+                ) from state.error
+            n_admit, n_reject = state.admission.admit(state.queue.pending, len(ops))
+            now = time.monotonic()
+            for op in ops[:n_admit]:
+                state.queue.push(op, now)
+            state.submitted += len(ops)
+            state.accepted += n_admit
+            state.rejected += n_reject
+            if n_admit and state.first_ingest_at is None:
+                state.first_ingest_at = now
+            retry_after = None
+            if n_reject:
+                retry_after = state.admission.retry_after(state.queue.pending, n_reject)
+            if n_admit:
+                self._cond.notify_all()
+            return SubmitResult(
+                tenant=tenant,
+                accepted=n_admit,
+                rejected=n_reject,
+                retry_after=retry_after,
+                rejected_updates=tuple(ops[n_admit:]),
+            )
+
+    # -- dispatch -----------------------------------------------------------------------
+
+    def _scan_order(self) -> list[_Tenant]:
+        """Tenants starting at the round-robin cursor (fairness rotation)."""
+        states = list(self._tenants.values())
+        if not states:
+            return []
+        start = self._rr_start % len(states)
+        return states[start:] + states[:start]
+
+    def _next_work(self) -> list[tuple[_Tenant, list[PendingUpdate]]] | None:
+        """Block until some window is due; drain one window per due tenant.
+
+        Returns None when the service is closing and every queue has
+        been drained — the dispatcher's exit condition.
+        """
+        with self._cond:
+            while True:
+                now = time.monotonic()
+                work: list[tuple[_Tenant, list[PendingUpdate]]] = []
+                for state in self._scan_order():
+                    if state.error is not None:
+                        continue
+                    force = self._closing or state.flush_requested
+                    if state.queue.due(now, force=force):
+                        items = state.queue.drain()
+                        state.in_flight = True
+                        work.append((state, items))
+                if work:
+                    self._rr_start += 1
+                    return work
+                if self._closing and not self._any_pending_locked():
+                    return None
+                deadline: float | None = None
+                for state in self._tenants.values():
+                    if state.error is not None:
+                        continue
+                    due_at = state.queue.next_deadline(now)
+                    if due_at is not None and (deadline is None or due_at < deadline):
+                        deadline = due_at
+                timeout = None if deadline is None else max(0.0, deadline - now)
+                self._cond.wait(timeout)
+
+    def _any_pending_locked(self) -> bool:
+        return any(
+            (state.queue.pending or state.in_flight) and state.error is None
+            for state in self._tenants.values()
+        )
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            work = self._next_work()
+            if work is None:
+                return
+            for state, items in work:
+                self._apply_window(state, items)
+
+    def _apply_window(self, state: _Tenant, items: list[PendingUpdate]) -> None:
+        batch = CoalescingQueue.fold(items)
+        started = time.monotonic()
+        try:
+            with state.apply_lock:
+                state.session.apply(batch)
+        except BaseException as exc:  # noqa: BLE001 - surfaced to submit/flush
+            with self._cond:
+                state.error = exc
+                state.in_flight = False
+                self._cond.notify_all()
+            return
+        finished = time.monotonic()
+        with self._cond:
+            state.applied_updates += len(items)
+            state.batches_applied += 1
+            if len(items) > 1:
+                state.batches_coalesced += 1
+            state.last_apply_at = finished
+            state.admission.observe_drain(len(items), finished - started)
+            state.latency.record_many(finished - item.enqueued_at for item in items)
+            state.in_flight = False
+            self._cond.notify_all()
+
+    # -- draining and lifecycle ---------------------------------------------------------
+
+    def flush(self, tenant: str | None = None, timeout: float | None = None) -> None:
+        """Force the open window(s) and block until the queue(s) empty.
+
+        With ``tenant=None`` every tenant is flushed.  Raises
+        :class:`TenantFailed` if a flushed tenant's apply path raised,
+        and :class:`ServiceError` on timeout.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            if self._closed:
+                return
+            targets = (
+                list(self._tenants.values())
+                if tenant is None
+                else [self._tenant(tenant)]
+            )
+            for state in targets:
+                state.flush_requested = True
+            self._cond.notify_all()
+            try:
+                while True:
+                    failed = next((s for s in targets if s.error is not None), None)
+                    if failed is not None:
+                        raise TenantFailed(
+                            f"tenant {failed.name!r} failed while applying a batch"
+                        ) from failed.error
+                    if not any(s.queue.pending or s.in_flight for s in targets):
+                        return
+                    wait = None
+                    if deadline is not None:
+                        wait = deadline - time.monotonic()
+                        if wait <= 0.0:
+                            raise ServiceError(
+                                f"flush timed out with "
+                                f"{sum(s.queue.pending for s in targets)} update(s) "
+                                "still queued"
+                            )
+                    self._cond.wait(wait)
+            finally:
+                for state in targets:
+                    state.flush_requested = False
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Flush every tenant's window — the graceful-shutdown prelude."""
+        self.flush(None, timeout=timeout)
+
+    def close(self) -> None:
+        """Drain all queues, stop the dispatcher and close every session.
+
+        Idempotent and thread-safe; pending updates are applied (never
+        dropped) before the sessions shut down.  A tenant whose apply
+        path already failed keeps its error (its remaining queue is
+        abandoned); all other tenants drain fully.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closing = True
+            self._cond.notify_all()
+            dispatcher = self._dispatcher
+        if dispatcher is not None:
+            # Safe from concurrent closers: Thread.join is multi-caller.
+            dispatcher.join()
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            tenants = list(self._tenants.values())
+        for state in tenants:
+            state.session.close()
+
+    def __enter__(self) -> "DetectionService":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    # -- observation --------------------------------------------------------------------
+
+    def metrics(self, tenant: str | None = None) -> ServiceMetrics | TenantMetrics:
+        """A live snapshot: one tenant's metrics, or every tenant's."""
+        with self._cond:
+            if tenant is not None:
+                return self._tenant(tenant).metrics()
+            return ServiceMetrics(
+                tenants=tuple(state.metrics() for state in self._tenants.values())
+            )
+
+    def violations(self, tenant: str) -> ViolationSet:
+        """The tenant's current violation set (applied batches only)."""
+        with self._cond:
+            state = self._tenant(tenant)
+        with state.apply_lock:
+            return state.session.violations.copy()
+
+    def session(self, tenant: str) -> DetectionSession:
+        """The tenant's underlying session (diagnostics; not thread-safe
+        against the dispatcher — flush first for a quiescent view)."""
+        with self._cond:
+            return self._tenant(tenant).session
+
+    def report(self, tenant: str) -> DetectionReport:
+        """The tenant's detection report with its service metrics threaded in."""
+        with self._cond:
+            state = self._tenant(tenant)
+            snapshot = state.metrics()
+        with state.apply_lock:
+            report = state.session.report()
+        return dataclasses.replace(report, service_metrics=snapshot.as_dict())

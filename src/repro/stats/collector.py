@@ -23,6 +23,7 @@ batch normalization the detectors perform anyway.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
@@ -248,18 +249,25 @@ class StrategyFeedback:
         self.messages_per_unit = EWMA(alpha)
         self.eqids_per_unit = EWMA(alpha)
         self.seconds_per_unit = EWMA(alpha)
+        self._lock = threading.Lock()
 
     @property
     def n_observations(self) -> int:
         return self.bytes_per_unit.n_observations
 
     def observe(self, driver: float, cost: Any, seconds: float = 0.0) -> None:
-        """Fold one measured batch in.  ``cost`` is a CostVector-like."""
+        """Fold one measured batch in.  ``cost`` is a CostVector-like.
+
+        Atomic across the four EWMAs: concurrent sessions feeding the
+        same feedback never interleave a half-recorded observation
+        (EWMA.observe is itself a read-modify-write).
+        """
         d = max(1.0, float(driver))
-        self.bytes_per_unit.observe(cost.bytes / d)
-        self.messages_per_unit.observe(cost.messages / d)
-        self.eqids_per_unit.observe(cost.eqids / d)
-        self.seconds_per_unit.observe(seconds / d)
+        with self._lock:
+            self.bytes_per_unit.observe(cost.bytes / d)
+            self.messages_per_unit.observe(cost.messages / d)
+            self.eqids_per_unit.observe(cost.eqids / d)
+            self.seconds_per_unit.observe(seconds / d)
 
 
 @dataclass(frozen=True)
@@ -297,9 +305,9 @@ class SiteLoadTracker:
         self.n_buckets = n_buckets
         self._hits: dict[int, int] = {}
         self.total_hits = 0
+        self._lock = threading.Lock()
 
-    def note_update(self, t: Mapping[str, Any]) -> int:
-        """Count one update against its fine bucket; returns the bucket."""
+    def _note_locked(self, t: Mapping[str, Any]) -> int:
         from repro.partition.predicates import stable_hash
 
         bucket = stable_hash(t[self.attribute]) % self.n_buckets
@@ -307,19 +315,32 @@ class SiteLoadTracker:
         self.total_hits += 1
         return bucket
 
+    def note_update(self, t: Mapping[str, Any]) -> int:
+        """Count one update against its fine bucket; returns the bucket.
+
+        The counter increment is locked: concurrent sessions (service
+        tenants, parallel streams) never lose a hit to a torn
+        read-modify-write.
+        """
+        with self._lock:
+            return self._note_locked(t)
+
     def note_batch(self, batch: UpdateBatch) -> None:
-        for update in batch:
-            self.note_update(update.tuple)
+        """Count a whole batch under one lock acquisition."""
+        with self._lock:
+            for update in batch:
+                self._note_locked(update.tuple)
 
     @property
     def bucket_loads(self) -> dict[int, int]:
         """Update hits per fine bucket (only touched buckets appear)."""
-        return dict(self._hits)
+        with self._lock:
+            return dict(self._hits)
 
     def site_hits(self, bucket_owner: Mapping[int, int]) -> dict[int, int]:
         """Aggregate bucket hits per owning site (``bucket -> site`` map)."""
         per_site: dict[int, int] = {}
-        for bucket, hits in self._hits.items():
+        for bucket, hits in self.bucket_loads.items():
             site = bucket_owner.get(bucket)
             if site is not None:
                 per_site[site] = per_site.get(site, 0) + hits
@@ -328,9 +349,10 @@ class SiteLoadTracker:
     def hottest_share(self, bucket_owner: Mapping[int, int]) -> float:
         """The hottest site's share of all observed update hits (0 if none)."""
         per_site = self.site_hits(bucket_owner)
-        if not per_site or not self.total_hits:
+        total = self.total_hits
+        if not per_site or not total:
             return 0.0
-        return max(per_site.values()) / self.total_hits
+        return max(per_site.values()) / total
 
 
 class StatsCatalog:
@@ -357,6 +379,7 @@ class StatsCatalog:
         self.site_loads: dict[int, SiteLoad] = {}
         self._alpha = alpha
         self._feedback: dict[str, StrategyFeedback] = {}
+        self._lock = threading.Lock()
 
     @classmethod
     def collect(
@@ -379,9 +402,10 @@ class StatsCatalog:
         )
 
     def feedback_for(self, strategy: str) -> StrategyFeedback:
-        if strategy not in self._feedback:
-            self._feedback[strategy] = StrategyFeedback(self._alpha)
-        return self._feedback[strategy]
+        with self._lock:
+            if strategy not in self._feedback:
+                self._feedback[strategy] = StrategyFeedback(self._alpha)
+            return self._feedback[strategy]
 
     def observe(
         self, strategy: str, driver: float, cost: Any, seconds: float = 0.0
@@ -390,21 +414,30 @@ class StatsCatalog:
         self.feedback_for(strategy).observe(driver, cost, seconds)
 
     def note_batch(self, profile: BatchProfile, n_violations: int | None = None) -> None:
-        """Cardinality (and violation-set) maintenance after a batch."""
-        self.relation = self.relation.grown_by(profile.net_growth)
-        if n_violations is not None:
-            self.n_violations = n_violations
+        """Cardinality (and violation-set) maintenance after a batch.
+
+        Locked: two sessions folding batches into a shared catalog must
+        not lose a cardinality adjustment to a read-modify-write race.
+        """
+        with self._lock:
+            self.relation = self.relation.grown_by(profile.net_growth)
+            if n_violations is not None:
+                self.n_violations = n_violations
 
     def update_site_loads(self, loads: Iterable[SiteLoad]) -> None:
         """Replace the per-site load snapshot (sessions push this per batch)."""
-        self.site_loads = {load.site: load for load in loads}
+        snapshot = {load.site: load for load in loads}
+        with self._lock:
+            self.site_loads = snapshot
 
     def hottest_site_share(self) -> float:
         """The hottest site's share of all recorded update hits (0 if none)."""
-        total = sum(load.update_hits for load in self.site_loads.values())
+        with self._lock:
+            loads = list(self.site_loads.values())
+        total = sum(load.update_hits for load in loads)
         if not total:
             return 0.0
-        return max(load.update_hits for load in self.site_loads.values()) / total
+        return max(load.update_hits for load in loads) / total
 
     def final_cardinality(self, profile: BatchProfile) -> int:
         """``|D (+) delta-D|``: the database size after the batch."""
@@ -412,6 +445,7 @@ class StatsCatalog:
 
     def as_dict(self) -> dict[str, Any]:
         """A plain-dict snapshot (for reports and diagnostics)."""
+        site_loads = self.site_loads
         return {
             "cardinality": self.relation.cardinality,
             "n_attributes": self.relation.n_attributes,
@@ -428,7 +462,7 @@ class StatsCatalog:
                 "kind": self.rules.kind,
             },
             "site_loads": [
-                self.site_loads[site].as_dict() for site in sorted(self.site_loads)
+                site_loads[site].as_dict() for site in sorted(site_loads)
             ],
         }
 

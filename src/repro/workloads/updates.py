@@ -39,6 +39,7 @@ def generate_updates(
     seed: int = 0,
     skew: float = 0.0,
     hot_attribute: str | None = None,
+    rng: random.Random | None = None,
 ) -> UpdateBatch:
     """A batch of ``size`` updates against ``base``.
 
@@ -59,6 +60,13 @@ def generate_updates(
     with a weight-sampled existing value.  Hash-partitioned deployments
     then see realistic hot-shard traffic — the workload the elasticity
     and crossover benches stress rebalancing with.
+
+    ``rng`` (overrides ``seed``) threads a caller-owned
+    :class:`random.Random` through the sampling, so concurrent simulated
+    clients each hold a private stream: two clients seeded differently
+    produce deterministic, non-identical batches, and one client calling
+    repeatedly with its own generator keeps advancing a single stream
+    instead of replaying the seed.
     """
     if size < 0:
         raise ValueError("update batch size must be non-negative")
@@ -66,7 +74,8 @@ def generate_updates(
         raise ValueError("insert_fraction must lie in [0, 1]")
     if skew < 0.0:
         raise ValueError("skew must be non-negative")
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     n_inserts = round(size * insert_fraction)
     n_deletes_requested = size - n_inserts
     n_deletes = min(n_deletes_requested, len(base))

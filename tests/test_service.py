@@ -1,0 +1,416 @@
+"""Unit and end-to-end tests for the multi-tenant detection service."""
+
+import random
+
+import pytest
+
+from repro.core.updates import Update, UpdateBatch
+from repro.engine.session import session
+from repro.service import (
+    AdmissionController,
+    CoalescingQueue,
+    DetectionService,
+    LatencyRecorder,
+    ServiceError,
+    ServiceMetrics,
+    SubmitResult,
+    TenantFailed,
+    TenantMetrics,
+    TenantQuota,
+    percentile,
+)
+from repro.workloads.rules import generate_cfds
+from repro.workloads.updates import generate_updates
+
+#: A window that never fires on its own — tests force folds via flush().
+MANUAL_WINDOW = 60.0
+
+
+def viol_key(violations):
+    return {tid: frozenset(violations.cfds_of(tid)) for tid in violations.tids()}
+
+
+@pytest.fixture
+def workload(tpch):
+    base = tpch.relation(80)
+    cfds = list(generate_cfds(tpch.fd_specs(), 4, seed=3))
+    return base, cfds
+
+
+def make_session(tpch, workload, **kwargs):
+    base, cfds = workload
+    return session(base).rules(cfds).build()
+
+
+def distributed_builder(tpch, workload, n_sites=4):
+    base, cfds = workload
+    return (
+        session(base)
+        .partition(tpch.horizontal_partitioner(n_sites))
+        .rules(cfds)
+        .strategy("incHor")
+    )
+
+
+class TestQuotaAndAdmission:
+    def test_quota_validation(self):
+        with pytest.raises(ValueError):
+            TenantQuota(max_pending=0)
+        with pytest.raises(ValueError):
+            TenantQuota(max_batch=0)
+        with pytest.raises(ValueError):
+            TenantQuota(max_delay=-1.0)
+
+    def test_admit_splits_at_the_bound(self):
+        ctl = AdmissionController(TenantQuota(max_pending=10))
+        assert ctl.admit(pending=0, requested=4) == (4, 0)
+        assert ctl.admit(pending=8, requested=5) == (2, 3)
+        assert ctl.admit(pending=10, requested=5) == (0, 5)
+
+    def test_retry_after_floors_at_the_window(self):
+        ctl = AdmissionController(TenantQuota(max_pending=10, max_delay=0.02))
+        assert ctl.retry_after(pending=10, rejected=3) == pytest.approx(0.02)
+
+    def test_retry_after_scales_with_backlog_and_drain_rate(self):
+        ctl = AdmissionController(TenantQuota(max_pending=100, max_delay=0.001))
+        ctl.observe_drain(n_updates=50, seconds=0.5)  # 100 updates/s
+        hint = ctl.retry_after(pending=100, rejected=50)
+        assert hint == pytest.approx(0.5)  # 50 over-quota updates / 100 per s
+
+
+class TestBatcherPrimitives:
+    def insert(self, tpch, tid):
+        return Update.insert(tpch.tuples(tid, 1)[0])
+
+    def test_due_on_max_batch_or_delay_or_force(self, tpch):
+        queue = CoalescingQueue(TenantQuota(max_batch=2, max_delay=1.0))
+        assert not queue.due(now=0.0)
+        queue.push(self.insert(tpch, 1000), now=0.0)
+        assert not queue.due(now=0.5)
+        assert queue.due(now=1.5)  # max_delay elapsed
+        assert queue.due(now=0.5, force=True)
+        queue.push(self.insert(tpch, 1001), now=0.5)
+        assert queue.due(now=0.6)  # max_batch reached
+
+    def test_next_deadline(self, tpch):
+        queue = CoalescingQueue(TenantQuota(max_batch=8, max_delay=1.0))
+        assert queue.next_deadline(now=0.0) is None
+        queue.push(self.insert(tpch, 1000), now=2.0)
+        assert queue.next_deadline(now=2.5) == pytest.approx(3.0)
+
+    def test_drain_respects_max_batch_and_preserves_order(self, tpch):
+        queue = CoalescingQueue(TenantQuota(max_batch=3, max_delay=0.0))
+        for i in range(5):
+            queue.push(self.insert(tpch, 1000 + i), now=float(i))
+        window = queue.drain()
+        assert [item.update.tid for item in window] == [1000, 1001, 1002]
+        assert queue.pending == 2
+        batch = CoalescingQueue.fold(window)
+        assert isinstance(batch, UpdateBatch)
+        assert len(batch) == 3
+
+
+class TestMetricsPrimitives:
+    def test_percentile_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 4.0
+        assert percentile(values, 50.0) == pytest.approx(2.5)
+        assert percentile([], 99.0) == 0.0
+        with pytest.raises(ValueError):
+            percentile(values, 120.0)
+
+    def test_latency_reservoir_bounds_memory(self):
+        recorder = LatencyRecorder(capacity=16)
+        for i in range(1000):
+            recorder.record(float(i))
+        summary = recorder.summary()
+        assert summary.count == 1000
+        assert summary.max == 999.0
+        assert len(recorder._samples) == 16
+
+
+class TestRegistration:
+    def test_register_builder_and_prebuilt(self, tpch, workload):
+        base, cfds = workload
+        with DetectionService() as svc:
+            svc.register("a", session(base).rules(cfds))
+            svc.register("b", make_session(tpch, workload))
+            assert svc.tenants == ("a", "b")
+
+    def test_duplicate_tenant_rejected(self, tpch, workload):
+        with DetectionService() as svc:
+            svc.register("a", make_session(tpch, workload))
+            with pytest.raises(ServiceError, match="already registered"):
+                svc.register("a", make_session(tpch, workload))
+
+    def test_shared_network_ledger_rejected(self, tpch, workload):
+        base, cfds = workload
+        from repro.distributed.network import Network
+
+        shared = Network()
+        with DetectionService() as svc:
+            svc.register("a", session(base).rules(cfds).network(shared))
+            with pytest.raises(ServiceError, match="shares a Network ledger"):
+                svc.register("b", session(base).rules(cfds).network(shared))
+
+    def test_non_session_rejected(self):
+        with DetectionService() as svc:
+            with pytest.raises(ServiceError, match="DetectionSession"):
+                svc.register("a", object())
+
+    def test_register_after_close_rejected(self, tpch, workload):
+        svc = DetectionService()
+        svc.close()
+        with pytest.raises(ServiceError, match="closed"):
+            svc.register("a", make_session(tpch, workload))
+
+
+class TestIngestion:
+    def test_submit_unknown_tenant(self):
+        with DetectionService() as svc:
+            with pytest.raises(ServiceError, match="unknown tenant"):
+                svc.submit("ghost", [])
+
+    def test_submit_rejects_non_updates(self, tpch, workload):
+        with DetectionService() as svc:
+            svc.register("a", make_session(tpch, workload))
+            with pytest.raises(ServiceError, match="Update values"):
+                svc.submit("a", ["not-an-update"])
+
+    def test_submit_after_close_rejected(self, tpch, workload):
+        svc = DetectionService()
+        svc.register("a", make_session(tpch, workload))
+        svc.close()
+        with pytest.raises(ServiceError, match="closed"):
+            svc.submit("a", [])
+
+    def test_singleton_submissions_coalesce_into_one_batch(self, tpch, workload):
+        base, cfds = workload
+        quota = TenantQuota(max_batch=64, max_delay=MANUAL_WINDOW)
+        with DetectionService() as svc:
+            svc.register("a", session(base).rules(cfds), quota=quota)
+            updates = generate_updates(base, tpch, 10, rng=random.Random(1))
+            for update in updates:
+                result = svc.submit("a", update)
+                assert isinstance(result, SubmitResult)
+                assert result.fully_accepted
+            svc.flush("a")
+            metrics = svc.metrics("a")
+            assert metrics.applied_updates == 10
+            assert metrics.batches_applied == 1
+            assert metrics.batches_coalesced == 1
+            assert metrics.avg_batch_size == 10.0
+            assert metrics.queue_depth == 0
+
+    def test_max_batch_one_disables_coalescing(self, tpch, workload):
+        base, cfds = workload
+        quota = TenantQuota(max_batch=1, max_delay=0.0)
+        with DetectionService() as svc:
+            svc.register("a", session(base).rules(cfds), quota=quota)
+            updates = generate_updates(base, tpch, 8, rng=random.Random(1))
+            svc.submit("a", updates)
+            svc.flush("a")
+            metrics = svc.metrics("a")
+            assert metrics.applied_updates == 8
+            assert metrics.batches_applied == 8
+            assert metrics.batches_coalesced == 0
+
+    def test_service_detection_matches_direct_session(self, tpch, workload):
+        base, cfds = workload
+        updates = generate_updates(base, tpch, 60, rng=random.Random(2))
+        with DetectionService() as svc:
+            svc.register("a", distributed_builder(tpch, workload))
+            for update in updates:
+                svc.submit("a", update)
+            svc.flush()
+            service_violations = svc.violations("a")
+        direct = distributed_builder(tpch, workload).build()
+        direct.apply(updates)
+        assert viol_key(service_violations) == viol_key(direct.violations)
+        direct.close()
+
+    def test_over_quota_submission_rejected_with_retry_after(self, tpch, workload):
+        base, cfds = workload
+        quota = TenantQuota(max_pending=10, max_batch=64, max_delay=MANUAL_WINDOW)
+        with DetectionService() as svc:
+            svc.register("a", session(base).rules(cfds), quota=quota)
+            updates = list(generate_updates(base, tpch, 25, rng=random.Random(3)))
+            result = svc.submit("a", updates)
+            assert result.accepted == 10
+            assert result.rejected == 15
+            assert result.retry_after is not None and result.retry_after > 0.0
+            assert len(result.rejected_updates) == 15
+            # Nothing dropped: the client retry loop (flush stands in for
+            # waiting out retry_after) eventually lands every update.
+            pending = result.rejected_updates
+            total_rejected = result.rejected
+            while pending:
+                svc.flush("a")
+                retry = svc.submit("a", pending)
+                total_rejected += retry.rejected
+                pending = retry.rejected_updates
+            svc.flush("a")
+            metrics = svc.metrics("a")
+            assert metrics.submitted == 25 + total_rejected
+            assert metrics.accepted + metrics.rejected == metrics.submitted
+            assert metrics.applied_updates == metrics.accepted == 25
+
+    def test_flush_is_per_tenant(self, tpch, workload):
+        base, cfds = workload
+        quota = TenantQuota(max_batch=64, max_delay=MANUAL_WINDOW)
+        with DetectionService() as svc:
+            svc.register("a", session(base).rules(cfds), quota=quota)
+            svc.register("b", session(base).rules(cfds), quota=quota)
+            updates = list(generate_updates(base, tpch, 6, rng=random.Random(4)))
+            svc.submit("a", updates)
+            svc.submit("b", updates)
+            svc.flush("a")
+            assert svc.metrics("a").applied_updates == 6
+            assert svc.metrics("b").queue_depth == 6
+            svc.flush("b")
+            assert svc.metrics("b").applied_updates == 6
+
+
+class TestLifecycle:
+    def test_close_drains_pending_windows(self, tpch, workload):
+        base, cfds = workload
+        quota = TenantQuota(max_batch=64, max_delay=MANUAL_WINDOW)
+        svc = DetectionService()
+        svc.register("a", session(base).rules(cfds), quota=quota)
+        updates = generate_updates(base, tpch, 12, rng=random.Random(5))
+        svc.submit("a", updates)
+        svc.close()
+        metrics = svc.metrics("a")
+        assert metrics.applied_updates == 12
+        assert metrics.queue_depth == 0
+
+    def test_close_is_idempotent(self, tpch, workload):
+        svc = DetectionService()
+        svc.register("a", make_session(tpch, workload))
+        svc.close()
+        svc.close()
+        assert svc.closed
+
+    def test_close_closes_tenant_sessions(self, tpch, workload):
+        from repro.engine.session import SessionError
+
+        svc = DetectionService()
+        sess = svc.register("a", make_session(tpch, workload))
+        svc.close()
+        with pytest.raises(SessionError, match="closed"):
+            sess.apply(UpdateBatch())
+
+    def test_double_close_of_tenant_session_is_fine(self, tpch, workload):
+        svc = DetectionService()
+        sess = svc.register("a", make_session(tpch, workload))
+        sess.close()  # owner closes early; the service drain path closes again
+        svc.close()
+
+
+class TestFailurePropagation:
+    def test_apply_failure_surfaces_on_flush_and_submit(self, tpch, workload):
+        base, cfds = workload
+        svc = DetectionService()
+        sess = svc.register(
+            "bad",
+            session(base).rules(cfds),
+            quota=TenantQuota(max_batch=64, max_delay=MANUAL_WINDOW),
+        )
+
+        def boom(batch):
+            raise RuntimeError("kaboom")
+
+        sess.apply = boom
+        updates = list(generate_updates(base, tpch, 4, rng=random.Random(6)))
+        svc.submit("bad", updates)
+        with pytest.raises(TenantFailed) as excinfo:
+            svc.flush("bad")
+        assert "kaboom" in str(excinfo.value.__cause__)
+        with pytest.raises(TenantFailed):
+            svc.submit("bad", updates)
+        svc.close()
+
+    def test_failed_tenant_does_not_block_others(self, tpch, workload):
+        base, cfds = workload
+        svc = DetectionService()
+        bad = svc.register(
+            "bad",
+            session(base).rules(cfds),
+            quota=TenantQuota(max_batch=64, max_delay=MANUAL_WINDOW),
+        )
+        svc.register(
+            "good",
+            session(base).rules(cfds),
+            quota=TenantQuota(max_batch=64, max_delay=MANUAL_WINDOW),
+        )
+        bad.apply = lambda batch: (_ for _ in ()).throw(RuntimeError("kaboom"))
+        updates = list(generate_updates(base, tpch, 4, rng=random.Random(7)))
+        svc.submit("bad", updates)
+        svc.submit("good", updates)
+        with pytest.raises(TenantFailed):
+            svc.flush()
+        svc.flush("good")
+        assert svc.metrics("good").applied_updates == 4
+        svc.close()
+
+
+class TestObservation:
+    def test_metrics_shapes_and_totals(self, tpch, workload):
+        base, cfds = workload
+        with DetectionService() as svc:
+            svc.register("a", session(base).rules(cfds))
+            svc.register("b", session(base).rules(cfds))
+            updates = generate_updates(base, tpch, 10, rng=random.Random(8))
+            svc.submit("a", updates)
+            svc.flush()
+            all_metrics = svc.metrics()
+            assert isinstance(all_metrics, ServiceMetrics)
+            assert {m.tenant for m in all_metrics.tenants} == {"a", "b"}
+            assert all_metrics.applied_updates == 10
+            assert all_metrics.submitted == 10
+            one = svc.metrics("a")
+            assert isinstance(one, TenantMetrics)
+            assert one.latency.count == 10
+            assert one.latency.p99 >= one.latency.p50 >= 0.0
+            assert one.updates_per_second > 0.0
+            assert all_metrics.tenant("b").applied_updates == 0
+            with pytest.raises(KeyError):
+                all_metrics.tenant("ghost")
+            payload = all_metrics.as_dict()
+            assert payload["applied_updates"] == 10
+            assert len(payload["tenants"]) == 2
+
+    def test_report_carries_service_metrics(self, tpch, workload):
+        base, cfds = workload
+        with DetectionService() as svc:
+            svc.register("a", session(base).rules(cfds))
+            updates = generate_updates(base, tpch, 10, rng=random.Random(9))
+            svc.submit("a", updates)
+            svc.flush()
+            report = svc.report("a")
+            assert report.service_metrics is not None
+            assert report.service_metrics["tenant"] == "a"
+            assert report.service_metrics["applied_updates"] == 10
+            assert report.as_dict()["service_metrics"]["accepted"] == 10
+            assert "service" in report.summary()
+            assert "latency p50/p95/p99" in report.summary()
+
+    def test_direct_session_report_has_no_service_metrics(self, tpch, workload):
+        sess = make_session(tpch, workload)
+        report = sess.report()
+        assert report.service_metrics is None
+        assert report.as_dict()["service_metrics"] is None
+        assert "latency p50/p95/p99" not in report.summary()
+        sess.close()
+
+    def test_bytes_shipped_reach_tenant_metrics(self, tpch, workload):
+        with DetectionService() as svc:
+            base, cfds = workload
+            svc.register("a", distributed_builder(tpch, workload))
+            updates = generate_updates(base, tpch, 40, rng=random.Random(10))
+            svc.submit("a", updates)
+            svc.flush()
+            metrics = svc.metrics("a")
+            assert metrics.bytes_shipped > 0
+            assert metrics.messages > 0

@@ -1,5 +1,7 @@
 """Tests for the workload generators (EMP, TPCH, DBLP, rules, updates)."""
 
+import random
+
 import pytest
 
 from repro.core.cfd import CFD
@@ -206,3 +208,37 @@ class TestUpdateGeneration:
         updates = generate_updates(base, tpch, 40, seed=2)
         updated = updates.apply_to(base)
         assert len(updated) == len(base) + len(updates.insertions) - len(updates.deletions)
+
+    def test_rng_matches_equivalent_seed(self, tpch):
+        base = tpch.relation(50)
+        seeded = generate_updates(base, tpch, 20, seed=5)
+        via_rng = generate_updates(base, tpch, 20, seed=999, rng=random.Random(5))
+        assert [(u.kind, u.tid) for u in seeded] == [(u.kind, u.tid) for u in via_rng]
+
+    def test_rng_streams_are_deterministic_but_distinct_per_client(self, tpch):
+        base = tpch.relation(50)
+
+        def client_stream(client_seed):
+            rng = random.Random(client_seed)
+            return [
+                [(u.kind, u.tid, dict(u.tuple)) for u in generate_updates(base, tpch, 15, rng=rng)]
+                for _ in range(3)
+            ]
+
+        assert client_stream(1) == client_stream(1)
+        assert client_stream(1) != client_stream(2)
+
+    def test_private_rng_advances_instead_of_replaying(self, tpch):
+        base = tpch.relation(50)
+        rng = random.Random(7)
+        first = generate_updates(base, tpch, 15, rng=rng)
+        second = generate_updates(base, tpch, 15, rng=rng)
+        assert [(u.kind, u.tid, dict(u.tuple)) for u in first] != [
+            (u.kind, u.tid, dict(u.tuple)) for u in second
+        ]
+
+    def test_rng_with_skew(self, tpch):
+        base = tpch.relation(60)
+        a = generate_updates(base, tpch, 30, skew=1.0, rng=random.Random(3))
+        b = generate_updates(base, tpch, 30, skew=1.0, rng=random.Random(3))
+        assert [(u.kind, u.tid) for u in a] == [(u.kind, u.tid) for u in b]
