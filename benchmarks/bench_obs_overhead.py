@@ -1,0 +1,179 @@
+"""Observability overhead on the batHor hot path.
+
+Three configurations of the same ``batHor`` apply — one update batch
+against a fresh horizontally partitioned session per measurement — are
+timed interleaved, round-robin, so drift (thermal, allocator, GC) hits
+all three equally:
+
+* ``baseline``   — no :class:`~repro.obs.Observability` attached: the
+  instrumentation reduces to one ``ContextVar`` read in the scheduler
+  and one module-attribute check per profiling hook;
+* ``disabled``   — an ``Observability`` attached with tracing disabled
+  and profiling off: the tracer short-circuits at its ``enabled`` flag;
+* ``enabled``    — tracing and profiling fully on: every wave records
+  spans (session root, wave.apply, per-site tasks, shipment) and every
+  hot-path hook accumulates into the profile.
+
+Per configuration the score is the minimum over rounds (the standard
+best-of-N noise floor).  ``--gate`` enforces the CI contracts:
+
+* ``disabled`` stays within ``GATE_DISABLED`` (2%) of ``baseline``
+  plus a small absolute epsilon so sub-millisecond jitter on tiny
+  inputs cannot fail the gate;
+* ``enabled`` stays within ``GATE_ENABLED`` (15%) of ``baseline``
+  plus the same epsilon.
+
+``--json`` writes the measurements to ``BENCH_obs_overhead.json``.
+"""
+
+import argparse
+import sys
+import time
+
+import bench_utils as bu
+from repro.engine.session import session
+from repro.obs import Observability
+from repro.workloads.rules import generate_cfds
+from repro.workloads.tpch import TPCHGenerator
+from repro.workloads.updates import generate_updates
+
+#: The disabled instrumentation path must stay within 2% of baseline.
+GATE_DISABLED = 1.02
+#: Fully-enabled tracing + profiling must stay within 15% of baseline.
+GATE_ENABLED = 1.15
+#: Absolute slack (seconds) so timer jitter on small inputs cannot trip a gate.
+EPSILON_S = 0.002
+
+CONFIGS = ("baseline", "disabled", "enabled")
+
+
+def make_observability(mode: str) -> Observability | None:
+    if mode == "baseline":
+        return None
+    if mode == "disabled":
+        return Observability(trace=False, profiling=False)
+    return Observability(trace=True, profiling=True)
+
+
+def timed_apply(mode: str, base, cfds, generator, n_sites: int, batch) -> float:
+    """Seconds for one ``apply`` on a fresh session under ``mode``."""
+    obs = make_observability(mode)
+    builder = (
+        session(base)
+        .partition(generator.horizontal_partitioner(n_sites))
+        .rules(cfds)
+        .strategy("batHor")
+    )
+    if obs is not None:
+        builder = builder.observability(obs, name=f"overhead-{mode}")
+    detection = builder.build()
+    try:
+        t0 = time.perf_counter()
+        detection.apply(batch)
+        return time.perf_counter() - t0
+    finally:
+        detection.close()
+
+
+def run_bench(args):
+    generator = TPCHGenerator(seed=args.seed)
+    base = generator.relation(args.base)
+    cfds = list(generate_cfds(generator.fd_specs(), args.cfds, seed=args.seed))
+    batch = generate_updates(base, generator, args.updates, seed=args.seed)
+
+    samples = {mode: [] for mode in CONFIGS}
+    # One untimed warmup apply per config, then interleaved rounds.
+    for mode in CONFIGS:
+        timed_apply(mode, base, cfds, generator, args.sites, batch)
+    for _ in range(args.rounds):
+        for mode in CONFIGS:
+            samples[mode].append(
+                timed_apply(mode, base, cfds, generator, args.sites, batch)
+            )
+
+    best = {mode: min(times) for mode, times in samples.items()}
+    ratios = {
+        mode: best[mode] / best["baseline"] if best["baseline"] else float("inf")
+        for mode in CONFIGS
+    }
+    records = [
+        {
+            "mode": mode,
+            "best_seconds": best[mode],
+            "mean_seconds": sum(samples[mode]) / len(samples[mode]),
+            "rounds": args.rounds,
+            "ratio_vs_baseline": ratios[mode],
+            "samples_seconds": samples[mode],
+        }
+        for mode in CONFIGS
+    ]
+    for record in records:
+        print(
+            f"  {record['mode']:9s} best {record['best_seconds'] * 1e3:7.2f}ms "
+            f"({record['ratio_vs_baseline']:.3f}x baseline)"
+        )
+
+    failures = []
+    if args.gate:
+        if best["disabled"] > best["baseline"] * GATE_DISABLED + EPSILON_S:
+            failures.append(
+                f"disabled instrumentation ran {ratios['disabled']:.3f}x baseline, "
+                f"above the {GATE_DISABLED}x gate"
+            )
+        if best["enabled"] > best["baseline"] * GATE_ENABLED + EPSILON_S:
+            failures.append(
+                f"enabled tracing+profiling ran {ratios['enabled']:.3f}x baseline, "
+                f"above the {GATE_ENABLED}x gate"
+            )
+
+    if args.json:
+        path = bu.write_bench_json(
+            "obs_overhead",
+            records,
+            extra={
+                "base_size": args.base,
+                "n_updates": args.updates,
+                "n_sites": args.sites,
+                "n_cfds": args.cfds,
+                "rounds": args.rounds,
+                "seed": args.seed,
+                "strategy": "batHor",
+                "gate_disabled": GATE_DISABLED,
+                "gate_enabled": GATE_ENABLED,
+                "epsilon_s": EPSILON_S,
+            },
+        )
+        print(f"obs overhead bench written to {path}")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--base", type=int, default=400)
+    parser.add_argument("--updates", type=int, default=200)
+    parser.add_argument("--sites", type=int, default=4)
+    parser.add_argument("--cfds", type=int, default=6)
+    parser.add_argument("--rounds", type=int, default=7)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--json", action="store_true",
+        help="write the measurements to BENCH_obs_overhead.json",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help=f"fail unless disabled <= {GATE_DISABLED}x and enabled <= "
+        f"{GATE_ENABLED}x of the uninstrumented baseline",
+    )
+    args = parser.parse_args(argv)
+    start = time.time()
+    failures = run_bench(args)
+    print(f"  total bench time: {time.time() - start:.1f}s")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

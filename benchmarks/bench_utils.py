@@ -11,7 +11,9 @@ place before updates arrive.
 from __future__ import annotations
 
 import json
+import os
 import platform
+import subprocess
 import time
 from functools import lru_cache
 from pathlib import Path
@@ -157,6 +159,22 @@ def horizontal_improved_batch(generator, cfds, n_partitions=N_PARTITIONS):
 # -- results files (BENCH_<name>.json) --------------------------------------------------------
 
 
+def git_revision() -> str | None:
+    """The current short git revision, or None outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
 def write_bench_json(name: str, records: list[dict], extra: dict | None = None) -> Path:
     """Write benchmark ``records`` to ``BENCH_<name>.json`` in the repo root.
 
@@ -164,14 +182,19 @@ def write_bench_json(name: str, records: list[dict], extra: dict | None = None) 
     helper — the pytest suites via the ``--json`` flag wired up in
     ``benchmarks/conftest.py``, the standalone scripts directly — so the
     perf trajectory of the repository accumulates as one self-describing
-    file per run.
+    file per run.  Each file stamps the environment it was measured on
+    (cpu count, python version, git revision) so numbers from different
+    machines or commits are never compared blind.
     """
     path = Path(__file__).resolve().parent.parent / f"BENCH_{name}.json"
     payload = {
         "name": name,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
+        "python_version": platform.python_version(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_rev": git_revision(),
         "records": records,
     }
     if extra:

@@ -133,6 +133,15 @@ from repro.service import (
     TenantMetrics,
     TenantQuota,
 )
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Observability,
+    Span,
+    Tracer,
+)
 from repro.runtime import (
     EXECUTOR_BACKENDS,
     Executor,
@@ -249,6 +258,14 @@ __all__ = [
     "TenantFailed",
     "TenantMetrics",
     "TenantQuota",
+    # observability: tracing, metrics, profiling hooks
+    "Observability",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
     # parallel execution runtime
     "EXECUTOR_BACKENDS",
     "Executor",

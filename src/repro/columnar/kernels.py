@@ -14,11 +14,13 @@ per tuple per CFD as in the row backend.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.core.cfd import CFD, UNNAMED
 from repro.distributed.serialization import TID_BYTES
 from repro.columnar.store import ColumnStore
+from repro.obs import profile as _prof
 
 
 def _matching_group_items(
@@ -56,6 +58,8 @@ def _matching_group_items(
 
 def constant_violations(cfd: CFD, store: ColumnStore) -> set[Any]:
     """``V(phi, D)`` for a constant CFD: one sweep over the LHS groups."""
+    if _prof.enabled:
+        _t0 = perf_counter()
     rhs_code = store.dictionary(cfd.rhs).code_of(cfd.pattern.entry(cfd.rhs))
     rhs_col = store.codes(cfd.rhs)
     tid_at = store.tid_of_row
@@ -65,11 +69,15 @@ def constant_violations(cfd: CFD, store: ColumnStore) -> set[Any]:
             violating.update(tid_at(r) for r in rows)
         else:
             violating.update(tid_at(r) for r in rows if rhs_col[r] != rhs_code)
+    if _prof.enabled:
+        _prof.note("columnar.constant_sweep", perf_counter() - _t0, len(store))
     return violating
 
 
 def variable_violations(cfd: CFD, store: ColumnStore) -> set[Any]:
     """``V(phi, D)`` for a variable CFD: groups holding >1 distinct RHS code."""
+    if _prof.enabled:
+        _t0 = perf_counter()
     rhs_col = store.codes(cfd.rhs)
     tid_at = store.tid_of_row
     violating: set[Any] = set()
@@ -79,6 +87,8 @@ def variable_violations(cfd: CFD, store: ColumnStore) -> set[Any]:
         first = rhs_col[rows[0]]
         if any(rhs_col[r] != first for r in rows):
             violating.update(tid_at(r) for r in rows)
+    if _prof.enabled:
+        _prof.note("columnar.variable_sweep", perf_counter() - _t0, len(store))
     return violating
 
 
@@ -100,6 +110,8 @@ def build_cfd_index(index: Any, store: ColumnStore) -> None:
     group is decoded once and loaded wholesale — instead of re-resolving
     pattern entries and building a key tuple per tuple.
     """
+    if _prof.enabled:
+        _t0 = perf_counter()
     cfd = index.cfd
     rhs_col = store.codes(cfd.rhs)
     rhs_dict = store.dictionary(cfd.rhs)
@@ -117,6 +129,8 @@ def build_cfd_index(index: Any, store: ColumnStore) -> None:
             store.decode_key(cfd.lhs, key),
             {rhs_dict.value(code): tids for code, tids in by_rhs.items()},
         )
+    if _prof.enabled:
+        _prof.note("idx.build_columnar", perf_counter() - _t0, len(store))
 
 
 # -- shipment scans (batch baselines) ---------------------------------------------------
@@ -132,6 +146,8 @@ def horizontal_batch_scan(
     fragment's decoded partial LHS groups for the coordinator merge —
     the columnar twin of the per-tuple loop in ``_site_batch_task``.
     """
+    if _prof.enabled:
+        _t0 = perf_counter()
     needed = cfd.attributes
     col_tables = [(store.codes(a), store.dictionary(a).byte_sizes()) for a in needed]
     rhs_col = store.codes(cfd.rhs)
@@ -157,6 +173,8 @@ def horizontal_batch_scan(
         groups_out[store.decode_key(cfd.lhs, key)] = {
             rhs_dict.value(code): tids for code, tids in by_rhs.items()
         }
+    if _prof.enabled:
+        _prof.note("shipment.batch_scan", perf_counter() - _t0, len(store))
     return ship, groups_out
 
 
@@ -172,6 +190,8 @@ def constant_ship_scan(
             if code is None:
                 return []
             tests.append((store.codes(a), code))
+    if _prof.enabled:
+        _t0 = perf_counter()
     byte_tables = [(store.codes(a), store.dictionary(a).byte_sizes()) for a in relevant]
     tid_at = store.tid_of_row
     out: list[tuple[Any, int]] = []
@@ -181,6 +201,8 @@ def constant_ship_scan(
             for col, table in byte_tables:
                 nbytes += table[col[r]]
             out.append((tid_at(r), nbytes))
+    if _prof.enabled:
+        _prof.note("shipment.constant_scan", perf_counter() - _t0, len(store))
     return out
 
 
@@ -188,6 +210,8 @@ def project_ship_scan(
     store: ColumnStore, supplied: Sequence[str]
 ) -> list[tuple[Any, int]]:
     """``batVer``: (tid, bytes) of every tuple's ``supplied`` projection."""
+    if _prof.enabled:
+        _t0 = perf_counter()
     byte_tables = [(store.codes(a), store.dictionary(a).byte_sizes()) for a in supplied]
     tid_at = store.tid_of_row
     out: list[tuple[Any, int]] = []
@@ -196,4 +220,6 @@ def project_ship_scan(
         for col, table in byte_tables:
             nbytes += table[col[r]]
         out.append((tid_at(r), nbytes))
+    if _prof.enabled:
+        _prof.note("shipment.project_scan", perf_counter() - _t0, len(store))
     return out

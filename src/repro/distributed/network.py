@@ -143,14 +143,27 @@ class Network:
                 self.send(sender, receiver, kind, payload, size_bytes, units, tag)
 
     # -- accounting --------------------------------------------------------------------
+    #
+    # Every read takes the counter lock.  The two totals used to be read
+    # bare, which let an exporter racing a concurrent :meth:`reset` see
+    # one counter from before the reset and the other from after — a
+    # torn pair that reconciles with nothing.  ``totals()`` reads both
+    # under one lock acquisition for callers that need them together.
 
     @property
     def total_messages(self) -> int:
-        return self._messages
+        with self._lock:
+            return self._messages
 
     @property
     def total_bytes(self) -> int:
-        return self._bytes
+        with self._lock:
+            return self._bytes
+
+    def totals(self) -> tuple[int, int]:
+        """``(messages, bytes)`` read atomically with respect to reset()."""
+        with self._lock:
+            return self._messages, self._bytes
 
     @property
     def log(self) -> list[Message]:
@@ -195,6 +208,11 @@ class Network:
 
         Returns the final pre-reset snapshot so callers zeroing the
         ledger between batches keep the totals they are discarding.
+        Snapshot and clear happen under one lock acquisition, so a
+        concurrent :meth:`stats` (e.g. a ``service.metrics()`` export)
+        observes either the full pre-reset ledger or the zeroed one —
+        never a mixture — and no shipment is ever counted in both the
+        returned snapshot and the post-reset ledger.
         """
         with self._lock:
             final = self._snapshot_locked()

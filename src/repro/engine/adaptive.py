@@ -30,6 +30,7 @@ from repro.core.violations import ViolationDelta, ViolationSet
 from repro.distributed.cluster import Cluster
 from repro.distributed.network import Network, NetworkStats
 from repro.engine.protocol import SingleSite, StrategyState
+from repro.obs.trace import maybe_span
 from repro.planner.adaptive import AdaptivePlanner, PlanDecision
 from repro.planner.cost import MESSAGE_OVERHEAD_BYTES
 from repro.planner.estimators import estimate_for_mode
@@ -329,9 +330,19 @@ class AdaptiveStrategy:
             return ViolationDelta()
         planner = self._planner
         profile = BatchProfile.of(batch)
-        chosen, estimates = planner.choose(profile)
-        switched = chosen != self._active
-        strategy = self._activate(chosen)
+        with maybe_span("plan.decide") as plan_span:
+            chosen, estimates = planner.choose(profile)
+            switched = chosen != self._active
+            strategy = self._activate(chosen)
+            if plan_span is not None:
+                plan_span.attrs.update(
+                    chosen=chosen,
+                    switched=switched,
+                    estimated_bytes={
+                        name: estimate.cost.bytes
+                        for name, estimate in sorted(estimates.items())
+                    },
+                )
 
         network = self.network
         before = network.stats()

@@ -127,6 +127,10 @@ class DetectionReport:
     #: report was produced through a
     #: :class:`~repro.service.DetectionService`; None for direct sessions.
     service_metrics: dict[str, Any] | None = None
+    #: Hierarchical trace of the session (JSON-ready span records from the
+    #: attached :class:`~repro.obs.Tracer`); empty when the session ran
+    #: without observability.
+    trace: tuple[dict[str, Any], ...] = field(default_factory=tuple)
 
     @classmethod
     def build(
@@ -148,6 +152,7 @@ class DetectionReport:
         timings: SchedulerTimings | None = None,
         plan_trace: tuple[PlanDecision, ...] = (),
         topology_trace: tuple[TopologyEvent, ...] = (),
+        trace: tuple[dict[str, Any], ...] = (),
     ) -> "DetectionReport":
         timings = timings or SchedulerTimings()
         return cls(
@@ -172,6 +177,7 @@ class DetectionReport:
             ),
             plan_trace=tuple(plan_trace),
             topology_trace=tuple(topology_trace),
+            trace=tuple(trace),
         )
 
     # -- convenient cost views -----------------------------------------------------
@@ -242,6 +248,7 @@ class DetectionReport:
             "plan_trace": [decision.as_dict() for decision in self.plan_trace],
             "topology_trace": [event.as_dict() for event in self.topology_trace],
             "service_metrics": self.service_metrics,
+            "trace": [dict(record) for record in self.trace],
         }
 
     def summary(self) -> str:
@@ -310,6 +317,11 @@ class DetectionReport:
                     f"{actual_part}{error_part}"
                     + (f"  (vs {alternatives})" if alternatives else "")
                 )
+        if self.trace:
+            roots = sum(1 for record in self.trace if not record.get("parent_id"))
+            lines.append(
+                f"  trace              : {len(self.trace)} span(s), {roots} root(s)"
+            )
         if self.service_metrics:
             sm = self.service_metrics
             latency = sm.get("latency") or {}

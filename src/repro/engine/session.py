@@ -23,8 +23,10 @@ for CFDs, the MD detectors for matching dependencies).
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
+from contextlib import nullcontext
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.core.relation import Relation
@@ -33,6 +35,9 @@ from repro.core.violations import ViolationDelta, ViolationSet
 from repro.distributed.cluster import Cluster
 from repro.distributed.network import Network, NetworkStats
 from repro.engine.protocol import Detector, SingleSite
+from repro.obs import Observability
+from repro.obs import profile as _prof
+from repro.obs.trace import Span
 from repro.runtime.executor import Executor, ExecutorError, make_executor
 from repro.runtime.scheduler import SchedulerTimings, SiteScheduler
 from repro.engine.registry import (
@@ -51,6 +56,9 @@ from repro.stats.collector import SiteLoad, SiteLoadTracker
 
 #: Fine buckets per site tracked for rebalancing when no policy sets one.
 DEFAULT_LOAD_GRANULARITY = 8
+
+#: Default session names for metric labels when the caller does not pick one.
+_SESSION_IDS = itertools.count(1)
 
 
 class SessionError(ValueError):
@@ -80,6 +88,8 @@ class SessionBuilder:
         self._executor_options: dict[str, Any] = {}
         self._storage_name: str | None = None
         self._rebalance_policy: RebalancePolicy | None = None
+        self._observability: Observability | None = None
+        self._session_name: str | None = None
 
     # -- configuration ----------------------------------------------------------------
 
@@ -179,6 +189,29 @@ class SessionBuilder:
                 f"{type(policy).__name__}"
             )
         self._rebalance_policy = policy
+        return self
+
+    def observability(
+        self, obs: Observability, name: str | None = None
+    ) -> "SessionBuilder":
+        """Attach an :class:`~repro.obs.Observability` bundle to the session.
+
+        With a bundle attached the session records a hierarchical trace
+        (root ``session`` span, ``session.build``, per-batch
+        ``wave.apply`` with ``site.task[i]`` children across every
+        executor backend, ``plan.decide`` for ``auto``, ``migration.*``)
+        and publishes its live counters into the bundle's metrics
+        registry.  ``name`` labels the session's metric series; a stable
+        default is generated when omitted.  One bundle can be shared by
+        many sessions and services.
+        """
+        if not isinstance(obs, Observability):
+            raise SessionError(
+                "observability(...) takes an Observability bundle, not "
+                f"{type(obs).__name__}"
+            )
+        self._observability = obs
+        self._session_name = name
         return self
 
     def executor(self, backend: str | Executor, **options: Any) -> "SessionBuilder":
@@ -301,15 +334,37 @@ class SessionBuilder:
                 f"strategy {entry.name!r} rejected options "
                 f"{sorted(self._strategy_options)}: {exc}"
             ) from None
+        obs = self._observability
+        name = self._session_name or f"session-{next(_SESSION_IDS)}"
+        tracing = obs is not None and obs.tracer.enabled
+        root: Span | None = None
+        build_cm: Any = nullcontext()
+        net_before: NetworkStats | None = None
+        if tracing:
+            assert obs is not None
+            root = obs.tracer.start_span(
+                "session",
+                session=name,
+                strategy=entry.name,
+                partitioning=partitioning,
+                storage=storage_name,
+                executor=scheduler.backend,
+            )
+            build_cm = obs.tracer.span("session.build", parent=root)
+            net_before = network.stats()
         setup_start = time.perf_counter()
         try:
-            initial = detector.setup(deployment, self._rules)
+            with build_cm as build_span:
+                initial = detector.setup(deployment, self._rules)
         except BaseException:
             if owns_executor:
                 executor.close()
+            if tracing:
+                assert obs is not None
+                obs.tracer.end_span(root)
             raise
         setup_seconds = time.perf_counter() - setup_start
-        return DetectionSession(
+        session_obj = DetectionSession(
             entry=entry,
             detector=detector,
             deployment=deployment,
@@ -321,7 +376,28 @@ class SessionBuilder:
             setup_seconds=setup_seconds,
             storage=storage_name,
             rebalance_policy=self._rebalance_policy,
+            observability=obs,
+            root_span=root,
+            name=name,
         )
+        if tracing and build_span is not None and net_before is not None:
+            # Exact ledger delta for setup: what the shared network saw,
+            # plus whatever a strategy with a private ledger (ibatVer /
+            # ibatHor) accrued on it during setup (it starts from zero).
+            delta = network.stats().diff(net_before)
+            net_bytes, net_messages = delta.bytes, delta.messages
+            session_network = session_obj.network
+            if session_network is not network:
+                private = session_network.stats()
+                net_bytes += private.bytes
+                net_messages += private.messages
+            build_span.attrs.update(
+                ledger=True,
+                net_bytes=net_bytes,
+                net_messages=net_messages,
+                initial_violations=len(initial),
+            )
+        return session_obj
 
 
 class DetectionSession:
@@ -341,6 +417,9 @@ class DetectionSession:
         setup_seconds: float = 0.0,
         storage: str = "rows",
         rebalance_policy: RebalancePolicy | None = None,
+        observability: Observability | None = None,
+        root_span: Span | None = None,
+        name: str | None = None,
     ):
         self._entry = entry
         self._detector = detector
@@ -362,9 +441,26 @@ class DetectionSession:
         self._load_tracker: SiteLoadTracker | None = None
         self._tracker_batches = 0
         self._avg_tuple_bytes: float | None = None
+        self._obs = observability
+        self._root_span = root_span
+        self._name = name or f"session-{next(_SESSION_IDS)}"
+        if self._obs is not None:
+            self._obs.metrics.register_collector(
+                f"session:{self._name}", self._publish_metrics
+            )
         self._make_load_tracker()
 
     # -- introspection ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The session's label in metric series and trace attributes."""
+        return self._name
+
+    @property
+    def observability(self) -> Observability | None:
+        """The attached observability bundle, or None."""
+        return self._obs
 
     @property
     def strategy(self) -> str:
@@ -634,10 +730,59 @@ class DetectionSession:
     ) -> TopologyEvent:
         cluster = self.deployment
         share_before = self._hottest_share()
-        start = time.perf_counter()
-        result = cluster.apply_migration(plan)
-        self._detector.migrate(result, self._rules)
-        seconds = time.perf_counter() - start
+        obs = self._obs
+        tracing = obs is not None and obs.tracer.enabled
+        migration_cm: Any = nullcontext()
+        net_before: Network | None = None
+        stats_before: NetworkStats | None = None
+        cluster_stats_before: NetworkStats | None = None
+        if tracing:
+            assert obs is not None
+            parent = obs.tracer.ambient_parent() or self._root_span
+            migration_cm = obs.tracer.span(
+                "migration.rebalance" if kind == "rebalance" else "migration.scale",
+                parent=parent,
+                session=self._name,
+                trigger=trigger,
+            )
+            net_before = self.network
+            stats_before = net_before.stats()
+            if cluster.network is not net_before:
+                cluster_stats_before = cluster.network.stats()
+        with migration_cm as migration_span:
+            start = time.perf_counter()
+            result = cluster.apply_migration(plan)
+            self._detector.migrate(result, self._rules)
+            seconds = time.perf_counter() - start
+            if migration_span is not None and stats_before is not None:
+                net_after = self.network
+                after = net_after.stats()
+                if net_after is net_before:
+                    stats_delta = after.diff(stats_before)
+                    net_bytes, net_messages = stats_delta.bytes, stats_delta.messages
+                else:
+                    # migrate() absorbed a strategy-private ledger into the
+                    # cluster ledger: subtract both pre-migration totals so
+                    # only migration traffic remains.
+                    base = cluster_stats_before
+                    net_bytes = (
+                        after.bytes
+                        - stats_before.bytes
+                        - (base.bytes if base is not None else 0)
+                    )
+                    net_messages = (
+                        after.messages
+                        - stats_before.messages
+                        - (base.messages if base is not None else 0)
+                    )
+                migration_span.attrs.update(
+                    ledger=True,
+                    net_bytes=net_bytes,
+                    net_messages=net_messages,
+                    tuples_moved=result.tuples_moved,
+                    sites_before=len(result.sites_before),
+                    sites_after=len(result.sites_after),
+                )
         if kind is None:
             before, after = len(result.sites_before), len(result.sites_after)
             kind = "scale-out" if after > before else "scale-in" if after < before else "scale"
@@ -735,6 +880,14 @@ class DetectionSession:
             if self._closed:
                 return
             self._closed = True
+        if self._obs is not None:
+            self._obs.tracer.end_span(self._root_span)
+            # Freeze this session's gauges at their final values, then
+            # stop collecting for it.
+            try:
+                self._publish_metrics(self._obs.metrics)
+            finally:
+                self._obs.metrics.unregister_collector(f"session:{self._name}")
         if self._owns_executor:
             self._scheduler.executor.close()
 
@@ -753,6 +906,54 @@ class DetectionSession:
             # the one-shot close() could never release them again.
             raise SessionError("session is closed; build a new session to continue")
         batch = updates if isinstance(updates, UpdateBatch) else UpdateBatch(updates)
+        obs = self._obs
+        if obs is None or not obs.tracer.enabled:
+            return self._apply_batch(batch)
+        tracer = obs.tracer
+        parent = tracer.ambient_parent() or self._root_span
+        stats_before = self.network.stats()
+        wave_start = time.perf_counter()
+        with tracer.span(
+            "wave.apply",
+            parent=parent,
+            session=self._name,
+            batch_index=self._batches_applied,
+            updates=len(batch),
+        ) as span:
+            delta = self._apply_batch(batch)
+            # All shipments are charged by the coordinator on this thread,
+            # so the ledger delta around the apply is exact.
+            stats_delta = self.network.stats().diff(stats_before)
+            assert span is not None
+            span.attrs.update(
+                ledger=True,
+                net_bytes=stats_delta.bytes,
+                net_messages=stats_delta.messages,
+                strategy=self.active_strategy,
+                violations=len(self._detector.violations),
+            )
+            if stats_delta.messages:
+                with tracer.span(
+                    "shipment",
+                    net_bytes=stats_delta.bytes,
+                    net_messages=stats_delta.messages,
+                    units_by_kind={
+                        str(kind): units
+                        for kind, units in sorted(
+                            stats_delta.units_by_kind.items(), key=lambda kv: str(kv[0])
+                        )
+                    },
+                ):
+                    pass
+        obs.metrics.histogram(
+            "repro_wave_apply_seconds",
+            "Wall seconds spent applying one update wave",
+            ("session",),
+        ).labels(session=self._name).observe(time.perf_counter() - wave_start)
+        return delta
+
+    def _apply_batch(self, batch: UpdateBatch) -> ViolationDelta:
+        """The untraced apply body (also the traced path's inner workhorse)."""
         start = time.perf_counter()
         delta = self._detector.apply(batch)
         self._apply_seconds += time.perf_counter() - start
@@ -795,6 +996,73 @@ class DetectionSession:
         self._apply_seconds = 0.0
         return self.network.reset()
 
+    def explain(self) -> dict[str, Any]:
+        """A JSON-ready live view: what runs where, at what cost, right now.
+
+        Unlike :meth:`report` this is cheap (no violation-set copy) and
+        includes the observability state — use it for dashboards and
+        debugging a running session.
+        """
+        deployment = self.deployment
+        stats = self.network.stats()
+        timings = self._scheduler.timings()
+        info: dict[str, Any] = {
+            "session": self._name,
+            "closed": self._closed,
+            "strategy": self.strategy,
+            "active_strategy": self.active_strategy,
+            "partitioning": self._partitioning,
+            "n_sites": len(deployment) if deployment is not None else 1,
+            "n_rules": len(self._rules),
+            "storage": self._storage,
+            "executor": self.executor,
+            "batches_applied": self._batches_applied,
+            "updates_applied": self._updates_applied,
+            "violations": len(self._detector.violations),
+            "network": {
+                "bytes": stats.bytes,
+                "messages": stats.messages,
+                "eqids_shipped": stats.eqids_shipped,
+                "tuples_shipped": stats.tuples_shipped,
+            },
+            "runtime": {
+                "rounds": timings.rounds,
+                "tasks": timings.tasks,
+                "busy_seconds": timings.busy_seconds,
+                "critical_seconds": timings.critical_seconds,
+            },
+            "wall_seconds": self.wall_seconds,
+            "topology_events": len(self._topology),
+        }
+        plan_trace = self.plan_trace
+        if plan_trace:
+            info["last_plan"] = plan_trace[-1].as_dict()
+        catalog = getattr(self._detector, "catalog", None)
+        if catalog is not None:
+            info["catalog"] = catalog.as_dict()
+            info["strategy_feedback"] = catalog.feedback_snapshot()
+        obs = self._obs
+        info["observability"] = {
+            "attached": obs is not None,
+            "tracing": bool(obs is not None and obs.tracer.enabled),
+            "profiling": _prof.enabled,
+            "spans": len(obs.tracer.spans()) if obs is not None else 0,
+        }
+        if _prof.enabled:
+            info["observability"]["profile"] = _prof.snapshot()
+        return info
+
+    def trace_records(self) -> tuple[dict[str, Any], ...]:
+        """This session's span records (root trace only, JSON-ready)."""
+        obs = self._obs
+        if obs is None:
+            return ()
+        spans = obs.tracer.spans()
+        root = self._root_span
+        if root is not None:
+            spans = [span for span in spans if span.trace_id == root.trace_id]
+        return tuple(span.as_dict() for span in spans)
+
     def report(self) -> DetectionReport:
         """A structured snapshot: violations, shipment costs and timings."""
         deployment = self.deployment
@@ -816,4 +1084,82 @@ class DetectionSession:
             timings=self._scheduler.timings(),
             plan_trace=self.plan_trace,
             topology_trace=self.topology_trace,
+            trace=self.trace_records(),
         )
+
+    # -- metrics publishing --------------------------------------------------------------
+
+    def _publish_metrics(self, registry: Any) -> None:
+        """Collector: refresh this session's gauge series before an export."""
+        labels = {"session": self._name}
+        stats = self.network.stats()
+        timings = self._scheduler.timings()
+
+        def set_gauge(name: str, help_text: str, value: float) -> None:
+            registry.gauge(name, help_text, ("session",)).labels(**labels).set(value)
+
+        set_gauge(
+            "repro_session_batches_applied",
+            "Update batches this session has applied",
+            self._batches_applied,
+        )
+        set_gauge(
+            "repro_session_updates_applied",
+            "Updates this session has applied",
+            self._updates_applied,
+        )
+        set_gauge(
+            "repro_session_violations",
+            "Violating tuples currently maintained",
+            len(self._detector.violations),
+        )
+        set_gauge(
+            "repro_session_wall_seconds",
+            "Wall seconds spent in setup plus applies",
+            self.wall_seconds,
+        )
+        set_gauge(
+            "repro_network_bytes", "Bytes shipped on the session ledger", stats.bytes
+        )
+        set_gauge(
+            "repro_network_messages",
+            "Messages shipped on the session ledger",
+            stats.messages,
+        )
+        set_gauge(
+            "repro_network_eqids_shipped",
+            "Eqids shipped on the session ledger",
+            stats.eqids_shipped,
+        )
+        set_gauge(
+            "repro_scheduler_rounds", "Task rounds the scheduler ran", timings.rounds
+        )
+        set_gauge(
+            "repro_scheduler_tasks", "Site tasks the scheduler ran", timings.tasks
+        )
+        set_gauge(
+            "repro_scheduler_busy_seconds",
+            "Total task seconds across sites",
+            timings.busy_seconds,
+        )
+        set_gauge(
+            "repro_scheduler_critical_seconds",
+            "Ideal parallel wall seconds (sum of slowest task per round)",
+            timings.critical_seconds,
+        )
+        catalog = getattr(self._detector, "catalog", None)
+        if catalog is not None:
+            set_gauge(
+                "repro_catalog_cardinality",
+                "Relation cardinality as the planner's catalog sees it",
+                catalog.relation.cardinality,
+            )
+            feedback = registry.gauge(
+                "repro_strategy_bytes_per_unit",
+                "EWMA-smoothed shipped bytes per cost-driver unit",
+                ("session", "strategy"),
+            )
+            for strategy, entry in catalog.feedback_snapshot().items():
+                feedback.labels(session=self._name, strategy=strategy).set(
+                    entry["bytes_per_unit"]
+                )

@@ -21,6 +21,7 @@ shipment counts on every executor backend.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Iterable
 
 from repro.core.cfd import CFD, UNNAMED
@@ -30,6 +31,7 @@ from repro.core.violations import ViolationSet
 from repro.distributed.cluster import Cluster
 from repro.distributed.message import MessageKind
 from repro.distributed.serialization import estimate_tuple_bytes
+from repro.obs import profile as _prof
 from repro.runtime.executor import SiteTask
 
 
@@ -73,6 +75,8 @@ def _site_batch_task(
                 shipments[cfd.name] = ship
             groups[cfd.name] = by_key
         return local_violations, shipments, groups
+    if _prof.enabled:
+        _t0 = perf_counter()
     for cfd in general_cfds:
         needed = list(cfd.attributes)
         ship = shipments.setdefault(cfd.name, []) if cfd.name in ship_names else None
@@ -86,6 +90,8 @@ def _site_batch_task(
                 ship.append((t.tid, estimate_tuple_bytes(t, needed)))
             key = tuple(t[a] for a in lhs)
             by_key.setdefault(key, {}).setdefault(t[rhs], set()).add(t.tid)
+    if _prof.enabled:
+        _prof.note("shipment.row_scan", perf_counter() - _t0, len(tuples))
     return local_violations, shipments, groups
 
 

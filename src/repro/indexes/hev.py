@@ -18,6 +18,7 @@ per-update shipment count ``Neqid`` used by the planner.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Mapping, Sequence
 
 from repro.core.cfd import CFD
@@ -25,6 +26,7 @@ from repro.distributed.message import MessageKind
 from repro.distributed.network import Network
 from repro.distributed.serialization import EQID_BYTES
 from repro.indexes.equivalence import EqidRegistry
+from repro.obs import profile as _prof
 
 
 class PlanError(RuntimeError):
@@ -182,6 +184,8 @@ class HEVPlan:
         ``cache`` should be shared across all CFDs for one update so
         that a shared HEV's eqid is shipped to a site at most once.
         """
+        if _prof.enabled:
+            _t0 = perf_counter()
         entry = self.entry_for(cfd_name)
         cache = cache if cache is not None else ShipmentCache()
         lhs_eqid = self._evaluate_node(
@@ -190,6 +194,8 @@ class HEVPlan:
         rhs_eqid = self._evaluate_node(
             entry.rhs_node, values, entry.lhs_node.site, network, cache
         )
+        if _prof.enabled:
+            _prof.note("hev.evaluate_keys", perf_counter() - _t0)
         return lhs_eqid, rhs_eqid
 
     # -- static cost model (Neqid) -----------------------------------------------------------

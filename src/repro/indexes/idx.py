@@ -14,10 +14,12 @@ site the HEV plan assigns to the CFD).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Hashable, Iterable, Mapping
 
 from repro.core.cfd import CFD, UNNAMED
 from repro.core.tuples import Tuple
+from repro.obs import profile as _prof
 
 
 class IndexError_(RuntimeError):
@@ -154,6 +156,14 @@ class CFDIndex:
             from repro.columnar import kernels
 
             kernels.build_cfd_index(self, store)
+            return
+        if _prof.enabled:
+            _t0 = perf_counter()
+            count = 0
+            for t in tuples:
+                self.add_tuple(t)
+                count += 1
+            _prof.note("idx.build_rows", perf_counter() - _t0, count)
             return
         for t in tuples:
             self.add_tuple(t)

@@ -1,0 +1,359 @@
+"""A small metrics registry with Prometheus-text and JSON exporters.
+
+Three instrument kinds — :class:`Counter` (monotone), :class:`Gauge`
+(set/inc/dec) and :class:`Histogram` (cumulative buckets + sum/count) —
+are grouped into labelled families by a :class:`MetricsRegistry`::
+
+    registry = MetricsRegistry()
+    waves = registry.counter("repro_waves_total", "Waves applied", ("session",))
+    waves.labels(session="s1").inc()
+    print(registry.render_prometheus())
+
+The registry follows a *pull* model for existing subsystems: sessions
+and services register collector callbacks (``register_collector``) that
+refresh gauges from their live counters (NetworkStats, SchedulerTimings,
+StatsCatalog/StrategyFeedback, AdmissionController, TenantMetrics)
+whenever an exporter runs, so steady-state detection pays nothing for
+metrics it never exports.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: Any) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up, down, or be set outright."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Cumulative-bucket histogram with sum and count."""
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # final slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self._bounds):
+                if value <= bound:
+                    self._counts[i] += 1
+                    return
+            self._counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs ending with ``(+Inf, count)``."""
+        with self._lock:
+            out: List[Tuple[float, int]] = []
+            running = 0
+            for bound, count in zip(self._bounds, self._counts):
+                running += count
+                out.append((bound, running))
+            out.append((math.inf, self._count))
+            return out
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """All children of one metric name across label combinations."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: Tuple[str, ...],
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.label_names = label_names
+        self._buckets = tuple(buckets) if buckets is not None else None
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], Any] = {}
+
+    def labels(self, **labels: Any) -> Any:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                if self.kind == "histogram":
+                    child = Histogram(self._buckets or DEFAULT_BUCKETS)
+                else:
+                    child = _KINDS[self.kind]()
+                self._children[key] = child
+        return child
+
+    # Convenience pass-throughs for label-less families.
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.labels().dec(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    def children(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class MetricsRegistry:
+    """Named metric families plus pull-model collectors and exporters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, MetricFamily] = {}
+        self._collectors: Dict[str, Callable[["MetricsRegistry"], None]] = {}
+
+    # -- family accessors ------------------------------------------------------------
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labels: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        label_names = tuple(labels)
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(name, kind, help_text, label_names, buckets)
+                self._families[name] = family
+            elif family.kind != kind or family.label_names != label_names:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind} "
+                    f"with labels {family.label_names}"
+                )
+        return family
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "counter", help_text, labels)
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "gauge", help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        return self._family(name, "histogram", help_text, labels, buckets)
+
+    def families(self) -> List[MetricFamily]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    # -- pull-model collectors -------------------------------------------------------
+
+    def register_collector(
+        self, key: str, collector: Callable[["MetricsRegistry"], None]
+    ) -> None:
+        """(Re-)register a callback that refreshes gauges before export."""
+        with self._lock:
+            self._collectors[key] = collector
+
+    def unregister_collector(self, key: str) -> None:
+        with self._lock:
+            self._collectors.pop(key, None)
+
+    def collect(self) -> None:
+        """Run every registered collector once."""
+        with self._lock:
+            collectors = list(self._collectors.values())
+        for collector in collectors:
+            collector(self)
+
+    # -- exporters -------------------------------------------------------------------
+
+    def render_prometheus(self, collect: bool = True) -> str:
+        """The registry in Prometheus text exposition format (v0.0.4)."""
+        if collect:
+            self.collect()
+        lines: List[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key, child in family.children():
+                label_part = ",".join(
+                    f'{name}="{_escape_label(value)}"'
+                    for name, value in zip(family.label_names, key)
+                )
+                if family.kind == "histogram":
+                    for bound, cumulative in child.cumulative():
+                        bucket_labels = (
+                            label_part + "," if label_part else ""
+                        ) + f'le="{_format_value(bound)}"'
+                        lines.append(
+                            f"{family.name}_bucket{{{bucket_labels}}} {cumulative}"
+                        )
+                    suffix = f"{{{label_part}}}" if label_part else ""
+                    lines.append(
+                        f"{family.name}_sum{suffix} {_format_value(child.sum)}"
+                    )
+                    lines.append(f"{family.name}_count{suffix} {child.count}")
+                else:
+                    suffix = f"{{{label_part}}}" if label_part else ""
+                    lines.append(
+                        f"{family.name}{suffix} {_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self, collect: bool = True) -> Dict[str, Any]:
+        """A JSON-ready dict view of every family and child."""
+        if collect:
+            self.collect()
+        out: Dict[str, Any] = {}
+        for family in self.families():
+            series: List[Dict[str, Any]] = []
+            for key, child in family.children():
+                labels = dict(zip(family.label_names, key))
+                if family.kind == "histogram":
+                    series.append(
+                        {
+                            "labels": labels,
+                            "count": child.count,
+                            "sum": child.sum,
+                            "buckets": [
+                                {"le": le if le != math.inf else "+Inf", "n": n}
+                                for le, n in child.cumulative()
+                            ],
+                        }
+                    )
+                else:
+                    series.append({"labels": labels, "value": child.value})
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "series": series,
+            }
+        return out

@@ -1,0 +1,102 @@
+"""Near-zero-cost profiling hooks for detector hot paths.
+
+Hot loops (columnar kernel sweeps, IDX/HEV maintenance, batch shipment
+scans) call :func:`note` guarded by the module-level :data:`enabled`
+flag, so the *disabled* path costs a single module-attribute check::
+
+    from repro.obs import profile as _prof
+    ...
+    if _prof.enabled:
+        _t0 = time.perf_counter()
+    ... hot loop ...
+    if _prof.enabled:
+        _prof.note("columnar.variable_sweep", time.perf_counter() - _t0)
+
+The accumulator is process-local.  When a traced session runs tasks on
+the ``processes`` executor, the task wrapper in
+:mod:`repro.obs.trace` enables profiling inside the worker for the
+task's duration and ships the resulting delta back with the task result
+(see :func:`snapshot` / :func:`merge`), so coordinator-side totals stay
+complete across pickle boundaries.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Mapping, Tuple
+
+#: Master switch.  Hot paths read this attribute directly; everything
+#: else in this module is only reached when it is True.
+enabled: bool = False
+
+_lock = threading.Lock()
+#: hook name -> (calls, items, seconds)
+_acc: Dict[str, Tuple[int, int, float]] = {}
+
+
+def enable() -> None:
+    """Turn the profiling hooks on (process-local)."""
+    global enabled
+    enabled = True
+
+
+def disable() -> None:
+    """Turn the profiling hooks off.  Accumulated totals are kept."""
+    global enabled
+    enabled = False
+
+
+def note(hook: str, seconds: float, items: int = 1) -> None:
+    """Record one timed pass through ``hook`` (``items`` units processed)."""
+    with _lock:
+        calls, total_items, total_seconds = _acc.get(hook, (0, 0, 0.0))
+        _acc[hook] = (calls + 1, total_items + items, total_seconds + seconds)
+
+
+def snapshot() -> Dict[str, Dict[str, float]]:
+    """A consistent copy of the accumulated per-hook totals."""
+    with _lock:
+        return {
+            hook: {"calls": calls, "items": items, "seconds": seconds}
+            for hook, (calls, items, seconds) in sorted(_acc.items())
+        }
+
+
+def reset() -> Dict[str, Dict[str, float]]:
+    """Atomically snapshot and zero the accumulator; returns the snapshot."""
+    with _lock:
+        snap = {
+            hook: {"calls": calls, "items": items, "seconds": seconds}
+            for hook, (calls, items, seconds) in sorted(_acc.items())
+        }
+        _acc.clear()
+    return snap
+
+
+def merge(delta: Mapping[str, Mapping[str, float]]) -> None:
+    """Fold a remote :func:`snapshot` delta (e.g. from a worker process) in."""
+    with _lock:
+        for hook, entry in delta.items():
+            calls, items, seconds = _acc.get(hook, (0, 0, 0.0))
+            _acc[hook] = (
+                calls + int(entry.get("calls", 0)),
+                items + int(entry.get("items", 0)),
+                seconds + float(entry.get("seconds", 0.0)),
+            )
+
+
+def diff(
+    after: Mapping[str, Mapping[str, float]],
+    before: Mapping[str, Mapping[str, float]],
+) -> Dict[str, Dict[str, float]]:
+    """Per-hook ``after - before`` over two :func:`snapshot` values."""
+    out: Dict[str, Dict[str, float]] = {}
+    for hook, entry in after.items():
+        base = before.get(hook, {})
+        delta = {
+            key: entry.get(key, 0) - base.get(key, 0)
+            for key in ("calls", "items", "seconds")
+        }
+        if delta["calls"] or delta["items"] or delta["seconds"]:
+            out[hook] = delta
+    return out

@@ -14,13 +14,25 @@ The scheduler also keeps the timing ledger: per-site busy seconds, and
 per-round critical-path seconds (the wall-clock a perfectly parallel
 backend would need).  Sessions surface this breakdown through
 ``DetectionReport``.
+
+When a round runs inside an active trace span (see
+:mod:`repro.obs.trace`), the scheduler rewraps each task so its span
+context — trace id and parent span id — rides the existing picklable
+task closure across the serial/threads/processes executors.  Each task
+comes back with a ``site.task[i]`` span record (and, on worker
+processes, a profiling delta) that the coordinator folds back into the
+tracer; results are unwrapped before the timing ledger sees them, so the
+ledger is identical traced or not.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.obs import profile as _prof
+from repro.obs import trace as _trace
 from repro.runtime.executor import Executor, SerialExecutor, SiteTask, TaskResult
 
 
@@ -71,7 +83,11 @@ class SiteScheduler:
         """Run one round of tasks; results come back in submission order."""
         if not tasks:
             return []
-        results = self._executor.run(tasks)
+        context = _trace.active()
+        if context is not None and context[0].enabled:
+            results = self._run_traced(tasks, context)
+        else:
+            results = self._executor.run(tasks)
         self._rounds += 1
         self._tasks += len(results)
         slowest = 0.0
@@ -81,6 +97,51 @@ class SiteScheduler:
             self._by_site[result.site] = self._by_site.get(result.site, 0.0) + result.seconds
         self._critical += slowest
         return results
+
+    def _run_traced(
+        self,
+        tasks: Sequence[SiteTask],
+        context: tuple["_trace.Tracer", "_trace.Span"],
+    ) -> list[TaskResult]:
+        """Run a round with span ids riding the picklable task closures."""
+        tracer, parent = context
+        profile_on = _prof.enabled
+        wrapped = [
+            SiteTask(
+                site=task.site,
+                fn=_trace.run_traced_task,
+                args=(
+                    parent.trace_id,
+                    parent.span_id,
+                    f"site.task[{index}]",
+                    task.site,
+                    task.label,
+                    profile_on,
+                    task.fn,
+                    task.args,
+                ),
+                label=task.label,
+            )
+            for index, task in enumerate(tasks)
+        ]
+        results = self._executor.run(wrapped)
+        unwrapped: list[TaskResult] = []
+        for result in results:
+            payload = result.value
+            if isinstance(payload, _trace.TracedResult):
+                tracer.ingest(payload.span)
+                # Same-process tasks note straight into the shared
+                # accumulator; merging their delta would double-count.
+                if payload.profile and payload.span["attrs"]["pid"] != os.getpid():
+                    _prof.merge(payload.profile)
+                result = TaskResult(
+                    site=result.site,
+                    value=payload.value,
+                    seconds=result.seconds,
+                    label=result.label,
+                )
+            unwrapped.append(result)
+        return unwrapped
 
     # -- timing ledger --------------------------------------------------------------------
 

@@ -79,6 +79,15 @@ class AdmissionController:
         admitted = min(requested, self.room(pending))
         return admitted, requested - admitted
 
+    def as_dict(self) -> dict:
+        """JSON-ready quota + drain view (service ``status()`` / dashboards)."""
+        return {
+            "max_pending": self.quota.max_pending,
+            "max_batch": self.quota.max_batch,
+            "max_delay_s": self.quota.max_delay,
+            "drain_rate": self.drain_rate,
+        }
+
     def retry_after(self, pending: int, rejected: int) -> float:
         """Seconds until the queue has plausibly freed ``rejected`` slots.
 

@@ -75,6 +75,15 @@ class CoalescingQueue:
             return now
         return self._items[0].enqueued_at + self.quota.max_delay
 
+    def as_dict(self) -> dict:
+        """JSON-ready queue view (service ``status()`` / dashboards)."""
+        return {
+            "pending": len(self._items),
+            "max_depth": self.max_depth,
+            "max_batch": self.quota.max_batch,
+            "max_delay_s": self.quota.max_delay,
+        }
+
     def drain(self) -> list[PendingUpdate]:
         """Pop one window's worth of updates (up to ``max_batch``)."""
         n = min(len(self._items), self.quota.max_batch)

@@ -29,6 +29,7 @@ tenant closed by its owner earlier is fine).
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import threading
 import time
 from dataclasses import dataclass
@@ -38,9 +39,14 @@ from repro.core.updates import Update, UpdateBatch
 from repro.core.violations import ViolationSet
 from repro.engine.report import DetectionReport
 from repro.engine.session import DetectionSession, SessionBuilder
+from repro.obs import Observability
+from repro.obs.trace import span_if
 from repro.service.admission import AdmissionController, TenantQuota
 from repro.service.batcher import CoalescingQueue, PendingUpdate
 from repro.service.metrics import LatencyRecorder, ServiceMetrics, TenantMetrics
+
+#: Default service names for metric-collector keys.
+_SERVICE_IDS = itertools.count(1)
 
 
 class ServiceError(RuntimeError):
@@ -130,7 +136,12 @@ class _Tenant:
 class DetectionService:
     """Many tenants, one dispatcher, strict per-tenant cost isolation."""
 
-    def __init__(self, default_quota: TenantQuota | None = None):
+    def __init__(
+        self,
+        default_quota: TenantQuota | None = None,
+        observability: Observability | None = None,
+        name: str | None = None,
+    ):
         self._default_quota = default_quota or TenantQuota()
         self._cond = threading.Condition()
         self._tenants: dict[str, _Tenant] = {}
@@ -138,6 +149,22 @@ class DetectionService:
         self._dispatcher: threading.Thread | None = None
         self._closing = False
         self._closed = False
+        self._obs = observability
+        self._name = name or f"service-{next(_SERVICE_IDS)}"
+        if self._obs is not None:
+            self._obs.metrics.register_collector(
+                f"service:{self._name}", self._publish_metrics
+            )
+
+    @property
+    def name(self) -> str:
+        """The service's label in metric series and trace attributes."""
+        return self._name
+
+    @property
+    def observability(self) -> Observability | None:
+        """The attached observability bundle, or None."""
+        return self._obs
 
     # -- registration -------------------------------------------------------------------
 
@@ -319,18 +346,37 @@ class DetectionService:
                 self._apply_window(state, items)
 
     def _apply_window(self, state: _Tenant, items: list[PendingUpdate]) -> None:
-        batch = CoalescingQueue.fold(items)
-        started = time.monotonic()
-        try:
-            with state.apply_lock:
-                state.session.apply(batch)
-        except BaseException as exc:  # noqa: BLE001 - surfaced to submit/flush
-            with self._cond:
-                state.error = exc
-                state.in_flight = False
-                self._cond.notify_all()
-            return
-        finished = time.monotonic()
+        tracer = self._obs.tracer if self._obs is not None else None
+        with span_if(
+            tracer, "service.dispatch", service=self._name, tenant=state.name
+        ):
+            with span_if(
+                tracer,
+                "coalesce.window",
+                updates=len(items),
+                coalesced=len(items) > 1,
+            ):
+                batch = CoalescingQueue.fold(items)
+            started = time.monotonic()
+            try:
+                with state.apply_lock:
+                    with span_if(
+                        tracer, "tenant.apply", tenant=state.name, updates=len(batch)
+                    ):
+                        state.session.apply(batch)
+            except BaseException as exc:  # noqa: BLE001 - surfaced to submit/flush
+                with self._cond:
+                    state.error = exc
+                    state.in_flight = False
+                    self._cond.notify_all()
+                return
+            finished = time.monotonic()
+        if self._obs is not None:
+            self._obs.metrics.histogram(
+                "repro_tenant_apply_seconds",
+                "Dispatcher wall seconds spent applying one coalesced window",
+                ("service", "tenant"),
+            ).labels(service=self._name, tenant=state.name).observe(finished - started)
         with self._cond:
             state.applied_updates += len(items)
             state.batches_applied += 1
@@ -414,6 +460,13 @@ class DetectionService:
             tenants = list(self._tenants.values())
         for state in tenants:
             state.session.close()
+        if self._obs is not None:
+            # Freeze the service gauges at their final values, then stop
+            # collecting for this service.
+            try:
+                self._publish_metrics(self._obs.metrics)
+            finally:
+                self._obs.metrics.unregister_collector(f"service:{self._name}")
 
     def __enter__(self) -> "DetectionService":
         return self
@@ -436,6 +489,83 @@ class DetectionService:
             return ServiceMetrics(
                 tenants=tuple(state.metrics() for state in self._tenants.values())
             )
+
+    def status(self) -> dict[str, Any]:
+        """A JSON-ready live view of the service and every tenant.
+
+        Cheaper than :meth:`metrics` (no latency summaries, no network
+        snapshots) and safe to poll from monitoring at any time.
+        """
+        with self._cond:
+            dispatcher = self._dispatcher
+            tenants = {
+                state.name: {
+                    "queue_depth": state.queue.pending,
+                    "in_flight": state.in_flight,
+                    "submitted": state.submitted,
+                    "accepted": state.accepted,
+                    "rejected": state.rejected,
+                    "applied_updates": state.applied_updates,
+                    "batches_applied": state.batches_applied,
+                    "drain_rate": state.admission.drain_rate,
+                    "failed": state.error is not None,
+                    "admission": state.admission.as_dict(),
+                    "queue": state.queue.as_dict(),
+                }
+                for state in self._tenants.values()
+            }
+            return {
+                "service": self._name,
+                "closed": self._closed,
+                "closing": self._closing,
+                "dispatcher_alive": bool(dispatcher is not None and dispatcher.is_alive()),
+                "n_tenants": len(tenants),
+                "observability": self._obs is not None,
+                "tenants": tenants,
+            }
+
+    def _publish_metrics(self, registry: Any) -> None:
+        """Collector: refresh the per-tenant gauge series before an export."""
+        with self._cond:
+            states = list(self._tenants.values())
+        service_labels = ("service", "tenant")
+
+        def gauge(name: str, help_text: str) -> Any:
+            return registry.gauge(name, help_text, service_labels)
+
+        depth = gauge("repro_tenant_queue_depth", "Updates waiting in the queue")
+        submitted = gauge("repro_tenant_submitted", "Updates submitted so far")
+        accepted = gauge("repro_tenant_accepted", "Updates admitted so far")
+        rejected = gauge("repro_tenant_rejected", "Updates rejected by admission")
+        applied = gauge("repro_tenant_applied_updates", "Updates applied so far")
+        throughput = gauge(
+            "repro_tenant_updates_per_second", "Observed ingest-to-apply throughput"
+        )
+        drain = gauge(
+            "repro_tenant_drain_rate", "EWMA updates/second the dispatcher drains"
+        )
+        latency = registry.gauge(
+            "repro_tenant_latency_seconds",
+            "Ingest-to-apply latency percentiles",
+            ("service", "tenant", "quantile"),
+        )
+        for state in states:
+            snapshot = state.metrics()
+            labels = {"service": self._name, "tenant": state.name}
+            depth.labels(**labels).set(snapshot.queue_depth)
+            submitted.labels(**labels).set(snapshot.submitted)
+            accepted.labels(**labels).set(snapshot.accepted)
+            rejected.labels(**labels).set(snapshot.rejected)
+            applied.labels(**labels).set(snapshot.applied_updates)
+            throughput.labels(**labels).set(snapshot.updates_per_second)
+            drain.labels(**labels).set(state.admission.drain_rate)
+            summary = snapshot.latency
+            for quantile, value in (
+                ("p50", summary.p50),
+                ("p95", summary.p95),
+                ("p99", summary.p99),
+            ):
+                latency.labels(quantile=quantile, **labels).set(value)
 
     def violations(self, tenant: str) -> ViolationSet:
         """The tenant's current violation set (applied batches only)."""

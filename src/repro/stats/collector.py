@@ -269,6 +269,17 @@ class StrategyFeedback:
             self.eqids_per_unit.observe(cost.eqids / d)
             self.seconds_per_unit.observe(seconds / d)
 
+    def as_dict(self) -> dict[str, Any]:
+        """A consistent snapshot of the four smoothed rates."""
+        with self._lock:
+            return {
+                "n_observations": self.n_observations,
+                "bytes_per_unit": self.bytes_per_unit.value,
+                "messages_per_unit": self.messages_per_unit.value,
+                "eqids_per_unit": self.eqids_per_unit.value,
+                "seconds_per_unit": self.seconds_per_unit.value,
+            }
+
 
 @dataclass(frozen=True)
 class SiteLoad:
@@ -406,6 +417,12 @@ class StatsCatalog:
             if strategy not in self._feedback:
                 self._feedback[strategy] = StrategyFeedback(self._alpha)
             return self._feedback[strategy]
+
+    def feedback_snapshot(self) -> dict[str, dict[str, Any]]:
+        """Per-strategy smoothed rates (for metrics export and ``explain``)."""
+        with self._lock:
+            feedback = dict(self._feedback)
+        return {name: fb.as_dict() for name, fb in sorted(feedback.items())}
 
     def observe(
         self, strategy: str, driver: float, cost: Any, seconds: float = 0.0

@@ -1,0 +1,209 @@
+"""Metrics registry: instruments, labels, collectors, exporters.
+
+The Prometheus output is validated line by line against the text
+exposition format (v0.0.4): every non-comment line must parse as
+``name{label="value",...} number``, histogram families must emit
+cumulative ``_bucket{le=...}`` series ending at ``+Inf`` plus ``_sum``
+and ``_count``, and the JSON snapshot must mirror the same series.
+"""
+
+import json
+import math
+import re
+import threading
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+#: One Prometheus sample line: metric name, optional label set, value.
+_LABEL_VALUE = r'"(?:[^"\\\n]|\\["\\n])*"'
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=" + _LABEL_VALUE
+    + r"(,[a-zA-Z_][a-zA-Z0-9_]*=" + _LABEL_VALUE + r")*\})?"
+    r" (?:[+-]?(?:\d+(?:\.\d+)?(?:e[+-]?\d+)?|Inf)|NaN)$"
+)
+COMMENT_RE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*$")
+
+
+def assert_prometheus_parses(text: str) -> None:
+    for line in text.splitlines():
+        if line.startswith("#"):
+            assert COMMENT_RE.match(line), f"malformed comment line: {line!r}"
+        else:
+            assert SAMPLE_RE.match(line), f"malformed sample line: {line!r}"
+
+
+class TestInstruments:
+    def test_counter_is_monotone(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13
+
+    def test_histogram_buckets_are_cumulative(self):
+        h = Histogram(buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(6.05)
+        assert h.cumulative() == [(0.1, 1), (1.0, 3), (math.inf, 4)]
+
+    def test_histogram_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+
+class TestRegistry:
+    def test_families_are_cached_by_name(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_things_total", "Things", ("kind",))
+        b = reg.counter("repro_things_total", "Things", ("kind",))
+        assert a is b
+
+    def test_kind_and_label_conflicts_are_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_things_total", "Things", ("kind",))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("repro_things_total", "Things", ("kind",))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.counter("repro_things_total", "Things", ("other",))
+
+    def test_invalid_names_and_labels_are_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            reg.counter("0bad", "")
+        with pytest.raises(ValueError, match="invalid label name"):
+            reg.counter("repro_ok_total", "", ("0bad",))
+
+    def test_labels_must_match_the_family(self):
+        reg = MetricsRegistry()
+        family = reg.gauge("repro_depth", "Depth", ("tenant",))
+        with pytest.raises(ValueError, match="takes labels"):
+            family.labels(nope="x")
+        family.labels(tenant="t1").set(3)
+        family.labels(tenant="t2").set(4)
+        assert len(family.children()) == 2
+
+    def test_collectors_refresh_on_export_and_unregister(self):
+        reg = MetricsRegistry()
+        pulls = []
+
+        def collector(registry):
+            pulls.append(1)
+            registry.gauge("repro_pulled", "Pulled").set(len(pulls))
+
+        reg.register_collector("test", collector)
+        assert "repro_pulled 1" in reg.render_prometheus()
+        assert "repro_pulled 2" in reg.render_prometheus()
+        reg.unregister_collector("test")
+        # No further pulls; the last published value stays frozen.
+        assert "repro_pulled 2" in reg.render_prometheus()
+        assert len(pulls) == 2
+
+    def test_concurrent_label_creation_is_safe(self):
+        reg = MetricsRegistry()
+        family = reg.counter("repro_hits_total", "Hits", ("worker",))
+
+        def hammer(i):
+            for _ in range(200):
+                family.labels(worker=str(i % 4)).inc()
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = sum(child.value for _key, child in family.children())
+        assert total == 8 * 200
+
+
+class TestExporters:
+    def make_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_waves_total", "Waves applied", ("session",)).labels(
+            session="s1"
+        ).inc(3)
+        reg.gauge("repro_queue_depth", "Queue depth", ("tenant",)).labels(
+            tenant='quo"ted'
+        ).set(7)
+        hist = reg.histogram(
+            "repro_apply_seconds", "Apply latency", ("session",), buckets=(0.1, 1.0)
+        )
+        hist.labels(session="s1").observe(0.05)
+        hist.labels(session="s1").observe(0.7)
+        return reg
+
+    def test_prometheus_line_format(self):
+        text = self.make_registry().render_prometheus()
+        assert_prometheus_parses(text)
+        assert '# TYPE repro_waves_total counter' in text
+        assert 'repro_waves_total{session="s1"} 3' in text
+        assert 'repro_queue_depth{tenant="quo\\"ted"} 7' in text
+
+    def test_prometheus_histogram_series(self):
+        lines = self.make_registry().render_prometheus().splitlines()
+        buckets = [ln for ln in lines if ln.startswith("repro_apply_seconds_bucket")]
+        assert buckets == [
+            'repro_apply_seconds_bucket{session="s1",le="0.1"} 1',
+            'repro_apply_seconds_bucket{session="s1",le="1"} 2',
+            'repro_apply_seconds_bucket{session="s1",le="+Inf"} 2',
+        ]
+        assert 'repro_apply_seconds_count{session="s1"} 2' in lines
+        (sum_line,) = [ln for ln in lines if ln.startswith("repro_apply_seconds_sum")]
+        assert float(sum_line.split(" ")[1]) == pytest.approx(0.75)
+
+    def test_json_snapshot_mirrors_the_series(self):
+        snap = self.make_registry().snapshot()
+        json.dumps(snap)  # JSON-ready throughout
+        assert snap["repro_waves_total"]["type"] == "counter"
+        assert snap["repro_waves_total"]["series"] == [
+            {"labels": {"session": "s1"}, "value": 3.0}
+        ]
+        hist = snap["repro_apply_seconds"]["series"][0]
+        assert hist["count"] == 2
+        assert hist["buckets"][-1] == {"le": "+Inf", "n": 2}
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+        assert MetricsRegistry().snapshot() == {}
+
+
+class TestObservabilityBundle:
+    def test_profile_collector_publishes_hook_gauges(self):
+        obs = Observability(trace=False, profiling=True)
+        try:
+            from repro.obs import profile
+
+            baseline = profile.snapshot().get("test.hook", {}).get("calls", 0)
+            profile.note("test.hook", 0.25, items=10)
+            text = obs.metrics.render_prometheus()
+            assert_prometheus_parses(text)
+            assert f'repro_profile_calls{{hook="test.hook"}} {int(baseline) + 1}' in text
+        finally:
+            obs.disable_profiling()
+
+    def test_as_dict_is_json_ready(self):
+        obs = Observability()
+        with obs.tracer.span("unit"):
+            pass
+        view = obs.as_dict()
+        json.dumps(view)
+        assert view["tracing"] is True
+        assert [s["name"] for s in view["spans"]] == ["unit"]

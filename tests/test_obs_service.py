@@ -1,0 +1,248 @@
+"""Service-layer observability and network snapshot atomicity.
+
+Covers the dispatcher's span chain (``service.dispatch`` →
+``coalesce.window`` → ``tenant.apply``), the nesting of a shared
+session's ``wave.apply`` under its tenant's apply span, ``status()``,
+the per-tenant metric families, and — the concurrency contract behind
+all of it — that :meth:`Network.reset` is atomic against concurrent
+:meth:`Network.stats` / :meth:`Network.totals` readers: every observed
+snapshot is internally consistent and no shipment is ever double-counted
+or lost across resets.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.updates import Update
+from repro.distributed.message import MessageKind
+from repro.distributed.network import Network
+from repro.engine.session import session
+from repro.obs import Observability
+from repro.service import DetectionService
+from repro.workloads.rules import generate_cfds
+from repro.workloads.tpch import TPCHGenerator
+
+SEED = 29
+N_SITES = 3
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return TPCHGenerator(seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def cfds(generator):
+    return list(generate_cfds(generator.fd_specs(), 4, seed=SEED))
+
+
+def make_builder(generator, cfds, obs=None, name=None):
+    builder = (
+        session(generator.relation(60))
+        .partition(generator.horizontal_partitioner(N_SITES))
+        .rules(cfds)
+        .strategy("incHor")
+    )
+    if obs is not None:
+        builder = builder.observability(obs, name=name)
+    return builder
+
+
+class TestServiceTracing:
+    def test_dispatch_window_apply_span_chain(self, generator, cfds):
+        obs = Observability()
+        svc = DetectionService(observability=obs, name="svc")
+        try:
+            svc.register("t1", make_builder(generator, cfds))
+            for t in generator.tuples(5000, 3):
+                svc.submit("t1", Update.insert(t))
+            svc.flush("t1")
+        finally:
+            svc.close()
+        dispatches = obs.tracer.find("service.dispatch")
+        assert dispatches
+        for dispatch in dispatches:
+            assert dispatch.attrs == {"service": "svc", "tenant": "t1"}
+            child_names = [s.name for s in obs.tracer.children_of(dispatch)]
+            assert "coalesce.window" in child_names
+            assert "tenant.apply" in child_names
+        applied = sum(
+            s.attrs["updates"] for s in obs.tracer.find("tenant.apply")
+        )
+        assert applied == 3
+
+    def test_shared_observability_nests_session_waves_under_tenant_apply(
+        self, generator, cfds
+    ):
+        obs = Observability()
+        svc = DetectionService(observability=obs, name="svc-shared")
+        try:
+            svc.register(
+                "t1", make_builder(generator, cfds, obs=obs, name="t1-session")
+            )
+            svc.submit("t1", Update.insert(generator.tuples(6000, 1)[0]))
+            svc.flush("t1")
+        finally:
+            svc.close()
+        waves = obs.tracer.find("wave.apply")
+        assert waves
+        applies = {s.span_id for s in obs.tracer.find("tenant.apply")}
+        assert all(wave.parent_id in applies for wave in waves)
+
+    def test_status_is_json_ready_and_live(self, generator, cfds):
+        import json
+
+        svc = DetectionService(name="svc-status")
+        try:
+            svc.register("t1", make_builder(generator, cfds))
+            svc.submit("t1", Update.insert(generator.tuples(7000, 1)[0]))
+            svc.flush("t1")
+            status = svc.status()
+            json.dumps(status)
+            assert status["service"] == "svc-status"
+            assert status["closed"] is False
+            assert status["dispatcher_alive"] is True
+            assert status["observability"] is False
+            tenant = status["tenants"]["t1"]
+            assert tenant["applied_updates"] == 1
+            assert tenant["queue_depth"] == 0
+            assert tenant["failed"] is False
+        finally:
+            svc.close()
+        assert svc.status()["closed"] is True
+
+    def test_tenant_metrics_reach_the_prometheus_export(self, generator, cfds):
+        obs = Observability()
+        svc = DetectionService(observability=obs, name="svc-prom")
+        try:
+            svc.register("t1", make_builder(generator, cfds))
+            svc.submit("t1", Update.insert(generator.tuples(8000, 1)[0]))
+            svc.flush("t1")
+            text = obs.metrics.render_prometheus()
+            assert (
+                'repro_tenant_applied_updates{service="svc-prom",tenant="t1"} 1'
+                in text
+            )
+            assert (
+                'repro_tenant_latency_seconds{service="svc-prom",tenant="t1",quantile="p99"}'
+                in text
+            )
+            hist_count = [
+                line
+                for line in text.splitlines()
+                if line.startswith("repro_tenant_apply_seconds_count")
+            ]
+            assert hist_count and hist_count[0].endswith(" 1")
+        finally:
+            svc.close()
+        # Final values stay frozen after close; the collector is gone.
+        text = obs.metrics.render_prometheus()
+        assert (
+            'repro_tenant_applied_updates{service="svc-prom",tenant="t1"} 1' in text
+        )
+
+
+class TestNetworkSnapshotAtomicity:
+    def test_totals_reads_both_counters_under_one_lock(self):
+        network = Network()
+        network.send(0, 1, MessageKind.EQID, None, 8, units=1)
+        assert network.totals() == (1, 8)
+
+    def test_reset_vs_concurrent_readers_never_tears(self):
+        """Shipper/reader/resetter hammer one ledger; conservation holds.
+
+        Every message ships ``BYTES_PER_MSG`` bytes, so any internally
+        consistent snapshot has ``bytes == messages * BYTES_PER_MSG``.
+        A torn read (messages from before a reset, bytes from after, or
+        a half-cleared ledger) breaks that invariant; losing or
+        double-counting a shipment across resets breaks conservation.
+        """
+        BYTES_PER_MSG = 8
+        N_SHIPPERS = 3
+        SHIPMENTS_EACH = 400
+        network = Network()
+        stop = threading.Event()
+        torn: list[str] = []
+        reset_snapshots: list = []
+
+        def shipper():
+            for _ in range(SHIPMENTS_EACH):
+                network.send(0, 1, MessageKind.EQID, None, BYTES_PER_MSG, units=1)
+
+        def reader():
+            while not stop.is_set():
+                stats = network.stats()
+                if stats.bytes != stats.messages * BYTES_PER_MSG:
+                    torn.append(f"stats tore: {stats.messages=} {stats.bytes=}")
+                if stats.bytes != sum(stats.bytes_by_kind.values()):
+                    torn.append("stats tore: bytes != sum(bytes_by_kind)")
+                messages, nbytes = network.totals()
+                if nbytes != messages * BYTES_PER_MSG:
+                    torn.append(f"totals tore: {messages=} {nbytes=}")
+
+        def resetter():
+            while not stop.is_set():
+                snapshot = network.reset()
+                if snapshot.bytes != snapshot.messages * BYTES_PER_MSG:
+                    torn.append("reset snapshot tore")
+                reset_snapshots.append(snapshot)
+
+        shippers = [threading.Thread(target=shipper) for _ in range(N_SHIPPERS)]
+        observers = [
+            threading.Thread(target=reader),
+            threading.Thread(target=reader),
+            threading.Thread(target=resetter),
+        ]
+        for t in observers + shippers:
+            t.start()
+        for t in shippers:
+            t.join()
+        stop.set()
+        for t in observers:
+            t.join()
+
+        assert not torn, torn[:5]
+        final = network.reset()
+        reset_snapshots.append(final)
+        total_messages = sum(s.messages for s in reset_snapshots)
+        total_bytes = sum(s.bytes for s in reset_snapshots)
+        assert total_messages == N_SHIPPERS * SHIPMENTS_EACH
+        assert total_bytes == N_SHIPPERS * SHIPMENTS_EACH * BYTES_PER_MSG
+
+    def test_service_metrics_export_races_session_reset_cleanly(
+        self, generator, cfds
+    ):
+        """The satellite's original scenario end-to-end: a monitoring
+        thread polling ``service.metrics()`` while the tenant's session
+        ledger is reset between batches sees only consistent snapshots."""
+        svc = DetectionService(name="svc-race")
+        torn: list[str] = []
+        stop = threading.Event()
+        try:
+            svc.register("t1", make_builder(generator, cfds))
+            sess = svc.session("t1")
+
+            def poller():
+                while not stop.is_set():
+                    snapshot = svc.metrics("t1")
+                    if snapshot.bytes_shipped != sum(
+                        sess.network.stats().bytes_by_kind.values()
+                    ) and snapshot.bytes_shipped < 0:
+                        torn.append("negative bytes")  # pragma: no cover
+
+            thread = threading.Thread(target=poller)
+            thread.start()
+            tid = 9000
+            for _ in range(10):
+                for t in generator.tuples(tid, 3):
+                    svc.submit("t1", Update.insert(t))
+                tid += 3
+                svc.flush("t1")
+                sess.reset_costs()
+            stop.set()
+            thread.join()
+        finally:
+            stop.set()
+            svc.close()
+        assert not torn
