@@ -19,8 +19,29 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from repro.core.cfd import CFD, UNNAMED
 from repro.distributed.serialization import TID_BYTES
+from repro.columnar.masks import mask_to_tids
 from repro.columnar.store import ColumnStore
 from repro.obs import profile as _prof
+
+#: Sentinel for "a pattern constant never occurs in this store".
+_UNSATISFIABLE = object()
+
+
+def _pattern_tests(store: ColumnStore, cfd: CFD) -> "list[tuple[int, int]] | object":
+    """The positional ``(index, code)`` tests a group key must pass to
+    match the CFD's LHS pattern constants — :data:`_UNSATISFIABLE` when a
+    constant value never occurs in the store (no row can match)."""
+    pattern = cfd.pattern
+    tests: list[tuple[int, int]] = []
+    for i, a in enumerate(cfd.lhs):
+        entry = pattern.entry(a)
+        if entry is UNNAMED:
+            continue
+        code = store.dictionary(a).code_of(entry)
+        if code is None:
+            return _UNSATISFIABLE
+        tests.append((i, code))
+    return tests
 
 
 def _matching_group_items(
@@ -30,16 +51,9 @@ def _matching_group_items(
     the CFD's LHS pattern constants (all groups for an all-wildcard LHS)."""
     lhs = cfd.lhs
     groups = store.grouped_rows(lhs)
-    pattern = cfd.pattern
-    tests: list[tuple[int, int]] = []
-    for i, a in enumerate(lhs):
-        entry = pattern.entry(a)
-        if entry is UNNAMED:
-            continue
-        code = store.dictionary(a).code_of(entry)
-        if code is None:
-            return ()  # the constant never occurs: no row can match
-        tests.append((i, code))
+    tests = _pattern_tests(store, cfd)
+    if tests is _UNSATISFIABLE:
+        return ()
     if not tests:
         return groups.items()
     if len(lhs) == 1:
@@ -53,50 +67,100 @@ def _matching_group_items(
     )
 
 
+def _matching_group_masks(store: ColumnStore, cfd: CFD) -> Iterable[int]:
+    """The row bitsets of the LHS groups matching the pattern constants."""
+    lhs = cfd.lhs
+    masks = store.grouped_masks(lhs)
+    tests = _pattern_tests(store, cfd)
+    if tests is _UNSATISFIABLE:
+        return ()
+    if not tests:
+        return masks.values()
+    if len(lhs) == 1:
+        mask = masks.get(tests[0][1])
+        return (mask,) if mask is not None else ()
+    return (
+        mask
+        for key, mask in masks.items()
+        if all(key[i] == code for i, code in tests)
+    )
+
+
 # -- violation kernels (CentralizedDetector.violations_of equivalents) ---------------
 
 
-def constant_violations(cfd: CFD, store: ColumnStore) -> set[Any]:
-    """``V(phi, D)`` for a constant CFD: one sweep over the LHS groups."""
+def constant_violation_mask(cfd: CFD, store: ColumnStore) -> int:
+    """``V(phi, D)`` for a constant CFD, as a row bitset.
+
+    Rows matching the LHS pattern are OR-ed into one bitset; subtracting
+    the (cached, shared across CFDs on the same RHS) mask of rows that
+    already carry the required RHS code leaves exactly the violating rows
+    — no per-tuple set is built at all.
+    """
     if _prof.enabled:
         _t0 = perf_counter()
-    rhs_code = store.dictionary(cfd.rhs).code_of(cfd.pattern.entry(cfd.rhs))
-    rhs_col = store.codes(cfd.rhs)
-    tid_at = store.tid_of_row
-    violating: set[Any] = set()
-    for _key, rows in _matching_group_items(store, cfd):
+    matching = 0
+    for mask in _matching_group_masks(store, cfd):
+        matching |= mask
+    bad = 0
+    if matching:
+        rhs_code = store.dictionary(cfd.rhs).code_of(cfd.pattern.entry(cfd.rhs))
         if rhs_code is None:
-            violating.update(tid_at(r) for r in rows)
+            bad = matching  # the required constant never occurs: all match rows violate
         else:
-            violating.update(tid_at(r) for r in rows if rhs_col[r] != rhs_code)
+            bad = matching & ~store.grouped_masks((cfd.rhs,)).get(rhs_code, 0)
     if _prof.enabled:
         _prof.note("columnar.constant_sweep", perf_counter() - _t0, len(store))
-    return violating
+    return bad
+
+
+def variable_violation_mask(cfd: CFD, store: ColumnStore) -> int:
+    """``V(phi, D)`` for a variable CFD, as a row bitset: groups holding
+    more than one distinct RHS code.
+
+    A group is clean iff its bitset is contained in the bitset of a
+    single RHS code (``group & ~rhs_mask == 0``): two big-int ops per
+    group against the cached per-code RHS masks, accumulating violating
+    groups into one bitset.
+    """
+    if _prof.enabled:
+        _t0 = perf_counter()
+    rhs_col = store.codes(cfd.rhs)
+    rhs_masks = store.grouped_masks((cfd.rhs,))
+    bad = 0
+    for mask in _matching_group_masks(store, cfd):
+        if mask.bit_count() < 2:
+            continue
+        first_row = (mask & -mask).bit_length() - 1
+        if mask & ~rhs_masks.get(rhs_col[first_row], 0):
+            bad |= mask
+    if _prof.enabled:
+        _prof.note("columnar.variable_sweep", perf_counter() - _t0, len(store))
+    return bad
+
+
+def violation_mask(cfd: CFD, store: ColumnStore) -> int:
+    """``V(phi, D)`` for one CFD as a row bitset (the compact wire form:
+    a warm worker returns this and the coordinator decodes it against
+    its own copy of the fragment)."""
+    if cfd.is_constant():
+        return constant_violation_mask(cfd, store)
+    return variable_violation_mask(cfd, store)
+
+
+def constant_violations(cfd: CFD, store: ColumnStore) -> set[Any]:
+    """``V(phi, D)`` for a constant CFD, decoded to tids."""
+    return mask_to_tids(store, constant_violation_mask(cfd, store))
 
 
 def variable_violations(cfd: CFD, store: ColumnStore) -> set[Any]:
-    """``V(phi, D)`` for a variable CFD: groups holding >1 distinct RHS code."""
-    if _prof.enabled:
-        _t0 = perf_counter()
-    rhs_col = store.codes(cfd.rhs)
-    tid_at = store.tid_of_row
-    violating: set[Any] = set()
-    for _key, rows in _matching_group_items(store, cfd):
-        if len(rows) < 2:
-            continue
-        first = rhs_col[rows[0]]
-        if any(rhs_col[r] != first for r in rows):
-            violating.update(tid_at(r) for r in rows)
-    if _prof.enabled:
-        _prof.note("columnar.variable_sweep", perf_counter() - _t0, len(store))
-    return violating
+    """``V(phi, D)`` for a variable CFD, decoded to tids."""
+    return mask_to_tids(store, variable_violation_mask(cfd, store))
 
 
 def violations_of(cfd: CFD, store: ColumnStore) -> set[Any]:
     """``V(phi, D)`` for one CFD — the columnar twin of the row-backend scan."""
-    if cfd.is_constant():
-        return constant_violations(cfd, store)
-    return variable_violations(cfd, store)
+    return mask_to_tids(store, violation_mask(cfd, store))
 
 
 # -- bulk index construction -----------------------------------------------------------
@@ -137,23 +201,57 @@ def build_cfd_index(index: Any, store: ColumnStore) -> None:
 
 
 def horizontal_batch_scan(
-    store: ColumnStore, cfd: CFD, want_ship: bool
-) -> tuple[list[tuple[Any, int]], dict[tuple[Any, ...], dict[Any, set[Any]]]]:
+    store: ColumnStore, cfd: CFD, want_ship: bool, compact: bool = False
+) -> tuple[Any, Any]:
     """One site's scan for a general CFD in ``batHor``.
 
     Returns ``(shipments, groups)``: the ``(tid, bytes)`` of every
     pattern-matching tuple (when this site ships for the CFD) and the
     fragment's decoded partial LHS groups for the coordinator merge —
     the columnar twin of the per-tuple loop in ``_site_batch_task``.
+
+    With ``compact=True`` nothing is decoded and *nothing leaves row
+    space*: the shipment is one row bitset (the coordinator re-derives
+    each row's tid and wire-size estimate from its own copy — values at
+    row ``r`` are identical on both sides), and the groups flatten to
+    one ``(LHS key, RHS value)`` bucket each, encoded as a bare row
+    index for the common singleton bucket and a row bitset otherwise.
+    That is the wire form a warm worker sends back: a replica built
+    from the coordinator's full physical export plus its journal deltas
+    assigns identical row indices (codes may drift — fragment
+    dictionaries are shared across stores coordinator-side — which is
+    why no code crosses the pipe), so the coordinator recovers each
+    bucket's key and RHS value from any member row of its own copy of
+    the fragment (see ``HorizontalBatchDetector.detect``).
     """
     if _prof.enabled:
         _t0 = perf_counter()
+    rhs_col = store.codes(cfd.rhs)
+    if compact:
+        ship_mask = 0
+        singles: list[int] = []
+        multis: list[int] = []
+        for _key, rows in _matching_group_items(store, cfd):
+            by_code: dict[int, int] = {}
+            for r in rows:
+                bit = 1 << r
+                if want_ship:
+                    ship_mask |= bit
+                code = rhs_col[r]
+                by_code[code] = by_code.get(code, 0) | bit
+            for mask in by_code.values():
+                if mask & (mask - 1):
+                    multis.append(mask)
+                else:
+                    singles.append(mask.bit_length() - 1)
+        if _prof.enabled:
+            _prof.note("shipment.batch_scan", perf_counter() - _t0, len(store))
+        return ship_mask, (singles, multis)
     needed = cfd.attributes
     col_tables = [(store.codes(a), store.dictionary(a).byte_sizes()) for a in needed]
-    rhs_col = store.codes(cfd.rhs)
+    ship: list[tuple[Any, int]] = []
     rhs_dict = store.dictionary(cfd.rhs)
     tids = store.tids_list()
-    ship: list[tuple[Any, int]] = []
     groups_out: dict[tuple[Any, ...], dict[Any, set[Any]]] = {}
     for key, rows in _matching_group_items(store, cfd):
         by_rhs: dict[int, set[Any]] = {}

@@ -1,0 +1,50 @@
+"""Integer bitset row masks for allocation-free violation sweeps.
+
+A *mask* is a plain Python ``int`` whose bit ``r`` is set iff physical
+row ``r`` of a :class:`~repro.columnar.store.ColumnStore` belongs to the
+set.  Python integers are arbitrary-precision, so one mask covers a
+fragment of any size, and the inner CFD sweeps become a handful of
+big-int operations (``|``, ``& ~``, ``bit_count``) on cached per-group
+masks instead of building a per-tuple ``set`` per CFD per round:
+
+* grouping rows by an LHS key is done once per attribute tuple and
+  cached as ``{key: mask}`` on the store;
+* "every row of the group whose RHS code is not the majority/constant
+  code" is ``group_mask & ~ok_mask`` — no iteration until the final
+  decode of the (usually tiny) violating mask back to tids.
+
+Masks are built from *live* physical row indexes, so they are
+invalidated (dropped from the store's cache) whenever the store mutates
+or compacts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+
+def rows_to_mask(rows: Iterable[int]) -> int:
+    """Pack an iterable of physical row indexes into one bitset ``int``."""
+    top = -1
+    packed = bytearray()
+    for r in rows:
+        byte = r >> 3
+        if byte > top:
+            packed.extend(b"\x00" * (byte - top))
+            top = byte
+        packed[byte] |= 1 << (r & 7)
+    return int.from_bytes(packed, "little")
+
+
+def iter_mask_rows(mask: int) -> Iterator[int]:
+    """Yield the set bit positions (physical rows) of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def mask_to_tids(store: Any, mask: int) -> set[Any]:
+    """Decode a violation mask back to the tids of its rows."""
+    tid_of_row = store.tid_of_row
+    return {tid_of_row(r) for r in iter_mask_rows(mask)}

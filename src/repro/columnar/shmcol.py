@@ -1,0 +1,224 @@
+"""Zero-copy export/attach of a :class:`ColumnStore` over shared memory.
+
+The coordinator side of the shm backend *exports* a columnar fragment
+once: each attribute's dictionary codes packed into a typed buffer (the
+narrowest of ``B``/``H``/``I``/``Q`` that fits the dictionary) laid out
+back to back in one ``multiprocessing.shared_memory`` segment, plus a
+small pickled meta payload (schema, dictionary value tables, tid table,
+column offsets).  A worker *attaches* the segment and rebuilds a live
+:class:`AttachedColumnStore` whose code arrays are ``memoryview`` casts
+straight into the segment — the code payload never crosses the pipe and
+is never copied into the worker heap.
+
+After attaching, the replica is writable: :class:`CodeColumn` backs each
+column with the read-only shared base plus a private append tail, so the
+coordinator can catch a resident replica up by sending compact *value*
+deltas (see :func:`apply_delta`) instead of republishing.  Deltas carry
+decoded values, never codes; the replica interns them into its own
+dictionaries, so dictionary state needs no cross-process coordination
+(coordinator-side dictionaries are shared across fragment stores and may
+intern values the replica never sees, so codes can drift).
+
+Physical *row indices*, in contrast, are aligned by construction: the
+export snapshots the exact physical layout — tombstoned rows included —
+and replaying the journal drives the replica through the same
+insert/pop/compact code paths the coordinator's store runs, so row ``r``
+names the same tuple on both sides at every version.  That alignment is
+what lets warm workers return results in pure row space (bitset masks,
+row indices) for the coordinator to decode locally, instead of pickling
+decoded values and tid sets back across the pipe.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Iterator, Sequence
+
+from repro.core.tuples import Tuple
+from repro.columnar.dictionary import ValueDictionary
+from repro.columnar.store import ColumnStore
+
+#: Narrowest array typecode able to hold codes ``0 .. n_values - 1``.
+_WIDTHS = (("B", 1, 1 << 8), ("H", 2, 1 << 16), ("I", 4, 1 << 32), ("Q", 8, 1 << 64))
+
+_ITEMSIZE = {tc: size for tc, size, _ in _WIDTHS}
+
+
+def typecode_for(n_values: int) -> str:
+    for tc, _size, limit in _WIDTHS:
+        if n_values <= limit:
+            return tc
+    raise ValueError(f"dictionary too large to encode: {n_values} values")
+
+
+class CodeColumn:
+    """A code array split into a shared read-only base and a private tail.
+
+    The base is a typed ``memoryview`` into an attached shm segment (or a
+    plain ``array`` for the inline-fallback path); appends from delta
+    replay land in the Python-list tail.  Supports exactly the list
+    surface :class:`ColumnStore` uses — indexing, iteration, ``append``/
+    ``extend``, ``copy`` — and pickles as a plain list so an attached
+    store can still cross a process boundary if a task returns it.
+    """
+
+    __slots__ = ("_base", "_tail")
+
+    def __init__(self, base: Any):
+        self._base = base
+        self._tail: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._base) + len(self._tail)
+
+    def __getitem__(self, index: Any) -> Any:
+        if isinstance(index, slice):
+            return list(self)[index]
+        n = len(self._base)
+        if index < 0:
+            index += n + len(self._tail)
+        return self._base[index] if index < n else self._tail[index - n]
+
+    def __iter__(self) -> Iterator[int]:
+        yield from self._base
+        yield from self._tail
+
+    def append(self, code: int) -> None:
+        self._tail.append(code)
+
+    def extend(self, codes) -> None:
+        self._tail.extend(codes)
+
+    def copy(self) -> list[int]:
+        return list(self)
+
+    def __reduce__(self):
+        return (list, (list(self),))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CodeColumn({len(self._base)} shared + {len(self._tail)} local)"
+
+
+class AttachedColumnStore(ColumnStore):
+    """A :class:`ColumnStore` whose code arrays live in attached shm.
+
+    Behaviorally identical to its parent (``column_store_of`` and every
+    kernel accept it); only the physical column representation differs.
+    Mutation works — appends go to the private tails, and a compaction
+    naturally migrates the columns into private lists.
+    """
+
+    __slots__ = ()
+
+    @classmethod
+    def attach(
+        cls,
+        attrs: Sequence[str],
+        dict_values: dict[str, list[Any]],
+        columns: dict[str, CodeColumn],
+        tids: Sequence[Any],
+        dead: Sequence[int] = (),
+    ) -> "AttachedColumnStore":
+        store = cls.__new__(cls)
+        store._attrs = tuple(attrs)
+        dicts: dict[str, ValueDictionary] = {}
+        for a in store._attrs:
+            # Interning the exporter's value table in order reproduces its
+            # code assignment exactly (dictionary entries are pairwise
+            # distinct), so the shared code buffers decode correctly.
+            d = ValueDictionary()
+            for v in dict_values[a]:
+                d.intern(v)
+            dicts[a] = d
+        store._dicts = dicts
+        store._cols = columns
+        store._tids = list(tids)
+        store._dead = set(dead)
+        # Skipping tombstones while enumerating in physical order rebuilds
+        # the exporter's tid->row map exactly (a reinserted tid's dead old
+        # row is shadowed by its later live one).
+        store._rows = {
+            tid: i for i, tid in enumerate(store._tids) if i not in store._dead
+        }
+        store._init_derived()
+        return store
+
+
+def export_payload(store: ColumnStore, schema: Any) -> tuple[dict, list[bytes], int]:
+    """Snapshot ``store`` for publishing: ``(meta, buffers, total_bytes)``.
+
+    ``buffers`` holds one packed code buffer per attribute — the *exact
+    physical layout*, tombstoned rows included, so the replica's row
+    indices align with the exporter's (the invariant compact row-space
+    results depend on); ``meta["dead"]`` carries the tombstones.
+    ``meta["columns"]`` records ``(attr, typecode, offset, count)`` so
+    the buffers can be laid out back to back in one segment and re-cast
+    on attach.  ``meta["shm"]`` is filled in by the publisher (segment
+    name, or None for the inline-fallback path).
+    """
+    attrs = store.attributes
+    columns: list[tuple[str, str, int, int]] = []
+    buffers: list[bytes] = []
+    offset = 0
+    for a in attrs:
+        tc = typecode_for(len(store.dictionary(a)))
+        arr = array(tc, store.codes(a))
+        buf = arr.tobytes()
+        columns.append((a, tc, offset, len(arr)))
+        buffers.append(buf)
+        offset += len(buf)
+    meta = {
+        "schema": schema,
+        "attrs": attrs,
+        "dicts": {a: list(store.dictionary(a).values_list()) for a in attrs},
+        "tids": list(store.tids_list()),
+        "dead": sorted(store.dead_rows()),
+        "columns": columns,
+        "shm": None,
+    }
+    return meta, buffers, offset
+
+
+def attach_relation(
+    meta: dict, buf: Any, buffers: list[bytes] | None = None
+) -> tuple[Any, list[Any]]:
+    """Rebuild a live relation from a publish payload (worker side).
+
+    ``buf`` is the attached segment's buffer for the zero-copy path, or
+    None with ``buffers`` carrying the inline-pickled code buffers.
+    Returns ``(relation, views)`` — the caller must ``release()`` every
+    view before closing the segment.
+    """
+    from repro.core.relation import Relation
+
+    views: list[Any] = []
+    columns: dict[str, CodeColumn] = {}
+    for i, (a, tc, offset, count) in enumerate(meta["columns"]):
+        if buf is not None:
+            view = memoryview(buf)[offset : offset + count * _ITEMSIZE[tc]].cast(tc)
+            views.append(view)
+            base: Any = view
+        else:
+            arr = array(tc)
+            arr.frombytes(buffers[i])
+            base = arr
+        columns[a] = CodeColumn(base)
+    store = AttachedColumnStore.attach(
+        meta["attrs"], meta["dicts"], columns, meta["tids"], meta["dead"]
+    )
+    return Relation(meta["schema"], storage=store), views
+
+
+def apply_delta(relation: Any, ops: Sequence[tuple]) -> None:
+    """Replay a coordinator journal slice onto an attached replica.
+
+    Ops are ``("i", tid, values)`` / ``("d", tid)`` in mutation order,
+    carrying decoded values (see :meth:`ColumnStore.enable_journal`).
+    """
+    store = relation.store
+    attrs = store.attributes
+    for op in ops:
+        if op[0] == "i":
+            store.insert(Tuple(op[1], dict(zip(attrs, op[2]))))
+        else:
+            store.pop(op[1])

@@ -17,14 +17,22 @@ O(columns) list copies instead of O(rows) dict allocations.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Iterator, KeysView, Mapping, Sequence
 
 from repro.core.schema import Schema
 from repro.core.tuples import Tuple
 from repro.columnar.dictionary import ValueDictionary
+from repro.columnar.masks import rows_to_mask
 
 #: Compact when more than this many rows — and over half of them — are dead.
 _COMPACT_MIN_DEAD = 32
+
+#: Stop journalling (forcing a full republish) past this many pending ops.
+_JOURNAL_CAP = 4096
+
+#: Process-local store identities, used as residency keys by warm executors.
+_STORE_UIDS = itertools.count(1)
 
 
 class ColumnRowView(Mapping[str, Any]):
@@ -78,7 +86,21 @@ class ColumnStore:
 
     name = "columnar"
 
-    __slots__ = ("_attrs", "_dicts", "_cols", "_tids", "_rows", "_dead", "_groups")
+    __slots__ = (
+        "__weakref__",
+        "_attrs",
+        "_dicts",
+        "_cols",
+        "_tids",
+        "_rows",
+        "_dead",
+        "_groups",
+        "_masks",
+        "_uid",
+        "_version",
+        "_journal",
+        "_journal_base",
+    )
 
     def __init__(self, schema: Schema):
         self._attrs: tuple[str, ...] = schema.attribute_names
@@ -89,7 +111,75 @@ class ColumnStore:
         self._tids: list[Any] = []
         self._rows: dict[Any, int] = {}
         self._dead: set[int] = set()
+        self._init_derived()
+
+    def _init_derived(self) -> None:
+        """Fresh derived state: caches, identity, version, journal.
+
+        Every construction path — ``__init__``, the column-sliced algebra
+        clones, unpickling — goes through here, so a new store object is
+        always a new identity with version 0 and no journal.
+        """
         self._groups: dict[tuple[str, ...], dict[Any, list[int]]] = {}
+        self._masks: dict[tuple[str, ...], dict[Any, int]] = {}
+        self._uid: int = next(_STORE_UIDS)
+        self._version: int = 0
+        self._journal: list[tuple] | None = None
+        self._journal_base: int = 0
+
+    # -- identity / change feed (for warm executors) -----------------------------------
+
+    @property
+    def uid(self) -> int:
+        """A process-local identity: distinct per store object, stable for life."""
+        return self._uid
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumps once per inserted/removed row."""
+        return self._version
+
+    def enable_journal(self) -> None:
+        """Start recording mutations so remote replicas can catch up by delta.
+
+        Journal entries carry decoded *values*, never codes: a replica
+        interns them into its own dictionaries, so dictionary state never
+        has to stay synchronized across the process boundary.  A no-op if
+        a journal is already recording.
+        """
+        if self._journal is None:
+            self._journal = []
+            self._journal_base = self._version
+
+    def journal_since(self, version: int) -> list[tuple] | None:
+        """The ops replaying ``version`` → current, or None if unavailable.
+
+        None means the caller must fall back to a full republish: either
+        journalling was never enabled, the requested version predates the
+        journal, or the journal overflowed :data:`_JOURNAL_CAP`.
+        """
+        if self._journal is None or version < self._journal_base:
+            return None
+        return self._journal[version - self._journal_base :]
+
+    def trim_journal(self, version: int) -> None:
+        """Drop journal entries no replica needs anymore (up to ``version``)."""
+        if self._journal is None or version <= self._journal_base:
+            return
+        self._journal = self._journal[version - self._journal_base :]
+        self._journal_base = version
+
+    def _note_mutation(self, op: tuple) -> None:
+        self._version += 1
+        journal = self._journal
+        if journal is not None:
+            journal.append(op)
+            if len(journal) > _JOURNAL_CAP:
+                self._journal = None
+        if self._groups:
+            self._groups = {}
+        if self._masks:
+            self._masks = {}
 
     # -- backend protocol ---------------------------------------------------------
 
@@ -123,8 +213,7 @@ class ColumnStore:
         for a in self._attrs:
             self._cols[a].append(self._dicts[a].intern(t[a]))
         self._rows[t.tid] = row
-        if self._groups:
-            self._groups = {}
+        self._note_mutation(("i", t.tid, tuple(t[a] for a in self._attrs)))
 
     def pop(self, tid: Any) -> Tuple | None:
         row = self._rows.pop(tid, None)
@@ -134,8 +223,7 @@ class ColumnStore:
             tid, {a: self._dicts[a].value(self._cols[a][row]) for a in self._attrs}
         )
         self._dead.add(row)
-        if self._groups:
-            self._groups = {}
+        self._note_mutation(("d", tid))
         if len(self._dead) > _COMPACT_MIN_DEAD and len(self._dead) * 2 > len(self._tids):
             self._compact()
         return t
@@ -148,7 +236,7 @@ class ColumnStore:
         clone._tids = self._tids.copy()
         clone._rows = dict(self._rows)
         clone._dead = set(self._dead)
-        clone._groups = {}
+        clone._init_derived()
         return clone
 
     # -- column access (the kernel surface) ------------------------------------------
@@ -173,6 +261,10 @@ class ColumnStore:
     def live_rows(self) -> Iterator[int]:
         """Physical indices of the live rows, in insertion order."""
         return iter(self._rows.values())
+
+    def dead_rows(self) -> set[int]:
+        """Physical indices of the tombstoned rows (do not mutate)."""
+        return self._dead
 
     def iter_rows(self):
         """Live row indices for a sweep: a ``range`` when dense (faster),
@@ -249,6 +341,24 @@ class ColumnStore:
         self._groups[attrs] = groups
         return groups
 
+    def grouped_masks(self, attributes: Sequence[str]) -> dict[Any, int]:
+        """The :meth:`grouped_rows` partition as ``{key: bitset mask}``.
+
+        One integer bitset of physical rows per LHS key, cached alongside
+        the row-list groups until the next mutation.  The mask form is
+        what the allocation-free CFD kernels consume: checking a group
+        against an accepted code set becomes ``mask & ~ok`` on big ints.
+        """
+        attrs = tuple(attributes)
+        cached = self._masks.get(attrs)
+        if cached is None:
+            cached = {
+                key: rows_to_mask(rows)
+                for key, rows in self.grouped_rows(attrs).items()
+            }
+            self._masks[attrs] = cached
+        return cached
+
     def decode_key(self, attributes: Sequence[str], key: Any) -> tuple[Any, ...]:
         """Decode a :meth:`grouped_rows` key back into a value tuple."""
         attrs = tuple(attributes)
@@ -266,7 +376,7 @@ class ColumnStore:
         clone = ColumnStore.__new__(ColumnStore)
         clone._attrs = tuple(keep)
         clone._dicts = {a: self._dicts[a] for a in clone._attrs}
-        clone._groups = {}
+        clone._init_derived()
         if not self._dead:
             clone._cols = {a: self._cols[a].copy() for a in clone._attrs}
             clone._tids = self._tids.copy()
@@ -294,7 +404,7 @@ class ColumnStore:
         clone._tids = [self._tids[r] for r in rows]
         clone._rows = {tid: i for i, tid in enumerate(clone._tids)}
         clone._dead = set()
-        clone._groups = {}
+        clone._init_derived()
         return clone
 
     def join_columns(
@@ -340,7 +450,7 @@ class ColumnStore:
         clone._tids = [self._tids[r] for r, _ in pairs]
         clone._rows = {tid: i for i, tid in enumerate(clone._tids)}
         clone._dead = set()
-        clone._groups = {}
+        clone._init_derived()
         return clone
 
     def reorder_columns(self, attributes: Sequence[str]) -> "ColumnStore":
@@ -371,8 +481,23 @@ class ColumnStore:
             tid = other._tids[r]
             self._rows[tid] = len(self._tids)
             self._tids.append(tid)
+            if self._journal is not None:
+                self._note_mutation(
+                    (
+                        "i",
+                        tid,
+                        tuple(
+                            other._dicts[a].value(other._cols[a][r])
+                            for a in self._attrs
+                        ),
+                    )
+                )
+            else:
+                self._version += 1
         if self._groups:
             self._groups = {}
+        if self._masks:
+            self._masks = {}
 
     def bulk_load(self, tuples) -> None:
         """Append many tuples at once (caller has checked tids are fresh)."""
@@ -386,8 +511,14 @@ class ColumnStore:
             tids.append(t.tid)
             for a in attrs:
                 cols[a].append(dicts[a].intern(t[a]))
+            if self._journal is not None:
+                self._note_mutation(("i", t.tid, tuple(t[a] for a in attrs)))
+            else:
+                self._version += 1
         if self._groups:
             self._groups = {}
+        if self._masks:
+            self._masks = {}
 
     # -- maintenance ---------------------------------------------------------------
 
@@ -397,7 +528,10 @@ class ColumnStore:
         self._tids = [self._tids[r] for r in rows]
         self._rows = {tid: i for i, tid in enumerate(self._tids)}
         self._dead = set()
+        # Physical rows were renumbered, so row-indexed caches are stale;
+        # the logical contents are unchanged, so the version is not.
         self._groups = {}
+        self._masks = {}
 
     # -- pickling (drop the derived group cache) --------------------------------------
 
@@ -418,7 +552,7 @@ class ColumnStore:
         self._tids = state["tids"]
         self._rows = state["rows"]
         self._dead = state["dead"]
-        self._groups = {}
+        self._init_derived()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ColumnStore({len(self._rows)} rows, {len(self._attrs)} columns)"

@@ -162,6 +162,49 @@ class UpdateBatch:
                 updated.discard(update.tid)
         return updated
 
+    def validate_against(self, relation: Relation) -> None:
+        """Reject the batch up front if it would double-insert a tid.
+
+        Tracks tid existence through the batch in order, so an
+        insert-after-delete is fine while a duplicate insert raises the
+        same :class:`~repro.core.relation.RelationError` the relation
+        itself would — before anything has mutated.
+        """
+        from repro.core.relation import RelationError
+
+        seen: dict[Any, bool] = {}
+        for update in self._updates:
+            tid = update.tid
+            exists = seen.get(tid)
+            if exists is None:
+                exists = tid in relation
+            if update.is_insert():
+                if exists:
+                    raise RelationError(
+                        f"duplicate tid {tid!r} in relation {relation.schema.name!r}"
+                    )
+                seen[tid] = True
+            else:
+                seen[tid] = False
+
+    def apply_in_place(self, relation: Relation) -> Relation:
+        """Apply the batch to ``relation`` itself — ``D (+) delta-D`` without
+        the whole-database copy.
+
+        Same outcome as :meth:`apply_to`, but mutating: duplicate-tid
+        insertions are rejected up front (see :meth:`validate_against`),
+        so a bad batch leaves the relation untouched.  Keeping the
+        relation object (and its store) alive across batches is what
+        lets warm executors ship deltas instead of fragments.
+        """
+        self.validate_against(relation)
+        for update in self._updates:
+            if update.is_insert():
+                relation.insert(update.tuple)
+            else:
+                relation.discard(update.tid)
+        return relation
+
     def project(self, attributes: Sequence[str]) -> "UpdateBatch":
         """``pi_Xi(delta-D)``: the batch restricted to a vertical fragment's attributes."""
         return UpdateBatch(

@@ -9,9 +9,9 @@ fragments still reconstructs the logical database (used by tests).
 
 from __future__ import annotations
 
-from typing import Iterator, Union
+from typing import Any, Iterator, Union
 
-from repro.core.relation import Relation
+from repro.core.relation import Relation, RelationError
 from repro.core.schema import Schema
 from repro.core.tuples import Tuple
 from repro.distributed.network import Network
@@ -184,6 +184,83 @@ class Cluster:
         for site_id, fragment in partition:
             self._sites[site_id].replace_fragment(fragment)
         self._partition = partition
+
+    def deliver_updates(self, batch: Any) -> None:
+        """Apply an update batch straight to the site fragments, in place.
+
+        The fragment-level twin of ``UpdateBatch.apply_in_place`` on the
+        logical relation: each update lands at its owning site(s) — free
+        of charge, exactly the paper's delivery model — with the same
+        up-front validation (a duplicate insertion raises before
+        anything mutates) and the same end state as re-fragmenting the
+        updated relation.  Crucially the fragment *objects* survive, so
+        warm per-site executor state (shm-resident worker replicas)
+        stays valid and later rounds ship only the deltas journalled by
+        these mutations.
+        """
+        if self.is_horizontal():
+            self._deliver_horizontal(batch)
+        else:
+            self._deliver_vertical(batch)
+
+    def _deliver_horizontal(self, batch: Any) -> None:
+        partitioner = self.horizontal_partitioner
+        sites = self.sites()
+        seen: dict[Any, bool] = {}
+        routed: list[tuple[Any, int | None]] = []
+        for update in batch:
+            tid = update.tid
+            exists = seen.get(tid)
+            if exists is None:
+                exists = any(tid in site.fragment for site in sites)
+            if update.is_insert():
+                if exists:
+                    raise RelationError(
+                        f"duplicate tid {tid!r} in relation "
+                        f"{partitioner.schema.name!r}"
+                    )
+                # Routing during validation keeps delivery atomic: an
+                # unroutable insert raises before any fragment mutates.
+                routed.append((update, partitioner.route_tuple(update.tuple)))
+                seen[tid] = True
+            else:
+                routed.append((update, None))
+                seen[tid] = False
+        for update, destination in routed:
+            if destination is None:
+                for site in sites:
+                    if site.fragment.discard(update.tid) is not None:
+                        break
+            else:
+                self._sites[destination].fragment.insert(update.tuple)
+
+    def _deliver_vertical(self, batch: Any) -> None:
+        sites = self.sites()
+        first = sites[0].fragment
+        seen: dict[Any, bool] = {}
+        for update in batch:
+            tid = update.tid
+            exists = seen.get(tid)
+            if exists is None:
+                exists = tid in first
+            if update.is_insert():
+                if exists:
+                    raise RelationError(
+                        f"duplicate tid {tid!r} in relation "
+                        f"{self.vertical_partitioner.schema.name!r}"
+                    )
+                seen[tid] = True
+            else:
+                seen[tid] = False
+        for update in batch:
+            if update.is_insert():
+                for site in sites:
+                    site.fragment.insert(
+                        update.tuple.project(site.fragment.schema.attribute_names)
+                    )
+            else:
+                for site in sites:
+                    site.fragment.discard(update.tid)
 
     def _check_plan(self, plan: MigrationPlan) -> None:
         expected = "vertical" if self.is_vertical() else "horizontal"

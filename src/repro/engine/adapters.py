@@ -261,20 +261,25 @@ class HorizontalIncrementalStrategy(_BaseStrategy):
 
 
 class _BatchRedetectStrategy(_BaseStrategy):
-    """Shared machinery: keep the logical relation, re-detect per batch.
+    """Shared machinery: deliver the batch into the live fragments, re-detect.
 
-    The logical relation is reconstructed lazily on the first ``apply``
-    so that ``setup`` costs exactly one batch detection — the quantity
-    the experiment harness times.
+    Updates are applied straight to the deployment's fragments (free, per
+    the paper's delta-delivery convention) so the fragment objects — and
+    any warm executor state resident against their stores — survive from
+    batch to batch; only the re-detection itself is charged.
     """
 
     def __init__(self) -> None:
         super().__init__()
         self._rules: list[CFD] = []
-        self._relation: Relation | None = None
         self._violations = ViolationSet()
 
     def _detect(self) -> ViolationSet:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _refragment(
+        self, cluster: Cluster, relation: Relation
+    ) -> Cluster:  # pragma: no cover - abstract
         raise NotImplementedError
 
     def apply(self, batch: UpdateBatch) -> ViolationDelta:
@@ -283,17 +288,11 @@ class _BatchRedetectStrategy(_BaseStrategy):
             # Nothing changed: re-detecting would ship the whole database
             # for an identical violation set.
             return ViolationDelta()
-        if self._relation is None:
-            self._relation = self.deployment.reconstruct()
-        self._relation = batch.apply_to(self._relation)
-        self._rebuild()
+        self.deployment.deliver_updates(batch)
         new = self._detect()
         delta = diff_violations(self._violations, new)
         self._violations = new
         return delta
-
-    def _rebuild(self) -> None:  # pragma: no cover - overridden where needed
-        raise NotImplementedError
 
     @property
     def violations(self) -> ViolationSet:
@@ -302,22 +301,24 @@ class _BatchRedetectStrategy(_BaseStrategy):
     # -- planner hooks -------------------------------------------------------------
 
     def migrate(self, result: Any, rules: Iterable[CFD]) -> None:
-        """Lazy invalidation: the deployment migrated in place and the next
-        ``apply`` re-fragments from it (or from the maintained relation)
-        under the *new* partitioner — there is no warm state to move."""
+        """The deployment migrated in place and its fragments are current
+        (updates are delivered to them directly): nothing to re-home."""
         self._require_setup()
 
     def export_state(self) -> StrategyState:
-        """The logical relation (once materialized) is authoritative; the
-        deployment tracks it after every ``_rebuild``."""
+        """Deployment fragments are maintained in place, so they are current."""
         self._require_setup()
-        return StrategyState(self._violations.copy(), self._relation, self.deployment)
+        return StrategyState(self._violations.copy(), None, self.deployment)
 
     def import_state(self, state: StrategyState, rules: Iterable[CFD]) -> ViolationSet:
         """Adopt the current data and violations; re-detect only on ``apply``."""
         self._rules = list(rules)
-        self.deployment = state.deployment
-        self._relation = state.relation
+        deployment = state.deployment
+        if state.relation is not None:
+            # The exporter maintained the logical relation, not the
+            # fragments — re-fragment locally (no shipment is charged).
+            deployment = self._refragment(deployment, state.relation)
+        self.deployment = deployment
         self._violations = state.violations.copy()
         return self._violations
 
@@ -332,12 +333,12 @@ class VerticalBatchStrategy(_BatchRedetectStrategy):
         self._violations = self._detect()
         return self._violations
 
-    def _rebuild(self) -> None:
-        self.deployment = Cluster.from_vertical(
-            self.deployment.vertical_partitioner,
-            self._relation,
-            network=self.deployment.network,
-            scheduler=self.deployment.scheduler,
+    def _refragment(self, cluster: Cluster, relation: Relation) -> Cluster:
+        return Cluster.from_vertical(
+            cluster.vertical_partitioner,
+            relation,
+            network=cluster.network,
+            scheduler=cluster.scheduler,
         )
 
     def _detect(self) -> ViolationSet:
@@ -358,12 +359,12 @@ class HorizontalBatchStrategy(_BatchRedetectStrategy):
         self._violations = self._detect()
         return self._violations
 
-    def _rebuild(self) -> None:
-        self.deployment = Cluster.from_horizontal(
-            self.deployment.horizontal_partitioner,
-            self._relation,
-            network=self.deployment.network,
-            scheduler=self.deployment.scheduler,
+    def _refragment(self, cluster: Cluster, relation: Relation) -> Cluster:
+        return Cluster.from_horizontal(
+            cluster.horizontal_partitioner,
+            relation,
+            network=cluster.network,
+            scheduler=cluster.scheduler,
         )
 
     def _detect(self) -> ViolationSet:
@@ -558,19 +559,27 @@ class CentralizedStrategy(_BaseStrategy):
         super().__init__()
         self._detector: CentralizedDetector | None = None
         self._violations = ViolationSet()
+        self._owns_relation = False
 
     def setup(self, deployment: Any, rules: Iterable[CFD]) -> ViolationSet:
         store = _require_single(deployment)
         self._detector = CentralizedDetector(rules, scheduler=store.scheduler)
         self._violations = self._detector.detect(store.relation)
         self.deployment = store
+        self._owns_relation = False
         return self._violations
 
     def apply(self, batch: UpdateBatch) -> ViolationDelta:
         self._require_setup()
         if len(batch) == 0:
             return ViolationDelta()
-        self.deployment.relation = batch.apply_to(self.deployment.relation)
+        if not self._owns_relation:
+            # Copy the caller's relation once, then deliver every later
+            # batch in place so the store object (and any warm executor
+            # residency against it) survives across batches.
+            self.deployment.relation = self.deployment.relation.copy()
+            self._owns_relation = True
+        batch.apply_in_place(self.deployment.relation)
         new = self._detector.detect(self.deployment.relation)
         delta = diff_violations(self._violations, new)
         self._violations = new
@@ -599,6 +608,7 @@ class CentralizedStrategy(_BaseStrategy):
         self._detector = CentralizedDetector(rules, scheduler=store.scheduler)
         self._violations = state.violations.copy()
         self.deployment = store
+        self._owns_relation = False
         return self._violations
 
 
@@ -610,6 +620,7 @@ class MDBatchStrategy(_BaseStrategy):
         self._use_blocking = use_blocking
         self._detector: MDDetector | None = None
         self._violations = ViolationSet()
+        self._owns_relation = False
 
     def setup(self, deployment: Any, rules: Iterable[Any]) -> ViolationSet:
         store = _require_single(deployment)
@@ -618,13 +629,18 @@ class MDBatchStrategy(_BaseStrategy):
         )
         self._violations = self._detector.detect(store.relation)
         self.deployment = store
+        self._owns_relation = False
         return self._violations
 
     def apply(self, batch: UpdateBatch) -> ViolationDelta:
         self._require_setup()
         if len(batch) == 0:
             return ViolationDelta()
-        self.deployment.relation = batch.apply_to(self.deployment.relation)
+        if not self._owns_relation:
+            # Copy once, then deliver in place (see CentralizedStrategy).
+            self.deployment.relation = self.deployment.relation.copy()
+            self._owns_relation = True
+        batch.apply_in_place(self.deployment.relation)
         new = self._detector.detect(self.deployment.relation)
         delta = diff_violations(self._violations, new)
         self._violations = new
@@ -655,6 +671,7 @@ class MDBatchStrategy(_BaseStrategy):
         )
         self._violations = state.violations.copy()
         self.deployment = store
+        self._owns_relation = False
         return self._violations
 
 

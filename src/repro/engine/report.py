@@ -202,6 +202,11 @@ class DetectionReport:
     def n_violating_tuples(self) -> int:
         return len(self.violations)
 
+    @property
+    def bytes_pickled(self) -> int:
+        """Real IPC bytes the executor moved (0 for in-process backends)."""
+        return self.timings.bytes_pickled
+
     # -- serialization ---------------------------------------------------------------
 
     def as_dict(self) -> dict[str, Any]:
@@ -240,6 +245,7 @@ class DetectionReport:
                 "tasks": self.timings.tasks,
                 "busy_seconds": self.timings.busy_seconds,
                 "critical_seconds": self.timings.critical_seconds,
+                "bytes_pickled": self.timings.bytes_pickled,
                 "site_timings": [
                     {"site": timing.site, "seconds": timing.seconds}
                     for timing in self.site_timings
@@ -264,6 +270,7 @@ class DetectionReport:
             f"  eqids shipped      : {self.eqids_shipped}",
             f"  executor           : {self.executor} "
             f"({self.timings.tasks} task(s), {self.timings.rounds} round(s))",
+            f"  bytes pickled      : {self.timings.bytes_pickled} (IPC; 0 in-process)",
             f"  storage            : {self.storage}",
             f"  wall clock         : {self.wall_seconds:.6f}s "
             f"(setup {self.setup_seconds:.6f}s + apply {self.apply_seconds:.6f}s)",

@@ -218,7 +218,7 @@ class SessionBuilder:
         """Pick the execution backend for per-site detection tasks.
 
         ``backend`` is a registered backend name (``"serial"``,
-        ``"threads"``, ``"processes"``) with factory options — e.g.
+        ``"threads"``, ``"processes"``, ``"shm"``) with factory options — e.g.
         ``.executor("threads", workers=8)`` — or an already-built
         :class:`~repro.runtime.executor.Executor` instance (which the
         caller then owns; ``session.close()`` will not shut it down).
@@ -352,6 +352,10 @@ class SessionBuilder:
             )
             build_cm = obs.tracer.span("session.build", parent=root)
             net_before = network.stats()
+            if hasattr(executor, "attach_observability"):
+                # Process backends emit worker.lifetime spans under the
+                # session root (spawn/respawn/exit of each warm worker).
+                executor.attach_observability(obs.tracer, root)
         setup_start = time.perf_counter()
         try:
             with build_cm as build_span:
@@ -1146,6 +1150,11 @@ class DetectionSession:
             "repro_scheduler_critical_seconds",
             "Ideal parallel wall seconds (sum of slowest task per round)",
             timings.critical_seconds,
+        )
+        set_gauge(
+            "repro_scheduler_bytes_pickled",
+            "Real IPC bytes the executor pickled (0 for in-process backends)",
+            timings.bytes_pickled,
         )
         catalog = getattr(self._detector, "catalog", None)
         if catalog is not None:

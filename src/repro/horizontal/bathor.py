@@ -30,7 +30,7 @@ from repro.core.tuples import Tuple
 from repro.core.violations import ViolationSet
 from repro.distributed.cluster import Cluster
 from repro.distributed.message import MessageKind
-from repro.distributed.serialization import estimate_tuple_bytes
+from repro.distributed.serialization import TID_BYTES, estimate_tuple_bytes
 from repro.obs import profile as _prof
 from repro.runtime.executor import SiteTask
 
@@ -40,7 +40,7 @@ def _site_batch_task(
     general_cfds: list[CFD],
     ship_names: frozenset[str],
     tuples: "list[Tuple] | Any",
-) -> tuple[list[tuple[str, set[Any]]], dict[str, list[tuple[Any, int]]], dict]:
+) -> tuple[list, dict[str, list[tuple[Any, int]]], dict, bool]:
     """One site's whole batch-detection contribution (pure, picklable).
 
     ``tuples`` is the site's fragment: a tuple list for row storage, or
@@ -48,7 +48,7 @@ def _site_batch_task(
     as vectorized kernels over the encoded columns, with the grouped
     LHS keys shared across all CFDs on the same attributes).
 
-    Returns ``(local_violations, shipments, groups)``:
+    Returns ``(local_violations, shipments, groups, compact)``:
 
     * per locally-checkable CFD, the tids violating it inside this
       fragment;
@@ -56,25 +56,43 @@ def _site_batch_task(
       every locally pattern-matching tuple;
     * per general CFD, the fragment's partial LHS groups
       ``{lhs_key: {rhs_value: {tids}}}`` for the coordinator to merge.
+
+    Column-backed fragments return the *compact* wire form instead
+    (``compact=True``): local violations as row bitsets, shipments as
+    one bitset of shipping rows per CFD, and groups as ``(singles,
+    multis)`` — bare row indices for singleton ``(LHS key, RHS value)``
+    buckets, row bitsets for the rest — a few ints per group rather
+    than decoded values and tid sets.  A fragment replica in a warm
+    worker assigns row
+    indices identical to the coordinator's copy (it is built from the
+    coordinator's own full physical export plus its journal deltas), so
+    the coordinator decodes every mask against its local store —
+    compact results are what keep a shared-memory round's pickled bytes
+    proportional to the *changes*, not the database.
     """
     from repro.columnar.store import column_store_of
 
-    local_violations = [
-        (cfd.name, CentralizedDetector.violations_of(cfd, tuples)) for cfd in local_cfds
-    ]
     shipments: dict[str, list[tuple[Any, int]]] = {}
-    groups: dict[str, dict[tuple, dict[Any, set[Any]]]] = {}
+    groups: dict[str, dict] = {}
     store = column_store_of(tuples)
     if store is not None:
         from repro.columnar import kernels
 
+        local_masks = [
+            (cfd.name, kernels.violation_mask(cfd, store)) for cfd in local_cfds
+        ]
         for cfd in general_cfds:
             want_ship = cfd.name in ship_names
-            ship, by_key = kernels.horizontal_batch_scan(store, cfd, want_ship)
+            ship, by_key = kernels.horizontal_batch_scan(
+                store, cfd, want_ship, compact=True
+            )
             if want_ship:
                 shipments[cfd.name] = ship
             groups[cfd.name] = by_key
-        return local_violations, shipments, groups
+        return local_masks, shipments, groups, True
+    local_violations = [
+        (cfd.name, CentralizedDetector.violations_of(cfd, tuples)) for cfd in local_cfds
+    ]
     if _prof.enabled:
         _t0 = perf_counter()
     for cfd in general_cfds:
@@ -92,7 +110,7 @@ def _site_batch_task(
             by_key.setdefault(key, {}).setdefault(t[rhs], set()).add(t.tid)
     if _prof.enabled:
         _prof.note("shipment.row_scan", perf_counter() - _t0, len(tuples))
-    return local_violations, shipments, groups
+    return local_violations, shipments, groups, False
 
 
 class HorizontalBatchDetector:
@@ -177,16 +195,40 @@ class HorizontalBatchDetector:
 
         # Merge in site order: local verdicts first, then per general CFD the
         # shipments (charged per matching tuple, exactly as each site would
-        # send them) and the group union.
+        # send them) and the group union.  Compact results stay in row
+        # space on the wire and are decoded here against the coordinator's
+        # own copy of the site's fragment (identical row indices by
+        # construction; values at row r are identical on both sides, so
+        # the re-derived wire-size estimates match what the site itself
+        # would have computed).
+        from repro.columnar.masks import iter_mask_rows, mask_to_tids
+
+        stores = {
+            site.site_id: column_store_of(site.fragment) for site in sites
+        }
+        general_by_name = {cfd.name: cfd for cfd in self._general_cfds}
         merged: dict[str, dict[tuple, dict[Any, set[Any]]]] = {
             cfd.name: {} for cfd in self._general_cfds
         }
         for result in results:
-            local_violations, shipments, groups = result.value
+            local_violations, shipments, groups, compact = result.value
+            store = stores[result.site] if compact else None
             for cfd_name, tids in local_violations:
+                if compact:
+                    tids = mask_to_tids(store, tids)
                 for tid in tids:
                     violations.add(tid, cfd_name)
             for cfd_name, shipment in shipments.items():
+                if compact:
+                    cfd = general_by_name[cfd_name]
+                    tables = [
+                        (store.codes(a), store.dictionary(a).byte_sizes())
+                        for a in cfd.attributes
+                    ]
+                    shipment = (
+                        (store.tid_of_row(r), TID_BYTES + sum(t[c[r]] for c, t in tables))
+                        for r in iter_mask_rows(shipment)
+                    )
                 for tid, nbytes in shipment:
                     self._network.send(
                         result.site,
@@ -199,6 +241,27 @@ class HorizontalBatchDetector:
                     )
             for cfd_name, by_key in groups.items():
                 target = merged[cfd_name]
+                if compact:
+                    # Each bucket is (LHS key, RHS value)-uniform, so any
+                    # member row of the local fragment copy names both.
+                    cfd = general_by_name[cfd_name]
+                    lhs = cfd.lhs
+                    rhs = cfd.rhs
+                    singles, multis = by_key
+                    for r in singles:
+                        key = tuple(store.value_at(r, a) for a in lhs)
+                        slot = target.setdefault(key, {})
+                        slot.setdefault(store.value_at(r, rhs), set()).add(
+                            store.tid_of_row(r)
+                        )
+                    for mask in multis:
+                        first = (mask & -mask).bit_length() - 1
+                        key = tuple(store.value_at(first, a) for a in lhs)
+                        slot = target.setdefault(key, {})
+                        slot.setdefault(store.value_at(first, rhs), set()).update(
+                            mask_to_tids(store, mask)
+                        )
+                    continue
                 for key, by_rhs in by_key.items():
                     slot = target.setdefault(key, {})
                     for rhs_value, tids in by_rhs.items():

@@ -48,6 +48,9 @@ class SchedulerTimings:
     critical_seconds: float = 0.0
     #: Busy seconds attributed to each site id.
     seconds_by_site: dict[int, float] = field(default_factory=dict)
+    #: Bytes that actually crossed a process boundary (0 for in-process
+    #: backends) — tasks, fragment publishes, deltas and results alike.
+    bytes_pickled: int = 0
 
     @property
     def parallelism(self) -> float:
@@ -67,6 +70,10 @@ class SiteScheduler:
         self._busy = 0.0
         self._critical = 0.0
         self._by_site: dict[int, float] = {}
+        self._bytes_pickled = 0
+        # The executor's IPC counter is cumulative (and may be shared
+        # across sessions): the ledger charges only the delta seen here.
+        self._pickled_seen = self._executor.bytes_pickled
 
     @property
     def executor(self) -> Executor:
@@ -90,6 +97,10 @@ class SiteScheduler:
             results = self._executor.run(tasks)
         self._rounds += 1
         self._tasks += len(results)
+        pickled = self._executor.bytes_pickled
+        if pickled >= self._pickled_seen:
+            self._bytes_pickled += pickled - self._pickled_seen
+        self._pickled_seen = pickled
         slowest = 0.0
         for result in results:
             self._busy += result.seconds
@@ -153,6 +164,7 @@ class SiteScheduler:
             busy_seconds=self._busy,
             critical_seconds=self._critical,
             seconds_by_site=dict(self._by_site),
+            bytes_pickled=self._bytes_pickled,
         )
 
     def reset_timings(self) -> None:
@@ -162,6 +174,8 @@ class SiteScheduler:
         self._busy = 0.0
         self._critical = 0.0
         self._by_site.clear()
+        self._bytes_pickled = 0
+        self._pickled_seen = self._executor.bytes_pickled
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SiteScheduler({self._executor!r}, {self._rounds} rounds)"
