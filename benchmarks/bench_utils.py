@@ -175,6 +175,42 @@ def git_revision() -> str | None:
     return rev if out.returncode == 0 and rev else None
 
 
+def peak_memory() -> dict:
+    """Peak memory of this process: tracemalloc high-water and max RSS.
+
+    ``tracemalloc_peak_bytes`` is the allocator high-water mark since
+    tracing started (None when tracing is off — it costs enough that
+    benchmarks opt in explicitly); ``max_rss_bytes`` is the OS-reported
+    peak resident set of the whole process, which is what out-of-core
+    claims must be judged on.  On Linux the number comes from
+    ``/proc/self/status`` VmHWM: unlike ``ru_maxrss``, which survives
+    fork+exec and so reports the *parent's* high-water in freshly
+    spawned children, VmHWM belongs to the post-exec address space.
+    """
+    import tracemalloc
+
+    traced = tracemalloc.get_traced_memory()[1] if tracemalloc.is_tracing() else None
+    max_rss = None
+    try:
+        with open("/proc/self/status") as f:
+            for line in f:
+                if line.startswith("VmHWM:"):
+                    max_rss = int(line.split()[1]) * 1024
+                    break
+    except OSError:  # pragma: no cover - non-Linux
+        pass
+    if max_rss is None:  # pragma: no cover - non-Linux fallback
+        try:
+            import resource
+
+            rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            # Linux reports kilobytes, macOS bytes.
+            max_rss = rss * 1024 if platform.system() != "Darwin" else rss
+        except ImportError:
+            max_rss = None
+    return {"tracemalloc_peak_bytes": traced, "max_rss_bytes": max_rss}
+
+
 def write_bench_json(name: str, records: list[dict], extra: dict | None = None) -> Path:
     """Write benchmark ``records`` to ``BENCH_<name>.json`` in the repo root.
 
@@ -183,8 +219,8 @@ def write_bench_json(name: str, records: list[dict], extra: dict | None = None) 
     ``benchmarks/conftest.py``, the standalone scripts directly — so the
     perf trajectory of the repository accumulates as one self-describing
     file per run.  Each file stamps the environment it was measured on
-    (cpu count, python version, git revision) so numbers from different
-    machines or commits are never compared blind.
+    (cpu count, python version, git revision, peak memory) so numbers
+    from different machines or commits are never compared blind.
     """
     path = Path(__file__).resolve().parent.parent / f"BENCH_{name}.json"
     payload = {
@@ -195,6 +231,7 @@ def write_bench_json(name: str, records: list[dict], extra: dict | None = None) 
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
         "git_rev": git_revision(),
+        "peak_memory": peak_memory(),
         "records": records,
     }
     if extra:

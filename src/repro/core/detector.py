@@ -58,15 +58,23 @@ class CentralizedDetector:
         values consists entirely of violations.
 
         Column-backed relations dispatch to the vectorized kernels
-        (identical results, one column sweep shared per LHS).
+        (identical results, one column sweep shared per LHS); SQL-backed
+        relations push the check down as the constant/variable two-query
+        formulation and run inside the embedded engine.
         """
         from repro.columnar.store import column_store_of
+        from repro.sqlstore.store import sql_store_of
 
         store = column_store_of(tuples)
         if store is not None:
             from repro.columnar import kernels
 
             return kernels.violations_of(cfd, store)
+        sql_store = sql_store_of(tuples)
+        if sql_store is not None:
+            from repro.sqlstore import kernels as sql_kernels
+
+            return sql_kernels.violations_of(cfd, sql_store)
         violating: set[Any] = set()
         if cfd.is_constant():
             for t in tuples:
@@ -91,11 +99,14 @@ class CentralizedDetector:
     def detect(self, relation: Relation | Iterable[Tuple]) -> ViolationSet:
         """Compute ``V(Sigma, D)`` with per-CFD marks."""
         from repro.columnar.store import column_store_of
+        from repro.sqlstore.store import sql_store_of
 
         # Columnar relations are handed to the tasks whole: the kernels
         # share one grouped-LHS sweep across all CFDs on the same
-        # attributes instead of materializing tuples.
-        if column_store_of(relation) is not None:
+        # attributes instead of materializing tuples.  SQL-backed
+        # relations likewise stay whole so every check runs as a
+        # pushed-down query instead of a fetched-row loop.
+        if column_store_of(relation) is not None or sql_store_of(relation) is not None:
             tuples: Any = relation
         else:
             tuples = list(relation)

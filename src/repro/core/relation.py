@@ -194,7 +194,7 @@ class Relation:
         store = _column_store_of(self)
         if store is not None:
             return Relation(fragment_schema, storage=store.project_columns(keep))
-        fragment = Relation(fragment_schema)
+        fragment = Relation(fragment_schema, storage=self.storage)
         for t in self:
             fragment.insert(t.project(keep))
         return fragment
@@ -212,7 +212,7 @@ class Relation:
         if store is not None:
             rows = [r for r in store.iter_rows() if predicate(store.row_view(r))]
             return Relation(fragment_schema, storage=store.take_rows(rows))
-        fragment = Relation(fragment_schema)
+        fragment = Relation(fragment_schema, storage=self.storage)
         for t in self:
             if predicate(t):
                 fragment.insert(t)
@@ -236,7 +236,7 @@ class Relation:
                 joined_schema,
                 storage=mine.join_columns(theirs, joined_schema.attribute_names),
             )
-        joined = Relation(joined_schema)
+        joined = Relation(joined_schema, storage=self.storage)
         for t in self:
             o = other.get(t.tid)
             if o is not None:
@@ -260,7 +260,7 @@ class Relation:
             )
             result._extend(other)
             return result
-        result = Relation(result_schema)
+        result = Relation(result_schema, storage=self.storage)
         for t in self:
             result.insert(t)
         for t in other:

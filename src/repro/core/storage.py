@@ -125,18 +125,40 @@ def register_storage_backend(
     _BACKENDS[name] = factory
 
 
+#: Built-in backends living in their own subpackages, registered on
+#: import: name -> module to import.  A module may register fewer names
+#: than it is listed under (``repro.sqlstore`` only registers
+#: ``"duckdb"`` when the optional dependency is installed), so an entry
+#: here is a *candidate*, not a promise.
+_LAZY_BUILTINS: dict[str, str] = {
+    "columnar": "repro.columnar",
+    "sql": "repro.sqlstore",
+    "duckdb": "repro.sqlstore",
+}
+
+
 def storage_backend_names() -> list[str]:
-    """The registered backend names (the built-ins plus any plug-ins)."""
-    _ensure_builtin("columnar")
+    """The registered backend names (the built-ins plus any plug-ins).
+
+    Lazy built-ins whose module imports but does not register them
+    (optional engines with a missing dependency) are not listed.
+    """
+    for name in _LAZY_BUILTINS:
+        _ensure_builtin(name)
     return sorted(_BACKENDS)
 
 
 def _ensure_builtin(name: str) -> None:
-    # The columnar backend lives in its own subpackage and registers on
-    # import; pull it in lazily so ``Relation(schema, storage="columnar")``
-    # works even when only repro.core has been imported.
-    if name not in _BACKENDS and name == "columnar":
-        import repro.columnar  # noqa: F401  (self-registers)
+    # Built-in backends live in their own subpackages and register on
+    # import; pull the owning module in lazily so
+    # ``Relation(schema, storage="columnar")`` (or ``"sql"``) works even
+    # when only repro.core has been imported.
+    if name not in _BACKENDS:
+        module = _LAZY_BUILTINS.get(name)
+        if module is not None:
+            import importlib
+
+            importlib.import_module(module)
 
 
 def make_storage(name: str, schema: Schema) -> Any:

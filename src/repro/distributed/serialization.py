@@ -175,8 +175,17 @@ def estimate_relation_bytes(
     per-tuple cost model summed) or ``"columnar"`` (dictionary-encoded
     columns); by default the relation's own storage backend decides, so
     columnar fragments are charged for what they would actually send.
+    SQL-backed relations keep the row cost model (identical numbers),
+    summed by cursor iteration without materializing Tuples.
     """
     chosen = encoding or getattr(relation, "storage", "rows")
+    if chosen in ("sql", "duckdb"):
+        from repro.sqlstore.store import sql_store_of
+
+        store = sql_store_of(relation)
+        if store is not None:
+            attrs = list(attributes) if attributes is not None else None
+            return store.estimate_bytes(attrs)
     if chosen == "columnar":
         from repro.columnar.store import column_store_of
 

@@ -878,3 +878,19 @@ def register_builtin_strategies(registry: StrategyRegistry) -> None:
         lambda relation: relation.with_storage("columnar"),
         description="dictionary-encoded column arrays with vectorized kernels",
     )
+    registry.register_storage(
+        "sql",
+        lambda relation: relation.with_storage("sql"),
+        description=(
+            "embedded-SQL table (sqlite3, file-backed or :memory:) with "
+            "CFD checks pushed down as set-oriented queries"
+        ),
+    )
+    from repro.sqlstore import DUCKDB_AVAILABLE
+
+    if DUCKDB_AVAILABLE:  # pragma: no cover - requires optional duckdb
+        registry.register_storage(
+            "duckdb",
+            lambda relation: relation.with_storage("duckdb"),
+            description="DuckDB engine behind the same SQL pushdown compiler",
+        )

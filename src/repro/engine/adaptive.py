@@ -68,6 +68,15 @@ class AdaptiveStrategy:
         ``O(|D|)`` local setup work per candidate.
     probe_size:
         Number of tuples the calibration probe modifies (default 8).
+    backends:
+        Storage backends to consider, in preference order.  Defaults to
+        the deployment's current backend only — no conversion, identical
+        behaviour to a fixed-backend session.  With several names (e.g.
+        ``["rows", "sql"]``) ``setup()`` times the calibration probe on
+        every backend, re-homes the deployment onto the fastest one
+        (re-fragmenting locally — nothing ships), and prices local work
+        with that backend's rate.  Shipment counters are backend-
+        invariant, so the cost trace stays comparable either way.
     """
 
     def __init__(
@@ -78,6 +87,7 @@ class AdaptiveStrategy:
         message_overhead: float = MESSAGE_OVERHEAD_BYTES,
         probe: bool = True,
         probe_size: int = 8,
+        backends: Iterable[str] | None = None,
     ):
         self.deployment: Any = None
         self._registry = registry
@@ -86,6 +96,8 @@ class AdaptiveStrategy:
         self._message_overhead = message_overhead
         self._probe = probe
         self._probe_size = max(1, probe_size)
+        self._backends_spec = list(backends) if backends is not None else None
+        self._backend: str | None = None
         self._instances: dict[str, Any] = {}
         self._active: str | None = None
         self._rules: list[Any] = []
@@ -172,8 +184,34 @@ class AdaptiveStrategy:
             catalog, hooks, message_overhead=self._message_overhead
         )
         self.deployment = deployment
+
+        current_backend = getattr(relation, "storage", "rows")
+        backends = self._backends_spec or [current_backend]
+        from repro.core.storage import storage_backend_names
+
+        known = storage_backend_names()
+        for backend in backends:
+            if backend not in known:
+                raise AdaptiveStrategyError(
+                    f"unknown storage backend {backend!r}; known backends: {known}"
+                )
+        self._backend = backends[0]
         if self._probe and len(relation) > 0:
-            self._run_probes(registry, names, relation, partitioning, deployment)
+            probe_seconds = self._run_probes(
+                registry, names, relation, partitioning, deployment,
+                backends, current_backend,
+            )
+            if probe_seconds:
+                self._backend = min(
+                    backends, key=lambda b: probe_seconds.get(b, float("inf"))
+                )
+        if self._backend != current_backend:
+            relation = relation.with_storage(self._backend)
+            deployment = self._rehome(deployment, relation, partitioning)
+            self.deployment = deployment
+        from repro.planner.cost import local_work_rate
+
+        self._planner.local_work_rate = local_work_rate(self._backend)
         first = names[0]
         first_strategy = self._instances[first]
         initial = first_strategy.setup(deployment, self._rules)
@@ -194,8 +232,10 @@ class AdaptiveStrategy:
         relation: Any,
         partitioning: str,
         deployment: Any,
-    ) -> None:
-        """Measure each candidate's per-unit shipment on a scratch copy.
+        backends: list[str],
+        current_backend: str,
+    ) -> dict[str, float]:
+        """Measure each (candidate, backend) per-unit shipment on scratch copies.
 
         A probe batch of net-zero modifications (delete + re-insert of
         existing tuples) exercises every candidate's real machinery on a
@@ -203,6 +243,13 @@ class AdaptiveStrategy:
         candidate's EWMA with ``measured cost / estimator driver``.  The
         scratch state is discarded; the session ledger never sees probe
         traffic.
+
+        With several candidate backends, every (strategy, backend) pair
+        runs once: observations land under ``name`` for the current
+        backend (exactly as a fixed-backend session seeds them) and
+        under ``name@backend`` for every pair, so the catalog keeps a
+        per-backend history.  Returns the best probe wall-clock per
+        backend — the signal the backend choice minimises.
         """
         victims = list(islice(iter(relation), self._probe_size))
         probe = UpdateBatch()
@@ -211,32 +258,66 @@ class AdaptiveStrategy:
             probe.append(Update.insert(t))
         profile = BatchProfile.of(probe)
 
-        scratch_network = Network()
-        if partitioning == "vertical":
-            scratch = Cluster.from_vertical(
-                deployment.vertical_partitioner, relation, network=scratch_network
-            )
-        elif partitioning == "horizontal":
-            scratch = Cluster.from_horizontal(
-                deployment.horizontal_partitioner, relation, network=scratch_network
-            )
-        else:
-            scratch = SingleSite(relation.copy(), network=scratch_network)
-
         planner = self._planner
-        for name in names:
-            strategy = registry.detector(name).create()
-            try:
-                strategy.setup(scratch, self._rules)
-            except Exception:
-                continue  # an unprobeable candidate keeps its analytic prior
-            before = strategy.cost_stats()
-            start = time.perf_counter()
-            strategy.apply(probe)
-            seconds = time.perf_counter() - start
-            cost = strategy.cost_stats().diff(before).cost_vector()
-            driver = planner.estimate(name, profile).driver
-            planner.catalog.observe(name, driver, cost, seconds)
+        best_seconds: dict[str, float] = {}
+        for backend in backends:
+            scratch_relation = (
+                relation if backend == current_backend else relation.with_storage(backend)
+            )
+            scratch_network = Network()
+            if partitioning == "vertical":
+                scratch = Cluster.from_vertical(
+                    deployment.vertical_partitioner, scratch_relation,
+                    network=scratch_network,
+                )
+            elif partitioning == "horizontal":
+                scratch = Cluster.from_horizontal(
+                    deployment.horizontal_partitioner, scratch_relation,
+                    network=scratch_network,
+                )
+            else:
+                scratch = SingleSite(scratch_relation.copy(), network=scratch_network)
+
+            for name in names:
+                strategy = registry.detector(name).create()
+                try:
+                    strategy.setup(scratch, self._rules)
+                except Exception:
+                    continue  # an unprobeable candidate keeps its analytic prior
+                before = strategy.cost_stats()
+                start = time.perf_counter()
+                strategy.apply(probe)
+                seconds = time.perf_counter() - start
+                cost = strategy.cost_stats().diff(before).cost_vector()
+                driver = planner.estimate(name, profile).driver
+                if backend == current_backend:
+                    planner.catalog.observe(name, driver, cost, seconds)
+                planner.catalog.observe(f"{name}@{backend}", driver, cost, seconds)
+                prev = best_seconds.get(backend)
+                if prev is None or seconds < prev:
+                    best_seconds[backend] = seconds
+        return best_seconds
+
+    def _rehome(self, deployment: Any, relation: Any, partitioning: str) -> Any:
+        """Rebuild the deployment over ``relation``'s storage backend.
+
+        Re-fragmenting is local work: the rebuilt cluster reuses the
+        session network and scheduler, so no shipment is charged and the
+        cost ledger carries over.
+        """
+        if partitioning == "vertical":
+            return Cluster.from_vertical(
+                deployment.vertical_partitioner, relation,
+                network=deployment.network, scheduler=deployment.scheduler,
+            )
+        if partitioning == "horizontal":
+            return Cluster.from_horizontal(
+                deployment.horizontal_partitioner, relation,
+                network=deployment.network, scheduler=deployment.scheduler,
+            )
+        return SingleSite(
+            relation, network=deployment.network, scheduler=deployment.scheduler
+        )
 
     def _require_setup(self) -> None:
         if self._active is None or self._planner is None:
@@ -256,6 +337,11 @@ class AdaptiveStrategy:
     def candidates(self) -> list[str]:
         self._require_setup()
         return self._planner.candidates  # type: ignore[union-attr]
+
+    @property
+    def storage_backend(self) -> str | None:
+        """The storage backend the planner settled on (None before setup)."""
+        return self._backend
 
     @property
     def planner(self) -> AdaptivePlanner:
@@ -351,7 +437,10 @@ class AdaptiveStrategy:
         seconds = time.perf_counter() - start
         actual = network.stats().diff(before).cost_vector()
 
-        planner.record(self._batch_index, chosen, estimates, actual, seconds, switched)
+        planner.record(
+            self._batch_index, chosen, estimates, actual, seconds, switched,
+            backend=self._backend,
+        )
         self._batch_index += 1
         # Batch strategies replace their deployment when they re-fragment;
         # adopt it so later handoffs (and reports) see the current sites.

@@ -1018,7 +1018,7 @@ class DetectionSession:
             "partitioning": self._partitioning,
             "n_sites": len(deployment) if deployment is not None else 1,
             "n_rules": len(self._rules),
-            "storage": self._storage,
+            "storage": getattr(self._detector, "storage_backend", None) or self._storage,
             "executor": self.executor,
             "batches_applied": self._batches_applied,
             "updates_applied": self._updates_applied,

@@ -71,6 +71,7 @@ def _site_batch_task(
     proportional to the *changes*, not the database.
     """
     from repro.columnar.store import column_store_of
+    from repro.sqlstore.store import sql_store_of
 
     shipments: dict[str, list[tuple[Any, int]]] = {}
     groups: dict[str, dict] = {}
@@ -90,6 +91,25 @@ def _site_batch_task(
                 shipments[cfd.name] = ship
             groups[cfd.name] = by_key
         return local_masks, shipments, groups, True
+    sql_store = sql_store_of(tuples)
+    if sql_store is not None:
+        # SQL-backed fragments run every scan as a pushed-down query
+        # and return the same decoded wire shapes as the row path.
+        from repro.sqlstore import kernels as sql_kernels
+
+        local_violations = [
+            (cfd.name, sql_kernels.violations_of(cfd, sql_store))
+            for cfd in local_cfds
+        ]
+        for cfd in general_cfds:
+            want_ship = cfd.name in ship_names
+            ship, by_key = sql_kernels.horizontal_batch_scan(
+                sql_store, cfd, want_ship
+            )
+            if want_ship:
+                shipments[cfd.name] = ship
+            groups[cfd.name] = by_key
+        return local_violations, shipments, groups, False
     local_violations = [
         (cfd.name, CentralizedDetector.violations_of(cfd, tuples)) for cfd in local_cfds
     ]
@@ -170,6 +190,7 @@ class HorizontalBatchDetector:
         }
 
         from repro.columnar.store import column_store_of
+        from repro.sqlstore.store import sql_store_of
 
         tasks = [
             SiteTask(
@@ -185,6 +206,7 @@ class HorizontalBatchDetector:
                     ),
                     site.fragment
                     if column_store_of(site.fragment) is not None
+                    or sql_store_of(site.fragment) is not None
                     else list(site.fragment),
                 ),
                 label="batHor",

@@ -150,12 +150,21 @@ class CFDIndex:
         attributes) instead of once per tuple.
         """
         from repro.columnar.store import column_store_of
+        from repro.sqlstore.store import sql_store_of
 
         store = column_store_of(tuples)
         if store is not None:
             from repro.columnar import kernels
 
             kernels.build_cfd_index(self, store)
+            return
+        sql_store = sql_store_of(tuples)
+        if sql_store is not None:
+            # SQL-backed relations build from one pushed-down
+            # pattern-filtered scan, grouped as it streams back.
+            from repro.sqlstore import kernels as sql_kernels
+
+            sql_kernels.build_cfd_index(self, sql_store)
             return
         if _prof.enabled:
             _t0 = perf_counter()

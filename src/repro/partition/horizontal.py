@@ -128,7 +128,8 @@ class HorizontalPartitioner:
             )
         per_site: dict[int, Relation] = {
             frag.site: Relation(
-                Schema(frag.name, self._schema.attribute_names, self._schema.key)
+                Schema(frag.name, self._schema.attribute_names, self._schema.key),
+                storage=relation.storage,
             )
             for frag in self._fragments
         }
@@ -517,7 +518,9 @@ class HorizontalPartition:
             )
             rest = fragments[1:]
         else:
-            base = Relation(schema)
+            base = Relation(
+                schema, storage=fragments[0].storage if fragments else "rows"
+            )
             rest = fragments
         for rel in rest:
             base._extend(rel)

@@ -277,7 +277,7 @@ class VerticalPartition:
         store = column_store_of(result)
         if store is not None:
             return Relation(schema, storage=store.reorder_columns(schema.attribute_names))
-        base = Relation(schema)
+        base = Relation(schema, storage=result.storage)
         for t in result:
             base.insert(Tuple(t.tid, {a: t[a] for a in schema.attribute_names}))
         return base

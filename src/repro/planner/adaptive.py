@@ -33,12 +33,14 @@ class PlanDecision:
     seconds: float = 0.0
     error: float | None = None
     switched: bool = False
+    backend: str | None = None
 
     def as_dict(self) -> dict[str, Any]:
         return {
             "batch_index": self.batch_index,
             "chosen": self.chosen,
             "switched": self.switched,
+            "backend": self.backend,
             "estimates": {name: cv.as_dict() for name, cv in self.estimates.items()},
             "estimated": self.estimated.as_dict(),
             "actual": self.actual.as_dict() if self.actual is not None else None,
@@ -73,6 +75,11 @@ class AdaptivePlanner:
         self._candidates = dict(candidates)
         self._order = list(candidates)
         self._message_overhead = message_overhead
+        #: Local-work rate of the active storage backend, applied to
+        #: every candidate's estimate.  Monotonic scaling — it never
+        #: changes the ranking among candidates on the same backend,
+        #: only the absolute local-work numbers in the plan trace.
+        self.local_work_rate: float = 1.0
         self.decisions: list[PlanDecision] = []
 
     @property
@@ -86,13 +93,15 @@ class AdaptivePlanner:
         est = self._candidates[name](self.catalog, profile)
         feedback = self.catalog.feedback_for(name)
         if feedback.n_observations == 0:
-            return est
+            return Estimate(
+                est.strategy, est.cost.with_local_work_rate(self.local_work_rate), est.driver
+            )
         d = est.driver
         calibrated = CostVector(
             bytes=feedback.bytes_per_unit.value * d,
             messages=feedback.messages_per_unit.value * d,
             eqids=feedback.eqids_per_unit.value * d,
-            local_work=est.cost.local_work,
+            local_work=est.cost.local_work * self.local_work_rate,
         )
         return Estimate(est.strategy, calibrated, d)
 
@@ -131,6 +140,7 @@ class AdaptivePlanner:
         actual: CostVector,
         seconds: float,
         switched: bool = False,
+        backend: str | None = None,
     ) -> PlanDecision:
         """Log the outcome of a batch and feed the EWMA calibration."""
         est = estimates[chosen]
@@ -144,6 +154,7 @@ class AdaptivePlanner:
             seconds=seconds,
             error=est.cost.relative_error(actual),
             switched=switched,
+            backend=backend,
         )
         self.decisions.append(decision)
         return decision

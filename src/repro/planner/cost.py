@@ -26,6 +26,26 @@ from repro.distributed.serialization import EQID_BYTES
 #: keeps estimates and actuals on the same scale.
 MESSAGE_OVERHEAD_BYTES = 0.0
 
+#: Relative cost of one unit of local work per storage backend.  The
+#: row backend is the baseline; columnar kernels batch whole columns
+#: and SQL backends evaluate checks set-at-a-time inside the engine,
+#: so a unit of the paper's per-tuple work costs less there.  These
+#: priors seed the planner's backend choice until timing probes
+#: (per (strategy, backend)) replace them with measurements.
+LOCAL_WORK_RATES: dict[str, float] = {
+    "rows": 1.0,
+    "columnar": 0.35,
+    "sql": 0.55,
+    "duckdb": 0.45,
+}
+
+
+def local_work_rate(backend: str | None) -> float:
+    """The local-work rate for ``backend`` (1.0 for unknown backends)."""
+    if backend is None:
+        return 1.0
+    return LOCAL_WORK_RATES.get(backend, 1.0)
+
 
 @dataclass(frozen=True)
 class CostVector:
@@ -83,6 +103,17 @@ class CostVector:
             self.eqids * factor,
             self.local_work * factor,
         )
+
+    def with_local_work_rate(self, rate: float) -> "CostVector":
+        """Re-price local work for a storage backend, keeping shipment as-is.
+
+        Shipment counters are backend-invariant (the pushdown backends
+        reproduce the row cost model exactly), so only the local-work
+        dimension scales.
+        """
+        if rate == 1.0:
+            return self
+        return CostVector(self.bytes, self.messages, self.eqids, self.local_work * rate)
 
     # -- comparison ---------------------------------------------------------------------
 

@@ -1,0 +1,162 @@
+"""Compile CFD checks to set-oriented SQL (the paper's two-query form).
+
+For a centralized database the paper observes that two SQL queries per
+tableau suffice to find ``V(Sigma, D)``: one ``WHERE`` filter for the
+constant patterns and one grouped query for the variable patterns.
+This module emits exactly those shapes against a
+:class:`~repro.sqlstore.store.SqlStore`'s ``data`` table:
+
+* constant CFDs: ``SELECT tid WHERE <lhs pattern> AND rhs IS NOT ?`` —
+  a single null-safe filter, no grouping;
+* variable CFDs: a grouped subquery over the LHS with
+  ``HAVING COUNT(DISTINCT rhs) + (COUNT(*) > COUNT(rhs)) > 1`` (the
+  ``COUNT(*)`` term counts NULL as one extra distinct value, matching
+  Python's ``None`` dict key), joined back null-safely to enumerate the
+  violating tids;
+* IDX builds and shipment scans: the pattern filter plus the projection
+  the caller needs, grouped in Python from the (small) filtered result.
+
+Every query is compiled once per (store, rule) through the store's
+``cached_sql`` cache and parameterized — constants travel as bind
+parameters encoded with the store's value encoding, never as SQL text.
+Dialect differences (sqlite ``IS`` vs DuckDB ``IS NOT DISTINCT FROM``)
+come from the store's :class:`~repro.sqlstore.store.SqlDialect`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.cfd import CFD, UNNAMED
+from repro.sqlstore.store import SqlStore
+
+
+def pattern_constants(cfd: CFD) -> list[tuple[str, Any]]:
+    """The LHS attributes the pattern pins, with their constants."""
+    return [
+        (a, cfd.pattern.entry(a))
+        for a in cfd.lhs
+        if cfd.pattern.entry(a) is not UNNAMED
+    ]
+
+
+def pattern_filter(
+    store: SqlStore, cfd: CFD, alias: str = ""
+) -> tuple[str, tuple[Any, ...]]:
+    """``t[X] ~ tp[X]`` as a WHERE conjunction plus bind parameters."""
+    prefix = f"{alias}." if alias else ""
+    eq = store.dialect.eq
+    clauses = []
+    params = []
+    for a, constant in pattern_constants(cfd):
+        clauses.append(f"{prefix}{store.column(a)} {eq} ?")
+        params.append(store.encode(constant))
+    return " AND ".join(clauses) or "1 = 1", tuple(params)
+
+
+def constant_violation_query(store: SqlStore, cfd: CFD) -> tuple[str, tuple[Any, ...]]:
+    """``V(phi, D)`` for a constant CFD: one pushed-down WHERE filter."""
+    where, params = pattern_filter(store, cfd)
+    rhs = store.column(cfd.rhs)
+
+    def build() -> str:
+        return (
+            f"SELECT tid FROM data WHERE {where} "
+            f"AND {rhs} {store.dialect.neq} ? ORDER BY seq"
+        )
+
+    key = ("const", cfd.lhs, cfd.rhs, tuple(a for a, _ in pattern_constants(cfd)))
+    sql = store.cached_sql(key, build)
+    return sql, (*params, store.encode(cfd.pattern.entry(cfd.rhs)))
+
+
+def variable_violation_query(store: SqlStore, cfd: CFD) -> tuple[str, tuple[Any, ...]]:
+    """``V(phi, D)`` for a variable CFD: the grouped two-query formulation.
+
+    The subquery finds the LHS groups holding more than one distinct RHS
+    value among the pattern-matching tuples; the join re-enumerates the
+    member tids.  Both parts repeat the pattern filter, so the
+    parameters appear twice.
+    """
+    lhs_cols = [store.column(a) for a in cfd.lhs]
+    rhs = store.column(cfd.rhs)
+    eq = store.dialect.eq
+    where, params = pattern_filter(store, cfd)
+    where_d, _ = pattern_filter(store, cfd, alias="d")
+
+    def build() -> str:
+        keys = ", ".join(f"{c} AS k{i}" for i, c in enumerate(lhs_cols))
+        group_by = ", ".join(lhs_cols)
+        on = " AND ".join(f"d.{c} {eq} g.k{i}" for i, c in enumerate(lhs_cols))
+        return (
+            f"SELECT d.tid FROM data d JOIN ("
+            f"SELECT {keys} FROM data WHERE {where} GROUP BY {group_by} "
+            f"HAVING COUNT(DISTINCT {rhs}) + (COUNT(*) > COUNT({rhs})) > 1"
+            f") g ON {on} WHERE {where_d} ORDER BY d.seq"
+        )
+
+    key = ("var", cfd.lhs, cfd.rhs, tuple(a for a, _ in pattern_constants(cfd)))
+    sql = store.cached_sql(key, build)
+    return sql, (*params, *params)
+
+
+def pattern_scan_query(
+    store: SqlStore, cfd: CFD, attributes: Sequence[str]
+) -> tuple[str, tuple[Any, ...]]:
+    """``(tid, attributes...)`` of every pattern-matching tuple, in order.
+
+    The shared workhorse of IDX builds and horizontal batch scans: the
+    filter runs in the engine, only the projected columns come back.
+    """
+    where, params = pattern_filter(store, cfd)
+    cols = ", ".join(store.column(a) for a in attributes)
+
+    def build() -> str:
+        return f"SELECT tid, {cols} FROM data WHERE {where} ORDER BY seq"
+
+    key = (
+        "scan",
+        cfd.lhs,
+        cfd.rhs,
+        tuple(a for a, _ in pattern_constants(cfd)),
+        tuple(attributes),
+    )
+    return store.cached_sql(key, build), params
+
+
+def constant_match_query(
+    store: SqlStore,
+    relevant: Sequence[str],
+    constants: dict[str, Any],
+) -> tuple[str, tuple[Any, ...]]:
+    """``(tid, relevant...)`` of tuples matching the given constants.
+
+    The vertical batch detector's constant shipment scan: a site ships
+    the ``relevant`` projection of tuples whose constrained attributes
+    equal the pattern constants.
+    """
+    eq = store.dialect.eq
+    constrained = [a for a in relevant if a in constants]
+    clauses = " AND ".join(f"{store.column(a)} {eq} ?" for a in constrained) or "1 = 1"
+    cols = ", ".join(store.column(a) for a in relevant)
+    select = f"tid{', ' + cols if cols else ''}"
+
+    def build() -> str:
+        return f"SELECT {select} FROM data WHERE {clauses} ORDER BY seq"
+
+    key = ("cmatch", tuple(relevant), tuple(constrained))
+    sql = store.cached_sql(key, build)
+    return sql, tuple(store.encode(constants[a]) for a in constrained)
+
+
+def projection_query(
+    store: SqlStore, attributes: Sequence[str]
+) -> tuple[str, tuple[Any, ...]]:
+    """``(tid, attributes...)`` of every tuple (full projection scan)."""
+    cols = ", ".join(store.column(a) for a in attributes)
+    select = f"tid{', ' + cols if cols else ''}"
+
+    def build() -> str:
+        return f"SELECT {select} FROM data ORDER BY seq"
+
+    return store.cached_sql(("proj", tuple(attributes)), build), ()

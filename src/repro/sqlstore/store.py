@@ -1,0 +1,603 @@
+"""SQL-backed tuple storage over embedded engines (sqlite3 / DuckDB).
+
+A :class:`SqlStore` keeps a relation's tuples in one table of an
+embedded SQL engine — stdlib :mod:`sqlite3` by default, file-backed or
+``:memory:`` — and satisfies the same
+:class:`~repro.core.storage.StorageBackend` protocol as the row and
+columnar backends: tuples indexed by tid, O(1) membership, insertion
+order preserved (dict semantics: deleted tids drop out, re-inserting a
+popped tid moves it to the end, overwriting keeps its place).
+
+The point of the backend is *pushdown*: the detection kernels of
+:mod:`repro.sqlstore.kernels` compile CFD checks to set-oriented SQL
+(the classic constant/variable two-query formulation) so the filtering
+and grouping run inside the engine's C executor over data that never
+has to fit in Python memory.  The store itself keeps only a small
+``tid -> seq`` dict in Python; everything else lives in the engine,
+which for a file-backed store means detection scales past RAM.
+
+Layout and semantics:
+
+* one table ``data(seq INTEGER PRIMARY KEY, tid, a0, a1, ...)`` with
+  positional column names (arbitrary attribute names never meet the SQL
+  identifier grammar); ``seq`` is a monotonically increasing insertion
+  counter, so ``ORDER BY seq`` reproduces dict iteration order;
+* values are stored natively for ``str``/``int``/``float``/``None``
+  (sqlite's comparison semantics then match Python's: ``1 = 1.0``,
+  text never equals numbers, ``IS`` is null-safe equality) and as
+  tagged pickle blobs for ``bool`` and any other type, so a decoded
+  value is the exact Python object that went in and the wire-size
+  estimates of :mod:`repro.distributed.serialization` are reproduced
+  byte for byte.  Caveat (same class as the columnar backend's
+  interning): cross-type equalities involving tagged values
+  (``True == 1``) are not visible to the engine;
+* inserts buffer in Python and apply with one ``executemany`` inside
+  one transaction per wave — any read flushes first — matching the
+  "batched delta apply" the update batches need;
+* per-rule compiled SQL is cached on the store (and the connection
+  keeps a large prepared-statement cache), so a CFD checked every wave
+  compiles once.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sqlite3
+import threading
+import uuid
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, KeysView
+
+from repro.core.schema import Schema
+from repro.core.tuples import Tuple
+from repro.distributed.serialization import TID_BYTES, estimate_value_bytes
+
+#: Buffered inserts flush to the engine at this size even without a read.
+FLUSH_LIMIT = 2000
+
+#: Rows fetched per chunk when streaming iteration / byte estimation.
+FETCH_CHUNK = 1024
+
+#: Tag byte prefixing pickled (non-native) values in the engine.
+_PICKLE_TAG = b"\x01"
+
+try:  # pragma: no cover - exercised only where duckdb is installed
+    import duckdb  # type: ignore
+
+    DUCKDB_AVAILABLE = True
+except ImportError:  # pragma: no cover - the container default
+    duckdb = None
+    DUCKDB_AVAILABLE = False
+
+
+#: Module configuration for newly created stores (see :func:`configure`).
+_CONFIG: dict[str, Any] = {"directory": None}
+
+
+def configure(directory: str | None = None) -> None:
+    """Route newly created sqlite stores to files under ``directory``.
+
+    ``None`` (the default) keeps stores in ``:memory:``.  File-backed
+    stores are what make detection out-of-core: the engine pages the
+    table through a bounded cache instead of holding it on the Python
+    heap.  Each store creates (and on close removes) its own uniquely
+    named database file.
+    """
+    _CONFIG["directory"] = directory
+
+
+def configured_directory() -> str | None:
+    """The directory file-backed stores are currently routed to."""
+    return _CONFIG["directory"]
+
+
+@dataclass(frozen=True)
+class SqlDialect:
+    """The engine-specific SQL spellings the compiler needs."""
+
+    name: str
+    #: Null-safe equality between a column and a placeholder/column.
+    eq: str
+    #: Null-safe inequality.
+    neq: str
+
+
+SQLITE_DIALECT = SqlDialect(name="sqlite", eq="IS", neq="IS NOT")
+DUCKDB_DIALECT = SqlDialect(
+    name="duckdb", eq="IS NOT DISTINCT FROM", neq="IS DISTINCT FROM"
+)
+
+
+def encode_value(value: Any) -> Any:
+    """Encode a Python value for storage/comparison inside the engine.
+
+    Native for ``str``/``int``/``float``/``None`` (engine equality then
+    matches Python's), tagged pickle blob for everything else (equality
+    degrades to byte equality of the pickle — exact for ``bool`` and
+    deterministic for the simple immutables that appear as data values).
+    """
+    if value is None or type(value) in (str, int, float):
+        return value
+    return _PICKLE_TAG + pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if isinstance(value, bytes):
+        return pickle.loads(value[1:])
+    return value
+
+
+class SqlStore:
+    """Tuple storage in one embedded-SQL table (sqlite3 engine).
+
+    Satisfies :class:`~repro.core.storage.StorageBackend`; the SQL
+    compilation lives in :mod:`repro.sqlstore.compiler` and the
+    pushed-down detection scans in :mod:`repro.sqlstore.kernels`.
+    """
+
+    name = "sql"
+    dialect = SQLITE_DIALECT
+
+    def __init__(self, schema: Schema, path: str | None = None):
+        self._attrs: tuple[str, ...] = tuple(schema.attribute_names)
+        self._key = schema.key
+        self._init_connection(path if path is not None else self._configured_path())
+
+    # -- connection management ---------------------------------------------------------
+
+    def _configured_path(self) -> str | None:
+        directory = _CONFIG["directory"]
+        if directory is None:
+            return None
+        os.makedirs(directory, exist_ok=True)
+        return os.path.join(
+            directory, f"sqlstore_{os.getpid()}_{uuid.uuid4().hex}.db"
+        )
+
+    def _init_connection(self, path: str | None) -> None:
+        self._path = path
+        self._colnames: tuple[str, ...] = tuple(
+            f"a{i}" for i in range(len(self._attrs))
+        )
+        self._col: dict[str, str] = dict(zip(self._attrs, self._colnames))
+        self._index: dict[Any, int] = {}
+        self._next_seq = 0
+        self._pending: list[tuple] = []
+        self._sql_cache: dict[Any, str] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._lock = threading.RLock()
+        self._conn = self._connect(path)
+        self._create_table()
+        placeholders = ", ".join("?" for _ in range(len(self._attrs) + 2))
+        self._insert_sql = f"INSERT INTO data VALUES ({placeholders})"
+        self._row_cols = ", ".join(self._colnames)
+
+    def _connect(self, path: str | None) -> Any:
+        conn = sqlite3.connect(
+            path if path is not None else ":memory:",
+            check_same_thread=False,
+            cached_statements=256,
+        )
+        conn.isolation_level = None  # explicit BEGIN/COMMIT per flush
+        if path is not None:
+            # Durability is irrelevant (stores are per-session scratch);
+            # a bounded page cache is what keeps the resident set small.
+            conn.execute("PRAGMA journal_mode=MEMORY")
+            conn.execute("PRAGMA synchronous=OFF")
+            conn.execute("PRAGMA cache_size=-2048")  # 2 MiB page cache
+        return conn
+
+    def _create_table(self) -> None:
+        cols = ", ".join(["seq INTEGER PRIMARY KEY", "tid", *self._colnames])
+        self._conn.execute(f"CREATE TABLE data ({cols})")
+
+    def close(self) -> None:
+        """Close the connection and remove the backing file (if any)."""
+        conn = getattr(self, "_conn", None)
+        if conn is None:
+            return
+        self._conn = None
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+        path = getattr(self, "_path", None)
+        if path is not None:
+            try:
+                os.remove(path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    def __del__(self):  # pragma: no cover - gc timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- attribute/column metadata -------------------------------------------------------
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return self._attrs
+
+    @property
+    def path(self) -> str | None:
+        """The backing database file, or None for ``:memory:``."""
+        return self._path
+
+    def column(self, attribute: str) -> str:
+        """The physical column name storing ``attribute``."""
+        return self._col[attribute]
+
+    # -- write buffering -----------------------------------------------------------------
+
+    def _flush_locked(self) -> None:
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        self._conn.execute("BEGIN")
+        try:
+            self._conn.executemany(self._insert_sql, pending)
+            self._conn.execute("COMMIT")
+        except Exception:
+            self._conn.execute("ROLLBACK")
+            raise
+
+    def flush(self) -> None:
+        """Apply all buffered inserts in one transaction (idempotent)."""
+        with self._lock:
+            self._flush_locked()
+
+    def _encode_row(self, t: Tuple, seq: int) -> tuple:
+        return (
+            seq,
+            encode_value(t.tid),
+            *(encode_value(t[a]) for a in self._attrs),
+        )
+
+    # -- StorageBackend protocol ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, tid: Any) -> bool:
+        return tid in self._index
+
+    def tids(self) -> KeysView[Any]:
+        return self._index.keys()
+
+    def insert(self, t: Tuple) -> None:
+        with self._lock:
+            seq = self._index.get(t.tid)
+            if seq is not None:
+                # Overwrite in place: dict semantics keep the position.
+                self._flush_locked()
+                sets = ", ".join(f"{c} = ?" for c in self._colnames)
+                self._conn.execute(
+                    f"UPDATE data SET {sets} WHERE seq = ?",
+                    (*(encode_value(t[a]) for a in self._attrs), seq),
+                )
+                return
+            seq = self._next_seq
+            self._next_seq += 1
+            self._index[t.tid] = seq
+            self._pending.append(self._encode_row(t, seq))
+            if len(self._pending) >= FLUSH_LIMIT:
+                self._flush_locked()
+
+    def bulk_load(self, tuples) -> None:
+        """Append many tuples at once (caller has checked tids are fresh)."""
+        with self._lock:
+            for t in tuples:
+                seq = self._next_seq
+                self._next_seq += 1
+                self._index[t.tid] = seq
+                self._pending.append(self._encode_row(t, seq))
+                if len(self._pending) >= FLUSH_LIMIT:
+                    self._flush_locked()
+            self._flush_locked()
+
+    def _tuple_from_row(self, row: tuple) -> Tuple:
+        # row = (tid, a0, a1, ...)
+        return Tuple(
+            decode_value(row[0]),
+            {a: decode_value(row[i + 1]) for i, a in enumerate(self._attrs)},
+        )
+
+    def get(self, tid: Any) -> Tuple | None:
+        with self._lock:
+            seq = self._index.get(tid)
+            if seq is None:
+                return None
+            self._flush_locked()
+            row = self._conn.execute(
+                f"SELECT tid, {self._row_cols} FROM data WHERE seq = ?", (seq,)
+            ).fetchone()
+        return self._tuple_from_row(row)
+
+    def pop(self, tid: Any) -> Tuple | None:
+        with self._lock:
+            seq = self._index.pop(tid, None)
+            if seq is None:
+                return None
+            self._flush_locked()
+            row = self._conn.execute(
+                f"SELECT tid, {self._row_cols} FROM data WHERE seq = ?", (seq,)
+            ).fetchone()
+            self._conn.execute("DELETE FROM data WHERE seq = ?", (seq,))
+        return self._tuple_from_row(row)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        # Keyset pagination: stream in chunks without holding the lock
+        # across yields (and without materializing the table in Python).
+        last = -1
+        sql = (
+            f"SELECT seq, tid, {self._row_cols} FROM data "
+            "WHERE seq > ? ORDER BY seq LIMIT ?"
+        )
+        while True:
+            with self._lock:
+                self._flush_locked()
+                rows = self._conn.execute(sql, (last, FETCH_CHUNK)).fetchall()
+            if not rows:
+                return
+            for row in rows:
+                last = row[0]
+                yield self._tuple_from_row(row[1:])
+
+    def copy(self) -> "SqlStore":
+        clone = object.__new__(type(self))
+        clone._attrs = self._attrs
+        clone._key = self._key
+        clone._init_connection(
+            None if self._path is None else self._configured_path()
+        )
+        with self._lock:
+            self._flush_locked()
+            self._backup_into(clone)
+            clone._index = dict(self._index)
+            clone._next_seq = self._next_seq
+        return clone
+
+    def _backup_into(self, clone: "SqlStore") -> None:
+        self._conn.backup(clone._conn)
+
+    # -- queries (the kernels' entry points) ---------------------------------------------
+
+    def query_all(self, sql: str, params: tuple = ()) -> list:
+        """Flush pending writes and fetch a whole result set (locked)."""
+        with self._lock:
+            self._flush_locked()
+            return self._conn.execute(sql, params).fetchall()
+
+    def scan(self, sql: str, params: tuple = ()) -> Iterator[tuple]:
+        """Flush and stream a result set chunk-wise (locked per chunk).
+
+        ``sql`` must select ``seq`` as its first column and be written
+        against the ``__KEYSET__`` placeholder (``seq > ?`` is appended
+        by the caller); used for full-table streams that must not
+        materialize in Python.
+        """
+        with self._lock:
+            self._flush_locked()
+            cursor = self._conn.execute(sql, params)
+            while True:
+                rows = cursor.fetchmany(FETCH_CHUNK)
+                if not rows:
+                    return
+                yield from rows
+
+    def estimate_bytes(self, attributes=None) -> int:
+        """The row cost model's wire size of the whole store.
+
+        Identical numbers to summing ``estimate_tuple_bytes`` over the
+        row backend, computed by cursor iteration without materializing
+        Tuples.
+        """
+        attrs = tuple(attributes) if attributes is not None else self._attrs
+        cols = ", ".join(self._col[a] for a in attrs)
+        total = 0
+        if not attrs:
+            return TID_BYTES * len(self)
+        for row in self.scan(f"SELECT seq, {cols} FROM data"):
+            total += TID_BYTES
+            for cell in row[1:]:
+                total += estimate_value_bytes(decode_value(cell))
+        return total
+
+    def distinct_counts(self) -> dict[str, int]:
+        """Exact per-attribute distinct counts, pushed down as aggregates.
+
+        NULLs count as one extra distinct value (Python ``set`` puts
+        ``None`` alongside the rest; ``COUNT(DISTINCT ...)`` skips it).
+        """
+        if not self._attrs:
+            return {}
+        parts = ", ".join(
+            f"COUNT(DISTINCT {c}) + (COUNT(*) > COUNT({c}))" for c in self._colnames
+        )
+        row = self.query_all(f"SELECT {parts} FROM data")[0]
+        return dict(zip(self._attrs, row))
+
+    def select_tids(self, tids, attributes=None) -> list[tuple]:
+        """Rows for exactly the given tids via a temp-table semi-join.
+
+        The tids translate to seqs in Python (O(1) each), ship into a
+        temp table with one ``executemany`` and join back against the
+        primary key — the batch-shipment scan shape for a known tuple
+        set.  Unknown tids are skipped.  Returns raw ``(tid, values...)``
+        rows in insertion order; callers decode.
+        """
+        attrs = tuple(attributes) if attributes is not None else self._attrs
+        cols = ", ".join(self._col[a] for a in attrs)
+        select = f"d.tid{', ' + cols if cols else ''}"
+        with self._lock:
+            self._flush_locked()
+            seqs = [
+                (seq,)
+                for seq in (self._index.get(tid) for tid in tids)
+                if seq is not None
+            ]
+            self._conn.execute(
+                "CREATE TEMP TABLE IF NOT EXISTS ship (seq INTEGER PRIMARY KEY)"
+            )
+            self._conn.execute("DELETE FROM ship")
+            self._conn.executemany("INSERT OR IGNORE INTO ship VALUES (?)", seqs)
+            rows = self._conn.execute(
+                f"SELECT {select} FROM data d JOIN ship s ON d.seq = s.seq "
+                "ORDER BY d.seq"
+            ).fetchall()
+            self._conn.execute("DELETE FROM ship")
+        return rows
+
+    def encode(self, value: Any) -> Any:
+        """Encode a query constant the way this engine stores values."""
+        return encode_value(value)
+
+    # -- compiled-SQL cache --------------------------------------------------------------
+
+    def cached_sql(self, key: Any, build: Callable[[], str]) -> str:
+        """The per-rule compiled SQL cache (text; the connection keeps
+        the actual prepared statements)."""
+        sql = self._sql_cache.get(key)
+        if sql is None:
+            self._cache_misses += 1
+            sql = build()
+            self._sql_cache[key] = sql
+        else:
+            self._cache_hits += 1
+        return sql
+
+    def statement_cache_info(self) -> dict[str, int]:
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._sql_cache),
+        }
+
+    # -- pickling (process executors ship fragments by value) ----------------------------
+
+    def __getstate__(self) -> dict[str, Any]:
+        with self._lock:
+            self._flush_locked()
+            rows = self._conn.execute(
+                f"SELECT seq, tid, {self._row_cols} FROM data ORDER BY seq"
+            ).fetchall()
+        return {
+            "attrs": self._attrs,
+            "key": self._key,
+            "rows": rows,
+            "next_seq": self._next_seq,
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self._attrs = tuple(state["attrs"])
+        self._key = state["key"]
+        # Replicas rebuild in :memory: — a worker's copy is scratch.
+        self._init_connection(None)
+        rows = state["rows"]
+        if rows:
+            self._conn.executemany(self._insert_sql, rows)
+        self._index = {decode_value(row[1]): row[0] for row in rows}
+        self._next_seq = state["next_seq"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = self._path or ":memory:"
+        return f"SqlStore({len(self)} rows, {len(self._attrs)} columns, {where})"
+
+
+class DuckStore(SqlStore):  # pragma: no cover - requires optional duckdb
+    """The DuckDB engine behind the same compiler (optional dependency).
+
+    Registered as ``storage("duckdb")`` only when :mod:`duckdb` imports.
+    DuckDB requires typed columns, so every value (tid included) is
+    stored tagged-pickled in BLOB columns; engine equality is byte
+    equality of the pickles — exact for same-type values, with the same
+    cross-type caveat the sqlite engine documents for tagged values.
+    """
+
+    name = "duckdb"
+    dialect = DUCKDB_DIALECT
+
+    def __init__(self, schema: Schema):
+        if not DUCKDB_AVAILABLE:
+            raise RuntimeError(
+                "the duckdb storage backend needs the optional 'duckdb' package "
+                "(pip install repro[sql])"
+            )
+        super().__init__(schema, path=None)
+
+    def _connect(self, path: str | None):
+        return duckdb.connect(":memory:")
+
+    def _create_table(self) -> None:
+        cols = ", ".join(
+            ["seq BIGINT PRIMARY KEY", "tid BLOB", *(f"{c} BLOB" for c in self._colnames)]
+        )
+        self._conn.execute(f"CREATE TABLE data ({cols})")
+
+    def _flush_locked(self) -> None:
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        self._conn.execute("BEGIN TRANSACTION")
+        try:
+            self._conn.executemany(self._insert_sql, pending)
+            self._conn.execute("COMMIT")
+        except Exception:
+            self._conn.execute("ROLLBACK")
+            raise
+
+    def _encode_row(self, t: Tuple, seq: int) -> tuple:
+        return (
+            seq,
+            _PICKLE_TAG + pickle.dumps(t.tid, protocol=pickle.HIGHEST_PROTOCOL),
+            *(
+                _PICKLE_TAG + pickle.dumps(t[a], protocol=pickle.HIGHEST_PROTOCOL)
+                for a in self._attrs
+            ),
+        )
+
+    def encode(self, value: Any) -> Any:
+        return _PICKLE_TAG + pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _backup_into(self, clone: "SqlStore") -> None:
+        rows = self._conn.execute(
+            f"SELECT seq, tid, {self._row_cols} FROM data ORDER BY seq"
+        ).fetchall()
+        if rows:
+            clone._conn.executemany(clone._insert_sql, rows)
+
+    def query_all(self, sql: str, params: tuple = ()) -> list:
+        with self._lock:
+            self._flush_locked()
+            return self._conn.execute(sql, params).fetchall()
+
+    def scan(self, sql: str, params: tuple = ()):
+        with self._lock:
+            self._flush_locked()
+            yield from self._conn.execute(sql, params).fetchall()
+
+    def close(self) -> None:
+        conn = getattr(self, "_conn", None)
+        if conn is None:
+            return
+        self._conn = None
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def sql_store_of(relation: Any) -> SqlStore | None:
+    """The relation's :class:`SqlStore`, or None for other backends.
+
+    The dispatch hook every pushed-down fast path uses (the twin of
+    :func:`repro.columnar.store.column_store_of`): accepts anything and
+    answers None unless the object is a relation backed by a SQL engine.
+    """
+    store = getattr(relation, "store", None)
+    return store if isinstance(store, SqlStore) else None

@@ -127,13 +127,18 @@ class RelationStats:
         attrs = list(relation.schema.attribute_names)
         n = len(relation)
         from repro.columnar.store import column_store_of
+        from repro.sqlstore.store import sql_store_of
 
         store = column_store_of(relation)
+        sql_store = sql_store_of(relation)
         distinct: dict[str, int] = {}
         sampled = False
         if store is not None:
             for a in attrs:
                 distinct[a] = len(store.dictionary(a))
+        elif sql_store is not None:
+            # Exact counts, pushed down as one aggregate query.
+            distinct = sql_store.distinct_counts()
         else:
             seen: dict[str, set] = {a: set() for a in attrs}
             for i, t in enumerate(relation):

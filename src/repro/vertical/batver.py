@@ -51,6 +51,7 @@ def _site_ship_task(
     sweeps then run over encoded columns with cached per-code sizes).
     """
     from repro.columnar.store import column_store_of
+    from repro.sqlstore.store import sql_store_of
 
     shipments: dict[str, list[tuple[Any, int]]] = {}
     store = column_store_of(tuples)
@@ -64,6 +65,21 @@ def _site_ship_task(
         for cfd_name, supplied in variable_specs:
             shipments.setdefault(cfd_name, []).extend(
                 kernels.project_ship_scan(store, supplied)
+            )
+        return shipments
+    sql_store = sql_store_of(tuples)
+    if sql_store is not None:
+        # SQL-backed fragments push the match filter and projection
+        # down; only (tid, projected values) rows come back to price.
+        from repro.sqlstore import kernels as sql_kernels
+
+        for cfd_name, relevant, constants in constant_specs:
+            shipments.setdefault(cfd_name, []).extend(
+                sql_kernels.constant_ship_scan(sql_store, relevant, constants)
+            )
+        for cfd_name, supplied in variable_specs:
+            shipments.setdefault(cfd_name, []).extend(
+                sql_kernels.project_ship_scan(sql_store, supplied)
             )
         return shipments
     for cfd_name, relevant, constants in constant_specs:
@@ -147,11 +163,13 @@ class VerticalBatchDetector:
     def detect(self) -> ViolationSet:
         """Compute ``V(Sigma, D)`` from scratch, charging shipments to the network."""
         from repro.columnar.store import column_store_of
+        from repro.sqlstore.store import sql_store_of
 
         reconstructed = self._cluster.reconstruct()
         snapshot: Any = (
             reconstructed
             if column_store_of(reconstructed) is not None
+            or sql_store_of(reconstructed) is not None
             else list(reconstructed)
         )
         violations = ViolationSet()
@@ -190,6 +208,7 @@ class VerticalBatchDetector:
                     variable_specs.get(site.site_id, []),
                     site.fragment
                     if column_store_of(site.fragment) is not None
+                    or sql_store_of(site.fragment) is not None
                     else list(site.fragment),
                 ),
                 label="batVer:ship",
