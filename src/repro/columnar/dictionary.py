@@ -46,6 +46,18 @@ class ValueDictionary:
     def __len__(self) -> int:
         return len(self._values)
 
+    @property
+    def generation(self) -> int:
+        """A monotone change counter: the number of codes ever assigned.
+
+        The dictionary is append-only, so an unchanged generation means
+        no value gained a code since a caller last looked — the
+        invalidation signal for caches of *negative* lookups ("this
+        constant has no code").  Positive lookups never invalidate:
+        existing codes are stable for the lifetime of the dictionary.
+        """
+        return len(self._values)
+
     def __iter__(self) -> Iterator[Any]:
         return iter(self._values)
 

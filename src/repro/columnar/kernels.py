@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from time import perf_counter
 from typing import Any, Iterable, Mapping, Sequence
+from weakref import WeakKeyDictionary
 
 from repro.core.cfd import CFD, UNNAMED
 from repro.distributed.serialization import TID_BYTES
@@ -26,11 +27,21 @@ from repro.obs import profile as _prof
 #: Sentinel for "a pattern constant never occurs in this store".
 _UNSATISFIABLE = object()
 
+#: Per-store cache of compiled pattern tests: ``store -> {cfd: (tests,
+#: generations)}``.  ``generations`` snapshots the constant attributes'
+#: dictionary generations and is consulted only for
+#: :data:`_UNSATISFIABLE` entries — a missing constant may gain a code
+#: when its dictionary grows, while positive entries never invalidate
+#: (dictionaries are append-only, so assigned codes are stable for the
+#: lifetime of the store).
+_PATTERN_TEST_CACHE: "WeakKeyDictionary[ColumnStore, dict[CFD, tuple[Any, tuple[tuple[str, int], ...]]]]" = (
+    WeakKeyDictionary()
+)
 
-def _pattern_tests(store: ColumnStore, cfd: CFD) -> "list[tuple[int, int]] | object":
-    """The positional ``(index, code)`` tests a group key must pass to
-    match the CFD's LHS pattern constants — :data:`_UNSATISFIABLE` when a
-    constant value never occurs in the store (no row can match)."""
+
+def _compile_pattern_tests(
+    store: ColumnStore, cfd: CFD
+) -> "list[tuple[int, int]] | object":
     pattern = cfd.pattern
     tests: list[tuple[int, int]] = []
     for i, a in enumerate(cfd.lhs):
@@ -41,6 +52,39 @@ def _pattern_tests(store: ColumnStore, cfd: CFD) -> "list[tuple[int, int]] | obj
         if code is None:
             return _UNSATISFIABLE
         tests.append((i, code))
+    return tests
+
+
+def _pattern_tests(store: ColumnStore, cfd: CFD) -> "list[tuple[int, int]] | object":
+    """The positional ``(index, code)`` tests a group key must pass to
+    match the CFD's LHS pattern constants — :data:`_UNSATISFIABLE` when a
+    constant value never occurs in the store (no row can match).
+
+    Compiled once per (store, CFD) and cached: repeated waves stop
+    re-encoding the tableau constants on every sweep.  Unsatisfiable
+    results re-check when any constant attribute's dictionary generation
+    changed (new codes may have made the constant reachable)."""
+    per_store = _PATTERN_TEST_CACHE.get(store)
+    if per_store is None:
+        per_store = _PATTERN_TEST_CACHE[store] = {}
+    cached = per_store.get(cfd)
+    if cached is not None:
+        tests, generations = cached
+        if tests is not _UNSATISFIABLE or all(
+            store.dictionary(a).generation == generation
+            for a, generation in generations
+        ):
+            return tests
+    tests = _compile_pattern_tests(store, cfd)
+    if tests is _UNSATISFIABLE:
+        generations = tuple(
+            (a, store.dictionary(a).generation)
+            for a in cfd.lhs
+            if cfd.pattern.entry(a) is not UNNAMED
+        )
+    else:
+        generations = ()
+    per_store[cfd] = (tests, generations)
     return tests
 
 

@@ -276,3 +276,42 @@ def merge_into_tableaux(cfds: Iterable[CFD]) -> list[Tableau]:
             grouped[key] = Tableau(cfd.lhs, cfd.rhs, [], name=f"{'_'.join(cfd.lhs)}__{cfd.rhs}")
         grouped[key].rows.append(cfd.pattern)
     return list(grouped.values())
+
+
+# -- classification ----------------------------------------------------------------------
+
+
+def is_locally_checkable(cfd: CFD, partitioner: Any) -> bool:
+    """Case (2)(a) of Section 6: local checkability on a horizontal layout.
+
+    True when every fragment's selection predicate only mentions
+    attributes of the CFD's LHS (two tuples from different fragments can
+    then never agree on the LHS), or when the layout has one fragment.
+    ``partitioner`` is duck-typed: anything exposing ``n_fragments`` and
+    ``fragments`` whose members carry ``predicate.attributes()`` works,
+    so the core stays free of partition-layer imports.
+    """
+    if partitioner.n_fragments == 1:
+        return True
+    lhs = set(cfd.lhs)
+    for frag in partitioner.fragments:
+        attrs = frag.predicate.attributes()
+        if not attrs or not attrs <= lhs:
+            return False
+    return True
+
+
+def split_local_general(cfds: Iterable[CFD], is_local: Any) -> tuple[list[CFD], list[CFD]]:
+    """Partition ``cfds`` into ``(local, general)`` by a predicate.
+
+    Both lists preserve the input order, and membership is by object
+    identity (``id()``), so equal-but-distinct CFD objects are never
+    conflated — the shared splitter behind the batHor / incHor
+    local-vs-general classification, whose ``local`` half feeds the
+    fused-group compiler of :mod:`repro.rulefuse`.
+    """
+    cfds = list(cfds)
+    local = [cfd for cfd in cfds if is_local(cfd)]
+    local_ids = {id(cfd) for cfd in local}
+    general = [cfd for cfd in cfds if id(cfd) not in local_ids]
+    return local, general

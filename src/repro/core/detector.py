@@ -28,18 +28,35 @@ def _cfd_violations_task(cfd: CFD, tuples: list[Tuple]) -> set[Any]:
     return CentralizedDetector.violations_of(cfd, tuples)
 
 
+def _fused_group_task(cfds: list[CFD], tuples: list[Tuple]) -> list[set[Any]]:
+    """``V(phi, D)`` for every member of one fused rule group (pure).
+
+    The members share an LHS attribute list, so the fused kernels sweep
+    the data once for the whole group instead of once per CFD.
+    """
+    from repro.rulefuse import fused_violations
+
+    return fused_violations(cfds, tuples)
+
+
 class CentralizedDetector:
     """Batch detector for a set of CFDs over an in-memory relation.
 
     With a :class:`~repro.runtime.scheduler.SiteScheduler`, ``detect``
-    fans the per-CFD checks out as one independent task per CFD; without
+    fans the checks out as independent tasks — one per fused same-LHS
+    rule group by default, one per CFD with ``fusion=False``; without
     one it runs the plain serial loop (the default, used by the many
-    setup paths that just need the reference violation set).
+    setup paths that just need the reference violation set).  Fusion
+    changes how many passes the data sees, never the verdicts: fused
+    results are violation-identical to the per-rule path.
     """
 
-    def __init__(self, cfds: Iterable[CFD], scheduler: Any = None):
+    def __init__(
+        self, cfds: Iterable[CFD], scheduler: Any = None, fusion: bool = True
+    ):
         self._cfds = list(cfds)
         self._scheduler = scheduler
+        self._fusion = fusion
 
     @property
     def cfds(self) -> list[CFD]:
@@ -111,15 +128,41 @@ class CentralizedDetector:
         else:
             tuples = list(relation)
         violations = ViolationSet()
+        fused = self._fusion and len(self._cfds) > 1
         if self._scheduler is not None:
             from repro.runtime.executor import SiteTask
 
+            if fused:
+                from repro.rulefuse import compile_rule_set
+
+                groups = compile_rule_set(self._cfds)
+                tasks = [
+                    SiteTask(
+                        i,
+                        _fused_group_task,
+                        (list(group.members), tuples),
+                        label="fused:" + ",".join(group.lhs),
+                    )
+                    for i, group in enumerate(groups)
+                ]
+                for group, result in zip(groups, self._scheduler.run(tasks)):
+                    for cfd, tids in zip(group.members, result.value):
+                        for tid in tids:
+                            violations.add(tid, cfd.name)
+                return violations
             tasks = [
                 SiteTask(i, _cfd_violations_task, (cfd, tuples), label=cfd.name)
                 for i, cfd in enumerate(self._cfds)
             ]
             for cfd, result in zip(self._cfds, self._scheduler.run(tasks)):
                 for tid in result.value:
+                    violations.add(tid, cfd.name)
+            return violations
+        if fused:
+            from repro.rulefuse import fused_violations
+
+            for cfd, tids in zip(self._cfds, fused_violations(self._cfds, tuples)):
+                for tid in tids:
                     violations.add(tid, cfd.name)
             return violations
         for cfd in self._cfds:

@@ -102,11 +102,13 @@ class VerticalIncrementalStrategy(_BaseStrategy):
         plan: HEVPlan | None = None,
         optimize: bool = False,
         beam_width: int = 4,
+        fusion: bool = True,
     ):
         super().__init__()
         self._plan = plan
         self._optimize = optimize
         self._beam_width = beam_width
+        self._fusion = fusion
         self._detector: VerticalIncrementalDetector | None = None
 
     def setup(self, deployment: Any, rules: Iterable[CFD]) -> ViolationSet:
@@ -118,7 +120,7 @@ class VerticalIncrementalStrategy(_BaseStrategy):
                 partitioner, ReplicationScheme(partitioner), beam_width=self._beam_width
             )
         self._detector = VerticalIncrementalDetector(
-            cluster, rules, plan=self._plan, planner=planner
+            cluster, rules, plan=self._plan, planner=planner, fusion=self._fusion
         )
         self.deployment = cluster
         return self._detector.violations
@@ -188,7 +190,12 @@ class VerticalIncrementalStrategy(_BaseStrategy):
                 partitioner, ReplicationScheme(partitioner), beam_width=self._beam_width
             )
         self._detector = VerticalIncrementalDetector(
-            cluster, rules, plan=self._plan, planner=planner, violations=state.violations
+            cluster,
+            rules,
+            plan=self._plan,
+            planner=planner,
+            violations=state.violations,
+            fusion=self._fusion,
         )
         self.deployment = cluster
         return self._detector.violations
@@ -197,15 +204,16 @@ class VerticalIncrementalStrategy(_BaseStrategy):
 class HorizontalIncrementalStrategy(_BaseStrategy):
     """``incHor`` (Fig. 8)."""
 
-    def __init__(self, use_md5: bool = True):
+    def __init__(self, use_md5: bool = True, fusion: bool = True):
         super().__init__()
         self._use_md5 = use_md5
+        self._fusion = fusion
         self._detector: HorizontalIncrementalDetector | None = None
 
     def setup(self, deployment: Any, rules: Iterable[CFD]) -> ViolationSet:
         cluster = _require_horizontal(deployment)
         self._detector = HorizontalIncrementalDetector(
-            cluster, rules, use_md5=self._use_md5
+            cluster, rules, use_md5=self._use_md5, fusion=self._fusion
         )
         self.deployment = cluster
         return self._detector.violations
@@ -251,7 +259,11 @@ class HorizontalIncrementalStrategy(_BaseStrategy):
                 scheduler=cluster.scheduler,
             )
         self._detector = HorizontalIncrementalDetector(
-            cluster, rules, violations=state.violations, use_md5=self._use_md5
+            cluster,
+            rules,
+            violations=state.violations,
+            use_md5=self._use_md5,
+            fusion=self._fusion,
         )
         self.deployment = cluster
         return self._detector.violations
@@ -269,9 +281,10 @@ class _BatchRedetectStrategy(_BaseStrategy):
     batch to batch; only the re-detection itself is charged.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, fusion: bool = True) -> None:
         super().__init__()
         self._rules: list[CFD] = []
+        self._fusion = fusion
         self._violations = ViolationSet()
 
     def _detect(self) -> ViolationSet:  # pragma: no cover - abstract
@@ -342,7 +355,9 @@ class VerticalBatchStrategy(_BatchRedetectStrategy):
         )
 
     def _detect(self) -> ViolationSet:
-        return VerticalBatchDetector(self.deployment, self._rules).detect()
+        return VerticalBatchDetector(
+            self.deployment, self._rules, fusion=self._fusion
+        ).detect()
 
     def cost_estimate(self, stats: Any, profile: Any) -> Estimate:
         """Full recomputation: ``O(|D (+) delta-D|)`` shipment and scans."""
@@ -368,7 +383,9 @@ class HorizontalBatchStrategy(_BatchRedetectStrategy):
         )
 
     def _detect(self) -> ViolationSet:
-        return HorizontalBatchDetector(self.deployment, self._rules).detect()
+        return HorizontalBatchDetector(
+            self.deployment, self._rules, fusion=self._fusion
+        ).detect()
 
     def cost_estimate(self, stats: Any, profile: Any) -> Estimate:
         """Full recomputation: ``O(|D (+) delta-D|)`` shipment and scans."""
@@ -383,9 +400,10 @@ class ImprovedVerticalBatchStrategy(_BaseStrategy):
     actually measures — are charged to the strategy's network.
     """
 
-    def __init__(self, plan: HEVPlan | None = None):
+    def __init__(self, plan: HEVPlan | None = None, fusion: bool = True):
         super().__init__()
         self._plan = plan
+        self._fusion = fusion
         self._detector: ImprovedVerticalBatchDetector | None = None
         self._base: Relation | None = None
         self._violations = ViolationSet()
@@ -394,9 +412,11 @@ class ImprovedVerticalBatchStrategy(_BaseStrategy):
         cluster = _require_vertical(deployment)
         self._base = cluster.reconstruct()
         self._detector = ImprovedVerticalBatchDetector(
-            cluster.vertical_partitioner, rules, plan=self._plan
+            cluster.vertical_partitioner, rules, plan=self._plan, fusion=self._fusion
         )
-        self._violations = CentralizedDetector(list(rules)).detect(self._base)
+        self._violations = CentralizedDetector(
+            list(rules), fusion=self._fusion
+        ).detect(self._base)
         self.deployment = cluster
         return self._violations
 
@@ -441,7 +461,10 @@ class ImprovedVerticalBatchStrategy(_BaseStrategy):
             cluster.network.absorb(self._detector.network.stats())
         self._plan = None
         self._detector = ImprovedVerticalBatchDetector(
-            cluster.vertical_partitioner, rules, network=cluster.network
+            cluster.vertical_partitioner,
+            rules,
+            network=cluster.network,
+            fusion=self._fusion,
         )
 
     def export_state(self) -> StrategyState:
@@ -460,6 +483,7 @@ class ImprovedVerticalBatchStrategy(_BaseStrategy):
             rules,
             plan=self._plan,
             network=cluster.network,
+            fusion=self._fusion,
         )
         self._violations = state.violations.copy()
         self.deployment = cluster
@@ -469,9 +493,10 @@ class ImprovedVerticalBatchStrategy(_BaseStrategy):
 class ImprovedHorizontalBatchStrategy(_BaseStrategy):
     """``ibatHor`` (Exp-10): the horizontal flavour of the improved baseline."""
 
-    def __init__(self, use_md5: bool = True):
+    def __init__(self, use_md5: bool = True, fusion: bool = True):
         super().__init__()
         self._use_md5 = use_md5
+        self._fusion = fusion
         self._detector: ImprovedHorizontalBatchDetector | None = None
         self._base: Relation | None = None
         self._violations = ViolationSet()
@@ -480,9 +505,14 @@ class ImprovedHorizontalBatchStrategy(_BaseStrategy):
         cluster = _require_horizontal(deployment)
         self._base = cluster.reconstruct()
         self._detector = ImprovedHorizontalBatchDetector(
-            cluster.horizontal_partitioner, rules, use_md5=self._use_md5
+            cluster.horizontal_partitioner,
+            rules,
+            use_md5=self._use_md5,
+            fusion=self._fusion,
         )
-        self._violations = CentralizedDetector(list(rules)).detect(self._base)
+        self._violations = CentralizedDetector(
+            list(rules), fusion=self._fusion
+        ).detect(self._base)
         self.deployment = cluster
         return self._violations
 
@@ -525,6 +555,7 @@ class ImprovedHorizontalBatchStrategy(_BaseStrategy):
             rules,
             use_md5=self._use_md5,
             network=cluster.network,
+            fusion=self._fusion,
         )
 
     def export_state(self) -> StrategyState:
@@ -543,6 +574,7 @@ class ImprovedHorizontalBatchStrategy(_BaseStrategy):
             rules,
             use_md5=self._use_md5,
             network=cluster.network,
+            fusion=self._fusion,
         )
         self._violations = state.violations.copy()
         self.deployment = cluster
@@ -555,15 +587,18 @@ class ImprovedHorizontalBatchStrategy(_BaseStrategy):
 class CentralizedStrategy(_BaseStrategy):
     """The SQL-style centralized reference detector, re-run per batch."""
 
-    def __init__(self) -> None:
+    def __init__(self, fusion: bool = True) -> None:
         super().__init__()
+        self._fusion = fusion
         self._detector: CentralizedDetector | None = None
         self._violations = ViolationSet()
         self._owns_relation = False
 
     def setup(self, deployment: Any, rules: Iterable[CFD]) -> ViolationSet:
         store = _require_single(deployment)
-        self._detector = CentralizedDetector(rules, scheduler=store.scheduler)
+        self._detector = CentralizedDetector(
+            rules, scheduler=store.scheduler, fusion=self._fusion
+        )
         self._violations = self._detector.detect(store.relation)
         self.deployment = store
         self._owns_relation = False
@@ -605,7 +640,9 @@ class CentralizedStrategy(_BaseStrategy):
         store = _require_single(state.deployment)
         if state.relation is not None:
             store.relation = state.relation
-        self._detector = CentralizedDetector(rules, scheduler=store.scheduler)
+        self._detector = CentralizedDetector(
+            rules, scheduler=store.scheduler, fusion=self._fusion
+        )
         self._violations = state.violations.copy()
         self.deployment = store
         self._owns_relation = False

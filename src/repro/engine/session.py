@@ -29,11 +29,13 @@ import time
 from contextlib import nullcontext
 from typing import Any, Iterable, Iterator, Sequence
 
+from repro.core.cfd import CFD
 from repro.core.relation import Relation
 from repro.core.updates import Update, UpdateBatch
 from repro.core.violations import ViolationDelta, ViolationSet
 from repro.distributed.cluster import Cluster
 from repro.distributed.network import Network, NetworkStats
+from repro.engine.adaptive import accepts_fusion
 from repro.engine.protocol import Detector, SingleSite
 from repro.obs import Observability
 from repro.obs import profile as _prof
@@ -90,6 +92,7 @@ class SessionBuilder:
         self._rebalance_policy: RebalancePolicy | None = None
         self._observability: Observability | None = None
         self._session_name: str | None = None
+        self._rule_fusion = True
 
     # -- configuration ----------------------------------------------------------------
 
@@ -141,6 +144,20 @@ class SessionBuilder:
         """
         self._strategy_name = name
         self._strategy_options = dict(options)
+        return self
+
+    def rule_fusion(self, enabled: bool = True) -> "SessionBuilder":
+        """Toggle fused rule-set compilation (on by default).
+
+        With fusion on, rules sharing an LHS attribute list compile into
+        one fused group per list and every check sweeps the data once
+        per *group* instead of once per *rule* — identical violations,
+        ΔV and shipment counters, less local work.  Pass ``False`` to
+        run the per-rule paths (e.g. to benchmark fusion itself, or to
+        isolate one rule's scan in a profile).  An explicit
+        ``strategy(..., fusion=...)`` option wins over this toggle.
+        """
+        self._rule_fusion = bool(enabled)
         return self
 
     def network(self, network: Network) -> "SessionBuilder":
@@ -325,6 +342,11 @@ class SessionBuilder:
             # Adaptive strategies resolve their candidate detectors from
             # the same registry the session was configured with.
             options["registry"] = self._registry
+        if "fusion" not in options and accepts_fusion(entry.factory):
+            # Strategies that understand fused rule-set compilation get
+            # the session's toggle; rule languages without a fused path
+            # (the MD detectors) are left alone.
+            options["fusion"] = self._rule_fusion
         try:
             detector = entry.create(**options)
         except TypeError as exc:
@@ -383,6 +405,7 @@ class SessionBuilder:
             observability=obs,
             root_span=root,
             name=name,
+            rule_fusion=bool(options.get("fusion", self._rule_fusion)),
         )
         if tracing and build_span is not None and net_before is not None:
             # Exact ledger delta for setup: what the shared network saw,
@@ -424,6 +447,7 @@ class DetectionSession:
         observability: Observability | None = None,
         root_span: Span | None = None,
         name: str | None = None,
+        rule_fusion: bool = True,
     ):
         self._entry = entry
         self._detector = detector
@@ -447,6 +471,7 @@ class DetectionSession:
         self._avg_tuple_bytes: float | None = None
         self._obs = observability
         self._root_span = root_span
+        self._rule_fusion = rule_fusion
         self._name = name or f"session-{next(_SESSION_IDS)}"
         if self._obs is not None:
             self._obs.metrics.register_collector(
@@ -988,6 +1013,38 @@ class DetectionSession:
 
     # -- reporting ----------------------------------------------------------------------
 
+    def _sql_stores(self) -> list[Any]:
+        """The distinct SQL stores hosting this session's fragments."""
+        from repro.sqlstore.store import sql_store_of
+
+        deployment = self.deployment
+        if isinstance(deployment, Cluster):
+            relations: list[Any] = [site.fragment for site in deployment.sites()]
+        elif deployment is not None:
+            relations = [deployment.relation]
+        else:
+            relations = []
+        stores: list[Any] = []
+        seen: set[int] = set()
+        for rel in relations:
+            store = sql_store_of(rel)
+            if store is not None and id(store) not in seen:
+                seen.add(id(store))
+                stores.append(store)
+        return stores
+
+    def _stmt_cache_info(self) -> dict[str, int] | None:
+        """Prepared-SQL statement cache counters summed over the session's
+        stores, or None when no fragment is SQL-backed."""
+        stores = self._sql_stores()
+        if not stores:
+            return None
+        totals = {"hits": 0, "misses": 0, "size": 0}
+        for store in stores:
+            for key, value in store.statement_cache_info().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
     def reset_costs(self) -> NetworkStats:
         """Zero the network counters and timing ledger between batches.
 
@@ -1018,7 +1075,7 @@ class DetectionSession:
             "partitioning": self._partitioning,
             "n_sites": len(deployment) if deployment is not None else 1,
             "n_rules": len(self._rules),
-            "storage": getattr(self._detector, "storage_backend", None) or self._storage,
+            "storage": self._storage_info(),
             "executor": self.executor,
             "batches_applied": self._batches_applied,
             "updates_applied": self._updates_applied,
@@ -1038,6 +1095,7 @@ class DetectionSession:
             "wall_seconds": self.wall_seconds,
             "topology_events": len(self._topology),
         }
+        info["rule_fusion"] = self._rule_fusion_info()
         plan_trace = self.plan_trace
         if plan_trace:
             info["last_plan"] = plan_trace[-1].as_dict()
@@ -1054,6 +1112,30 @@ class DetectionSession:
         }
         if _prof.enabled:
             info["observability"]["profile"] = _prof.snapshot()
+        return info
+
+    def _storage_info(self) -> dict[str, Any]:
+        """The ``explain()["storage"]`` section: backend plus, for
+        SQL-backed sessions, the prepared-statement cache counters."""
+        info: dict[str, Any] = {
+            "backend": getattr(self._detector, "storage_backend", None) or self._storage,
+        }
+        cache = self._stmt_cache_info()
+        if cache is not None:
+            info["stmt_cache"] = cache
+        return info
+
+    def _rule_fusion_info(self) -> dict[str, Any]:
+        """The ``explain()["rule_fusion"]`` section: the toggle plus the
+        fused group structure of the session's rule set (CFDs only —
+        matching dependencies have no fused path)."""
+        info: dict[str, Any] = {"enabled": self._rule_fusion}
+        if self._rules and all(isinstance(rule, CFD) for rule in self._rules):
+            from repro.rulefuse import compile_rule_set
+
+            groups = compile_rule_set(self._rules)
+            info["n_groups"] = len(groups)
+            info["groups"] = [group.as_dict() for group in groups]
         return info
 
     def trace_records(self) -> tuple[dict[str, Any], ...]:
@@ -1156,6 +1238,18 @@ class DetectionSession:
             "Real IPC bytes the executor pickled (0 for in-process backends)",
             timings.bytes_pickled,
         )
+        cache = self._stmt_cache_info()
+        if cache is not None:
+            set_gauge(
+                "repro_sql_stmt_cache_hits",
+                "Prepared-SQL statement cache hits across the session's stores",
+                cache["hits"],
+            )
+            set_gauge(
+                "repro_sql_stmt_cache_misses",
+                "Prepared-SQL statement cache misses across the session's stores",
+                cache["misses"],
+            )
         catalog = getattr(self._detector, "catalog", None)
         if catalog is not None:
             set_gauge(

@@ -24,7 +24,7 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Any, Iterable
 
-from repro.core.cfd import CFD, UNNAMED
+from repro.core.cfd import CFD, UNNAMED, is_locally_checkable, split_local_general
 from repro.core.detector import CentralizedDetector
 from repro.core.tuples import Tuple
 from repro.core.violations import ViolationSet
@@ -40,6 +40,7 @@ def _site_batch_task(
     general_cfds: list[CFD],
     ship_names: frozenset[str],
     tuples: "list[Tuple] | Any",
+    fusion: bool = True,
 ) -> tuple[list, dict[str, list[tuple[Any, int]]], dict, bool]:
     """One site's whole batch-detection contribution (pure, picklable).
 
@@ -79,9 +80,19 @@ def _site_batch_task(
     if store is not None:
         from repro.columnar import kernels
 
-        local_masks = [
-            (cfd.name, kernels.violation_mask(cfd, store)) for cfd in local_cfds
-        ]
+        if fusion and len(local_cfds) > 1:
+            from repro.rulefuse import fused_columnar_masks
+
+            local_masks = [
+                (cfd.name, mask)
+                for cfd, mask in zip(
+                    local_cfds, fused_columnar_masks(store, local_cfds)
+                )
+            ]
+        else:
+            local_masks = [
+                (cfd.name, kernels.violation_mask(cfd, store)) for cfd in local_cfds
+            ]
         for cfd in general_cfds:
             want_ship = cfd.name in ship_names
             ship, by_key = kernels.horizontal_batch_scan(
@@ -97,10 +108,20 @@ def _site_batch_task(
         # and return the same decoded wire shapes as the row path.
         from repro.sqlstore import kernels as sql_kernels
 
-        local_violations = [
-            (cfd.name, sql_kernels.violations_of(cfd, sql_store))
-            for cfd in local_cfds
-        ]
+        if fusion and len(local_cfds) > 1:
+            from repro.rulefuse import fused_sql_violations
+
+            local_violations = [
+                (cfd.name, tids)
+                for cfd, tids in zip(
+                    local_cfds, fused_sql_violations(sql_store, local_cfds)
+                )
+            ]
+        else:
+            local_violations = [
+                (cfd.name, sql_kernels.violations_of(cfd, sql_store))
+                for cfd in local_cfds
+            ]
         for cfd in general_cfds:
             want_ship = cfd.name in ship_names
             ship, by_key = sql_kernels.horizontal_batch_scan(
@@ -110,9 +131,18 @@ def _site_batch_task(
                 shipments[cfd.name] = ship
             groups[cfd.name] = by_key
         return local_violations, shipments, groups, False
-    local_violations = [
-        (cfd.name, CentralizedDetector.violations_of(cfd, tuples)) for cfd in local_cfds
-    ]
+    if fusion and len(local_cfds) > 1:
+        from repro.rulefuse import fused_rows_violations
+
+        local_violations = [
+            (cfd.name, tids)
+            for cfd, tids in zip(local_cfds, fused_rows_violations(local_cfds, tuples))
+        ]
+    else:
+        local_violations = [
+            (cfd.name, CentralizedDetector.violations_of(cfd, tuples))
+            for cfd in local_cfds
+        ]
     if _prof.enabled:
         _t0 = perf_counter()
     for cfd in general_cfds:
@@ -136,32 +166,21 @@ def _site_batch_task(
 class HorizontalBatchDetector:
     """Recompute ``V(Sigma, D)`` over a horizontally partitioned cluster."""
 
-    def __init__(self, cluster: Cluster, cfds: Iterable[CFD]):
+    def __init__(self, cluster: Cluster, cfds: Iterable[CFD], fusion: bool = True):
         if not cluster.is_horizontal():
             raise ValueError("HorizontalBatchDetector requires a horizontal cluster")
         self._cluster = cluster
         self._network = cluster.network
         self._partitioner = cluster.horizontal_partitioner
         self._cfds = list(cfds)
+        self._fusion = fusion
         for cfd in self._cfds:
             cfd.validate_against(self._partitioner.schema)
-        self._local_cfds = [
-            cfd
-            for cfd in self._cfds
-            if cfd.is_constant() or self._is_locally_checkable(cfd)
-        ]
-        local_ids = {id(cfd) for cfd in self._local_cfds}
-        self._general_cfds = [cfd for cfd in self._cfds if id(cfd) not in local_ids]
-
-    def _is_locally_checkable(self, cfd: CFD) -> bool:
-        if self._partitioner.n_fragments == 1:
-            return True
-        lhs = set(cfd.lhs)
-        for frag in self._partitioner.fragments:
-            attrs = frag.predicate.attributes()
-            if not attrs or not attrs <= lhs:
-                return False
-        return True
+        self._local_cfds, self._general_cfds = split_local_general(
+            self._cfds,
+            lambda cfd: cfd.is_constant()
+            or is_locally_checkable(cfd, self._partitioner),
+        )
 
     def _shipping_sites(self, cfd: CFD, coordinator: int) -> frozenset[int]:
         """Sites that must ship their matching tuples for ``cfd``."""
@@ -208,6 +227,7 @@ class HorizontalBatchDetector:
                     if column_store_of(site.fragment) is not None
                     or sql_store_of(site.fragment) is not None
                     else list(site.fragment),
+                    self._fusion,
                 ),
                 label="batHor",
             )

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
-from repro.core.cfd import CFD, UNNAMED
+from repro.core.cfd import CFD, UNNAMED, is_locally_checkable, split_local_general
 from repro.core.detector import CentralizedDetector
 from repro.core.updates import Update, UpdateBatch
 from repro.core.violations import ViolationDelta, ViolationSet
@@ -77,6 +77,7 @@ class HorizontalIncrementalDetector:
         cfds: Iterable[CFD],
         violations: ViolationSet | None = None,
         use_md5: bool = True,
+        fusion: bool = True,
     ):
         if not cluster.is_horizontal():
             raise ValueError("HorizontalIncrementalDetector requires a horizontal cluster")
@@ -84,6 +85,7 @@ class HorizontalIncrementalDetector:
         self._network = cluster.network
         self._partitioner = cluster.horizontal_partitioner
         self._cfds = list(cfds)
+        self._fusion = fusion
         schema = self._partitioner.schema
         for cfd in self._cfds:
             cfd.validate_against(schema)
@@ -92,36 +94,41 @@ class HorizontalIncrementalDetector:
         self._classify()
 
         # Per-site local indices for every variable CFD (setup phase).
-        self._site_indices: dict[str, dict[int, CFDIndex]] = {}
-        for cfd in self._local_cfds + self._general_cfds:
-            per_site: dict[int, CFDIndex] = {}
-            for site in cluster.sites():
-                index = CFDIndex(cfd)
-                index.build_from(site.fragment)
-                per_site[site.site_id] = index
-            self._site_indices[cfd.name] = per_site
+        # With fusion, each site's fragment is swept once per fused LHS
+        # group instead of once per CFD.
+        variable_cfds = self._local_cfds + self._general_cfds
+        self._site_indices: dict[str, dict[int, CFDIndex]] = {
+            cfd.name: {} for cfd in variable_cfds
+        }
+        for site in cluster.sites():
+            indexes = [CFDIndex(cfd) for cfd in variable_cfds]
+            if self._fusion:
+                from repro.rulefuse import build_indexes
+
+                build_indexes(indexes, site.fragment)
+            else:
+                for index in indexes:
+                    index.build_from(site.fragment)
+            for cfd, index in zip(variable_cfds, indexes):
+                self._site_indices[cfd.name][site.site_id] = index
 
         if violations is not None:
             self._violations = violations.copy()
         else:
-            self._violations = CentralizedDetector(self._cfds).detect(
-                cluster.reconstruct()
-            )
+            self._violations = CentralizedDetector(
+                self._cfds, fusion=self._fusion
+            ).detect(cluster.reconstruct())
 
         self._bind_protocols()
 
     def _classify(self) -> None:
         """Split the CFDs into the three cases of Section 6 for the current layout."""
-        self._constant_cfds: list[CFD] = []
-        self._local_cfds: list[CFD] = []
-        self._general_cfds: list[CFD] = []
-        for cfd in self._cfds:
-            if cfd.is_constant():
-                self._constant_cfds.append(cfd)
-            elif self._is_locally_checkable(cfd):
-                self._local_cfds.append(cfd)
-            else:
-                self._general_cfds.append(cfd)
+        self._constant_cfds = [cfd for cfd in self._cfds if cfd.is_constant()]
+        constant_ids = {id(cfd) for cfd in self._constant_cfds}
+        variable = [cfd for cfd in self._cfds if id(cfd) not in constant_ids]
+        self._local_cfds, self._general_cfds = split_local_general(
+            variable, lambda cfd: is_locally_checkable(cfd, self._partitioner)
+        )
 
     def _bind_protocols(self) -> None:
         self._protocols = {}
@@ -171,17 +178,6 @@ class HorizontalIncrementalDetector:
         self._bind_protocols()
 
     # -- classification helpers --------------------------------------------------------
-
-    def _is_locally_checkable(self, cfd: CFD) -> bool:
-        """Case (2)(a) of Section 6: every fragment predicate only mentions LHS attributes."""
-        if self._partitioner.n_fragments == 1:
-            return True
-        lhs = set(cfd.lhs)
-        for frag in self._partitioner.fragments:
-            attrs = frag.predicate.attributes()
-            if not attrs or not attrs <= lhs:
-                return False
-        return True
 
     def _eligible_sites(self, cfd: CFD) -> list[int]:
         """Sites whose predicate does not conflict with the CFD's pattern constants."""

@@ -34,6 +34,10 @@ class PlanDecision:
     error: float | None = None
     switched: bool = False
     backend: str | None = None
+    #: Rule-set shape the estimates were priced against: how many rules
+    #: the session checks and how many fused same-LHS groups they
+    #: compile to (equal when fusion is off or no LHS lists repeat).
+    rule_groups: dict[str, int] | None = None
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -41,6 +45,7 @@ class PlanDecision:
             "chosen": self.chosen,
             "switched": self.switched,
             "backend": self.backend,
+            "rule_groups": self.rule_groups,
             "estimates": {name: cv.as_dict() for name, cv in self.estimates.items()},
             "estimated": self.estimated.as_dict(),
             "actual": self.actual.as_dict() if self.actual is not None else None,
@@ -145,6 +150,7 @@ class AdaptivePlanner:
         """Log the outcome of a batch and feed the EWMA calibration."""
         est = estimates[chosen]
         self.catalog.observe(chosen, est.driver, actual, seconds)
+        rules = self.catalog.rules
         decision = PlanDecision(
             batch_index=batch_index,
             chosen=chosen,
@@ -155,6 +161,10 @@ class AdaptivePlanner:
             error=est.cost.relative_error(actual),
             switched=switched,
             backend=backend,
+            rule_groups={
+                "n_rules": rules.n_rules,
+                "n_groups": rules.n_groups or rules.n_rules,
+            },
         )
         self.decisions.append(decision)
         return decision

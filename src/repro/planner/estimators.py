@@ -65,20 +65,33 @@ def _block_factor(stats: StatsCatalog) -> float:
     return rel.cardinality / max(1, max_distinct)
 
 
+def _n_scans(stats: StatsCatalog) -> int:
+    """How many data sweeps validation pays: fused groups, else rules.
+
+    With rule fusion the local work of a check scales with the number
+    of fused same-LHS groups, not the number of rules (a tableau of k
+    pattern rows costs one sweep).  Shipment priors stay rule-based —
+    fusion never changes what ships.  ``n_groups`` is 0 on profiles
+    built before fusion existed, falling back to ``n_rules``.
+    """
+    return stats.rules.n_groups or stats.rules.n_rules
+
+
 def estimate_incremental(
     stats: StatsCatalog, profile: BatchProfile, strategy: str = "incremental"
 ) -> Estimate:
     """``O(|delta-D| + |delta-V|)`` work and shipment (Prop. 6 / Prop. 8)."""
     driver = float(profile.normalized_size)
     per_update = _inc_bytes_per_update(stats)
-    # Constant work per update per rule; single-site incremental (incMD)
-    # additionally compares against its blocking candidates.
-    local = driver * stats.rules.n_rules
+    # Constant work per update per fused rule group; single-site
+    # incremental (incMD) additionally compares against its blocking
+    # candidates.
+    local = driver * _n_scans(stats)
     eqids = 0.0
     if stats.partitioning == "vertical":
         eqids = driver * stats.rules.n_general * (stats.rules.avg_lhs + 1.0)
     if stats.partitioning == "single":
-        local = driver * stats.rules.n_rules * _block_factor(stats)
+        local = driver * _n_scans(stats) * _block_factor(stats)
     return Estimate(
         strategy,
         CostVector(
@@ -110,7 +123,7 @@ def estimate_improved_batch(
             bytes=driver * per_update,
             messages=driver * (stats.rules.n_general + stats.rules.n_constant),
             eqids=eqids,
-            local_work=driver * stats.rules.n_rules,
+            local_work=driver * _n_scans(stats),
         ),
         driver,
     )
@@ -121,7 +134,7 @@ def estimate_batch(
 ) -> Estimate:
     """Full recomputation: re-ship and re-scan fragments (ICDE 2010 baseline)."""
     driver = float(stats.final_cardinality(profile))
-    local = driver * stats.rules.n_rules
+    local = driver * _n_scans(stats)
     if stats.partitioning == "single":
         # Centralized / MD batch: no shipment, pairwise work within groups.
         return Estimate(

@@ -100,6 +100,58 @@ def variable_violation_query(store: SqlStore, cfd: CFD) -> tuple[str, tuple[Any,
     return sql, (*params, *params)
 
 
+def fused_violation_query(
+    store: SqlStore, cfds: Sequence[CFD]
+) -> tuple[str, tuple[Any, ...]]:
+    """One tagged query for a whole fused rule group.
+
+    Each member contributes one ``UNION ALL`` branch — the constant or
+    variable shape above, prefixed with its position in ``cfds`` as a
+    literal ``rule`` tag column so the caller can split the shared
+    result set back into per-rule violation sets.  Branches drop the
+    ``ORDER BY`` (compound-select members must not carry one; the
+    results are sets).  One engine round-trip replaces one query per
+    rule, and the engine shares the table scan across branches.
+    """
+    parts: list[str] = []
+    params: list[Any] = []
+    key_parts: list[tuple] = []
+    for i, cfd in enumerate(cfds):
+        where, p = pattern_filter(store, cfd)
+        const_attrs = tuple(a for a, _ in pattern_constants(cfd))
+        rhs = store.column(cfd.rhs)
+        if cfd.is_constant():
+            parts.append(
+                f"SELECT {i} AS rule, tid FROM data WHERE {where} "
+                f"AND {rhs} {store.dialect.neq} ?"
+            )
+            params.extend(p)
+            params.append(store.encode(cfd.pattern.entry(cfd.rhs)))
+            key_parts.append(("const", cfd.lhs, cfd.rhs, const_attrs))
+        else:
+            lhs_cols = [store.column(a) for a in cfd.lhs]
+            eq = store.dialect.eq
+            where_d, _ = pattern_filter(store, cfd, alias="d")
+            keys = ", ".join(f"{c} AS k{j}" for j, c in enumerate(lhs_cols))
+            group_by = ", ".join(lhs_cols)
+            on = " AND ".join(f"d.{c} {eq} g.k{j}" for j, c in enumerate(lhs_cols))
+            parts.append(
+                f"SELECT {i} AS rule, d.tid FROM data d JOIN ("
+                f"SELECT {keys} FROM data WHERE {where} GROUP BY {group_by} "
+                f"HAVING COUNT(DISTINCT {rhs}) + (COUNT(*) > COUNT({rhs})) > 1"
+                f") g ON {on} WHERE {where_d}"
+            )
+            params.extend(p)
+            params.extend(p)
+            key_parts.append(("var", cfd.lhs, cfd.rhs, const_attrs))
+
+    def build() -> str:
+        return " UNION ALL ".join(parts)
+
+    sql = store.cached_sql(("fused", tuple(key_parts)), build)
+    return sql, tuple(params)
+
+
 def pattern_scan_query(
     store: SqlStore, cfd: CFD, attributes: Sequence[str]
 ) -> tuple[str, tuple[Any, ...]]:

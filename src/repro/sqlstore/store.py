@@ -168,6 +168,7 @@ class SqlStore:
         self._sql_cache: dict[Any, str] = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        self._query_count = 0
         self._lock = threading.RLock()
         self._conn = self._connect(path)
         self._create_table()
@@ -371,7 +372,14 @@ class SqlStore:
         """Flush pending writes and fetch a whole result set (locked)."""
         with self._lock:
             self._flush_locked()
+            self._query_count += 1
             return self._conn.execute(sql, params).fetchall()
+
+    @property
+    def query_count(self) -> int:
+        """How many kernel queries this store has executed (``query_all``
+        calls — the unit the rule-fusion benchmark gates on)."""
+        return self._query_count
 
     def scan(self, sql: str, params: tuple = ()) -> Iterator[tuple]:
         """Flush and stream a result set chunk-wise (locked per chunk).
@@ -574,6 +582,7 @@ class DuckStore(SqlStore):  # pragma: no cover - requires optional duckdb
     def query_all(self, sql: str, params: tuple = ()) -> list:
         with self._lock:
             self._flush_locked()
+            self._query_count += 1
             return self._conn.execute(sql, params).fetchall()
 
     def scan(self, sql: str, params: tuple = ()):

@@ -190,6 +190,13 @@ class RuleProfile:
     the three cases of Fig. 5.  Horizontally, constant CFDs are locally
     checkable and variable CFDs ship tuples or MD5 fingerprints
     (Fig. 8).  Matching dependencies count as general rules.
+
+    ``n_groups`` is the number of fused same-LHS rule groups the
+    rule-fusion compiler produces — the number of data sweeps a fused
+    validation pays, which is what the local-work estimators scale
+    with.  It equals ``n_rules`` when fusion is off (or for MD rule
+    sets, which fuse nothing) and can be much smaller for tableau-style
+    rule sets.
     """
 
     n_rules: int
@@ -198,9 +205,15 @@ class RuleProfile:
     n_general: int
     avg_lhs: float
     kind: str = "cfd"
+    n_groups: int = 0
 
     @classmethod
-    def of(cls, rules: Iterable[Any], vertical_partitioner: Any = None) -> "RuleProfile":
+    def of(
+        cls,
+        rules: Iterable[Any],
+        vertical_partitioner: Any = None,
+        fusion: bool = True,
+    ) -> "RuleProfile":
         rules = list(rules)
         from repro.similarity.md import MatchingDependency
 
@@ -213,6 +226,7 @@ class RuleProfile:
                 n_general=len(rules),
                 avg_lhs=sum(lhs_sizes) / len(lhs_sizes),
                 kind="md",
+                n_groups=len(rules),
             )
         n_constant = n_local = n_general = 0
         lhs_sizes: list[int] = []
@@ -228,6 +242,12 @@ class RuleProfile:
             else:
                 n_general += 1
                 lhs_sizes.append(len(cfd.lhs))
+        if fusion:
+            from repro.rulefuse import n_fused_groups
+
+            n_groups = n_fused_groups(rules)
+        else:
+            n_groups = len(rules)
         return cls(
             n_rules=len(rules),
             n_constant=n_constant,
@@ -235,6 +255,7 @@ class RuleProfile:
             n_general=n_general,
             avg_lhs=sum(lhs_sizes) / len(lhs_sizes) if lhs_sizes else 1.0,
             kind="cfd",
+            n_groups=n_groups,
         )
 
 
@@ -407,10 +428,11 @@ class StatsCatalog:
         vertical_partitioner: Any = None,
         n_violations: int = 0,
         alpha: float = 0.3,
+        fusion: bool = True,
     ) -> "StatsCatalog":
         return cls(
             relation=RelationStats.collect(relation),
-            rules=RuleProfile.of(rules, vertical_partitioner),
+            rules=RuleProfile.of(rules, vertical_partitioner, fusion=fusion),
             partitioning=partitioning,
             n_sites=n_sites,
             n_violations=n_violations,
@@ -482,6 +504,7 @@ class StatsCatalog:
                 "n_general": self.rules.n_general,
                 "avg_lhs": self.rules.avg_lhs,
                 "kind": self.rules.kind,
+                "n_groups": self.rules.n_groups,
             },
             "site_loads": [
                 site_loads[site].as_dict() for site in sorted(site_loads)

@@ -94,27 +94,35 @@ def _site_ship_task(
     return shipments
 
 
-def _check_cfds_task(cfds: list[CFD], tuples: "list[Tuple] | Any") -> list[set[Any]]:
+def _check_cfds_task(
+    cfds: list[CFD], tuples: "list[Tuple] | Any", fusion: bool = True
+) -> list[set[Any]]:
     """``V(phi, D)`` for each CFD checked at one coordinator site (pure).
 
     Bundling a site's CFDs into one task ships the snapshot across the
     process backend's pickle boundary once per site, not once per CFD.
-    ``tuples`` may be a column-backed relation, in which case each check
-    dispatches to the vectorized kernels (sharing LHS group sweeps).
+    With fusion (the default) the bundled CFDs are further compiled into
+    same-LHS groups and validated one pass per group; results stay
+    violation-identical to the per-rule loop on every backend.
     """
+    if fusion and len(cfds) > 1:
+        from repro.rulefuse import fused_violations
+
+        return fused_violations(cfds, tuples)
     return [CentralizedDetector.violations_of(cfd, tuples) for cfd in cfds]
 
 
 class VerticalBatchDetector:
     """Recompute ``V(Sigma, D)`` over a vertically partitioned cluster."""
 
-    def __init__(self, cluster: Cluster, cfds: Iterable[CFD]):
+    def __init__(self, cluster: Cluster, cfds: Iterable[CFD], fusion: bool = True):
         if not cluster.is_vertical():
             raise ValueError("VerticalBatchDetector requires a vertical cluster")
         self._cluster = cluster
         self._network = cluster.network
         self._partitioner = cluster.vertical_partitioner
         self._cfds = list(cfds)
+        self._fusion = fusion
         for cfd in self._cfds:
             cfd.validate_against(self._partitioner.schema)
 
@@ -244,7 +252,12 @@ class VerticalBatchDetector:
             site = coordinators.get(cfd.name, self._partitioner.home_site(cfd.rhs))
             by_check_site.setdefault(site, []).append(cfd)
         check_tasks = [
-            SiteTask(site, _check_cfds_task, (cfds, snapshot), label="batVer:check")
+            SiteTask(
+                site,
+                _check_cfds_task,
+                (cfds, snapshot, self._fusion),
+                label="batVer:check",
+            )
             for site, cfds in sorted(by_check_site.items())
         ]
         for (_site, cfds), result in zip(

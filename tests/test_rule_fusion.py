@@ -1,0 +1,461 @@
+"""Rule-fusion parity: fused compilation is invisible in the results.
+
+Fused rule-set compilation (one sweep per same-LHS group instead of one
+per rule) is a pure local-work optimization: for every strategy — the
+full registry plus ``auto`` — on every storage backend (rows, columnar,
+sql) the fused paths must produce the identical violation set, identical
+ΔV and identical shipment counters as the per-rule paths, batch after
+batch, including across mid-stream scale and rebalance events.  The
+grouping itself is exercised by an 8-rule tableau sharing 3 LHS lists,
+and the SQL backend must additionally issue *fewer* queries when fused —
+the whole point of the shared tagged query per group.
+"""
+
+import pytest
+
+from repro.core.cfd import CFD, split_local_general
+from repro.core.relation import Relation
+from repro.core.schema import Schema
+from repro.core.tuples import Tuple
+from repro.core.updates import Update, UpdateBatch
+from repro.engine.session import session
+from repro.rulefuse import compile_rule_set, n_fused_groups
+from repro.similarity.md import MatchingDependency
+from repro.similarity.predicates import NormalizedStringMatch
+from repro.sqlstore.store import sql_store_of
+from repro.workloads.rules import generate_cfds
+from repro.workloads.tpch import TPCHGenerator
+from repro.workloads.updates import generate_updates
+
+SEED = 17
+N_BASE = 100
+N_UPDATES = 50
+N_CFDS = 6
+N_SITES = 3
+
+#: Every registered strategy (the MD detectors have no fused path — the
+#: session toggle must be a silent no-op for them) plus ``auto`` on both
+#: partitionings.
+STRATEGIES = [
+    ("incVer", "vertical"),
+    ("batVer", "vertical"),
+    ("ibatVer", "vertical"),
+    ("optVer", "vertical"),
+    ("incHor", "horizontal"),
+    ("batHor", "horizontal"),
+    ("ibatHor", "horizontal"),
+    ("centralized", "single"),
+    ("md", "single"),
+    ("incMD", "single"),
+    ("auto", "vertical"),
+    ("auto", "horizontal"),
+]
+
+STORAGES = ["rows", "columnar", "sql"]
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return TPCHGenerator(seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def relation(generator):
+    return generator.relation(N_BASE)
+
+
+@pytest.fixture(scope="module")
+def cfds(generator):
+    return list(generate_cfds(generator.fd_specs(), N_CFDS, seed=SEED))
+
+
+@pytest.fixture(scope="module")
+def updates(generator, relation):
+    return generate_updates(relation, generator, N_UPDATES, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def mds():
+    return [
+        MatchingDependency(
+            [("pname", NormalizedStringMatch())], ["sname"], name="md_name"
+        )
+    ]
+
+
+def run_strategy(
+    strategy, partitioning, storage, fusion, generator, relation, cfds, mds, updates
+):
+    builder = session(relation)
+    if partitioning == "vertical":
+        builder = builder.partition(generator.vertical_partitioner(N_SITES))
+    elif partitioning == "horizontal":
+        builder = builder.partition(generator.horizontal_partitioner(N_SITES))
+    rules = mds if strategy in ("md", "incMD") else cfds
+    sess = (
+        builder.rules(rules)
+        .strategy(strategy)
+        .storage(storage)
+        .rule_fusion(fusion)
+        .build()
+    )
+    delta = sess.apply(updates)
+    report = sess.report()
+    info = sess.explain()
+    sess.close()
+    assert info["rule_fusion"]["enabled"] is fusion
+    return {
+        "initial": sess.initial_violations.as_dict(),
+        "violations": sess.violations.as_dict(),
+        "added": delta.added,
+        "removed": delta.removed,
+        "messages": report.network.messages,
+        "bytes": report.network.bytes,
+        "units_by_kind": report.network.units_by_kind,
+        "bytes_by_kind": report.network.bytes_by_kind,
+        "messages_by_pair": report.network.messages_by_pair,
+    }
+
+
+@pytest.fixture(scope="module")
+def per_rule_outcomes(generator, relation, cfds, mds, updates):
+    """Reference results with fusion switched off, per strategy × storage."""
+    return {
+        (strategy, partitioning, storage): run_strategy(
+            strategy, partitioning, storage, False,
+            generator, relation, cfds, mds, updates,
+        )
+        for strategy, partitioning in STRATEGIES
+        for storage in STORAGES
+    }
+
+
+class TestFusionParity:
+    @pytest.mark.parametrize("storage", STORAGES)
+    @pytest.mark.parametrize("strategy,partitioning", STRATEGIES)
+    def test_fused_matches_per_rule(
+        self, strategy, partitioning, storage, per_rule_outcomes,
+        generator, relation, cfds, mds, updates,
+    ):
+        fused = run_strategy(
+            strategy, partitioning, storage, True,
+            generator, relation, cfds, mds, updates,
+        )
+        expected = per_rule_outcomes[(strategy, partitioning, storage)]
+        assert fused == expected
+
+    def test_reference_outcomes_are_not_vacuous(self, per_rule_outcomes):
+        assert any(o["violations"] for o in per_rule_outcomes.values())
+        assert any(o["messages"] for o in per_rule_outcomes.values())
+
+
+# -- mid-stream elasticity ----------------------------------------------------------------
+
+WAVE_SIZES = [(18, 41), (24, 42), (16, 43)]
+SCALE_OUT = 5
+SCALE_IN = 2
+
+WAVE_STRATEGIES = [
+    ("incVer", "vertical"),
+    ("incHor", "horizontal"),
+    ("auto", "horizontal"),
+]
+
+
+@pytest.fixture(scope="module")
+def waves(generator, relation):
+    batches = []
+    current = relation
+    for size, seed in WAVE_SIZES:
+        batch = generate_updates(
+            current, generator, size, insert_fraction=0.6, seed=seed, skew=1.2
+        )
+        batches.append(batch)
+        current = batch.apply_to(current)
+    return batches
+
+
+def _viol_key(violations):
+    return {tid: frozenset(violations.cfds_of(tid)) for tid in violations.tids()}
+
+
+def _delta_key(delta):
+    return (
+        {tid: frozenset(names) for tid, names in delta.added.items()},
+        {tid: frozenset(names) for tid, names in delta.removed.items()},
+    )
+
+
+def run_waves(strategy, partitioning, storage, fusion, generator, relation, cfds, waves):
+    builder = session(relation)
+    if partitioning == "vertical":
+        builder = builder.partition(generator.vertical_partitioner(N_SITES))
+    else:
+        builder = builder.partition(generator.horizontal_partitioner(N_SITES))
+    sess = (
+        builder.rules(cfds).strategy(strategy).storage(storage).rule_fusion(fusion).build()
+    )
+    records = []
+    with sess:
+        for i, wave in enumerate(waves):
+            if i == 1:
+                sess.scale(sites=SCALE_OUT)
+            if i == 2:
+                if partitioning == "horizontal":
+                    sess.rebalance()
+                sess.scale(sites=SCALE_IN)
+            delta = sess.apply(wave)
+            stats = sess.network.stats()
+            records.append(
+                (_delta_key(delta), _viol_key(sess.violations), stats.bytes, stats.messages)
+            )
+    return records
+
+
+class TestFusionElasticityParity:
+    @pytest.mark.parametrize("storage", ["rows", "columnar", "sql"])
+    @pytest.mark.parametrize("strategy,partitioning", WAVE_STRATEGIES)
+    def test_scaled_streams_stay_identical(
+        self, strategy, partitioning, storage, generator, relation, cfds, waves
+    ):
+        fused = run_waves(
+            strategy, partitioning, storage, True, generator, relation, cfds, waves
+        )
+        plain = run_waves(
+            strategy, partitioning, storage, False, generator, relation, cfds, waves
+        )
+        assert fused == plain
+
+
+# -- shared-LHS tableau -------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tableau_schema():
+    return Schema("t", ["tid", "a", "b", "c", "d", "e"], key="tid")
+
+
+@pytest.fixture(scope="module")
+def tableau_cfds():
+    """8 rules over 3 distinct LHS lists: a tableau-shaped rule set."""
+    return [
+        CFD(("a", "b"), "c", {}, name="ab_c"),
+        CFD(("a", "b"), "d", {}, name="ab_d"),
+        CFD(("a", "b"), "e", {"a": "a1"}, name="ab_e_pinned"),
+        CFD(("a",), "d", {}, name="a_d"),
+        CFD(("a",), "e", {"a": "a2", "e": "e0"}, name="a_e_const"),
+        CFD(("a",), "c", {}, name="a_c"),
+        CFD(("b", "c"), "e", {}, name="bc_e"),
+        CFD(("b", "c"), "d", {"b": "b3"}, name="bc_d_pinned"),
+    ]
+
+
+@pytest.fixture(scope="module")
+def tableau_relation(tableau_schema):
+    rows = [
+        Tuple(
+            i,
+            {
+                "tid": i,
+                "a": f"a{i % 7}",
+                "b": f"b{i % 5}",
+                "c": f"c{(i // 2) % 6}",
+                "d": f"d{(i // 3) % 4}",
+                "e": f"e{i % 3}",
+            },
+        )
+        for i in range(240)
+    ]
+    return Relation(tableau_schema, rows)
+
+
+@pytest.fixture(scope="module")
+def tableau_updates():
+    return UpdateBatch(
+        [
+            Update.insert(
+                Tuple(
+                    1000 + i,
+                    {
+                        "tid": 1000 + i,
+                        "a": f"a{i % 7}",
+                        "b": f"b{i % 5}",
+                        "c": "conflict-c",
+                        "d": "conflict-d",
+                        "e": "e0",
+                    },
+                )
+            )
+            for i in range(30)
+        ]
+    )
+
+
+class TestSharedLhsTableau:
+    def test_compiler_groups_by_lhs(self, tableau_cfds):
+        groups = compile_rule_set(tableau_cfds)
+        assert len(groups) == 3
+        assert n_fused_groups(tableau_cfds) == 3
+        # First-seen order, members in rule order.
+        assert [g.lhs for g in groups] == [("a", "b"), ("a",), ("b", "c")]
+        assert [len(g) for g in groups] == [3, 3, 2]
+        assert [m.name for m in groups[0].members] == ["ab_c", "ab_d", "ab_e_pinned"]
+
+    @pytest.mark.parametrize("storage", STORAGES)
+    def test_tableau_parity_all_backends(
+        self, storage, tableau_relation, tableau_cfds, tableau_updates
+    ):
+        outcomes = {}
+        for fusion in (True, False):
+            sess = (
+                session(tableau_relation)
+                .partition("horizontal", n_fragments=N_SITES)
+                .rules(tableau_cfds)
+                .strategy("incHor")
+                .storage(storage)
+                .rule_fusion(fusion)
+                .build()
+            )
+            delta = sess.apply(tableau_updates)
+            outcomes[fusion] = (
+                sess.initial_violations.as_dict(),
+                sess.violations.as_dict(),
+                _delta_key(delta),
+                sess.network.stats().bytes,
+            )
+            sess.close()
+        assert outcomes[True] == outcomes[False]
+
+    def test_explain_reports_group_structure(
+        self, tableau_relation, tableau_cfds, tableau_updates
+    ):
+        sess = (
+            session(tableau_relation)
+            .partition("horizontal", n_fragments=N_SITES)
+            .rules(tableau_cfds)
+            .strategy("auto")
+            .build()
+        )
+        sess.apply(tableau_updates)
+        info = sess.explain()
+        sess.close()
+        fusion = info["rule_fusion"]
+        assert fusion["enabled"] is True
+        assert fusion["n_groups"] == 3
+        assert [g["lhs"] for g in fusion["groups"]] == [["a", "b"], ["a"], ["b", "c"]]
+        assert sum(len(g["rules"]) for g in fusion["groups"]) == len(tableau_cfds)
+        # The planner priced the fused shape and recorded it per batch.
+        assert info["last_plan"]["rule_groups"] == {"n_rules": 8, "n_groups": 3}
+
+    def test_fused_sql_issues_fewer_queries(
+        self, tableau_relation, tableau_cfds, tableau_updates
+    ):
+        counts = {}
+        for fusion in (True, False):
+            sess = (
+                session(tableau_relation)
+                .rules(tableau_cfds)
+                .strategy("centralized")
+                .storage("sql")
+                .rule_fusion(fusion)
+                .build()
+            )
+            sess.apply(tableau_updates)
+            stores = [
+                store
+                for store in [sql_store_of(sess.deployment.relation)]
+                if store is not None
+            ]
+            assert stores, "sql session must expose a SqlStore"
+            counts[fusion] = sum(store.query_count for store in stores)
+            violations = sess.violations.as_dict()
+            sess.close()
+            assert violations
+        assert counts[True] < counts[False]
+
+    def test_stmt_cache_counters_in_explain(
+        self, tableau_relation, tableau_cfds, tableau_updates
+    ):
+        sess = (
+            session(tableau_relation)
+            .partition("horizontal", n_fragments=N_SITES)
+            .rules(tableau_cfds)
+            .strategy("batHor")
+            .storage("sql")
+            .build()
+        )
+        first = sess.explain()["storage"]
+        assert first["backend"] == "sql"
+        assert set(first["stmt_cache"]) == {"hits", "misses", "size"}
+        cache_before = dict(first["stmt_cache"])
+        assert cache_before["misses"] > 0  # setup compiled the fused queries
+        sess.apply(tableau_updates)
+        after = sess.explain()["storage"]["stmt_cache"]
+        sess.close()
+        # Re-detection reuses the prepared statements: hits must grow,
+        # the cache itself must not (same keys, same plans).
+        assert after["hits"] > cache_before["hits"]
+        assert after["size"] == cache_before["size"]
+
+
+# -- unit coverage ------------------------------------------------------------------------
+
+
+class TestCompilerUnits:
+    def test_single_rules_are_singleton_groups(self):
+        cfds = [CFD(("a",), "b", {}, name="r1"), CFD(("b",), "c", {}, name="r2")]
+        groups = compile_rule_set(cfds)
+        assert [len(g) for g in groups] == [1, 1]
+        assert n_fused_groups(cfds) == 2
+
+    def test_n_fused_groups_counts_non_cfds_individually(self, mds):
+        cfds = [CFD(("a",), "b", {}, name="r1"), CFD(("a",), "c", {}, name="r2")]
+        assert n_fused_groups(cfds) == 1
+        assert n_fused_groups(list(cfds) + list(mds)) == 1 + len(mds)
+
+    def test_group_as_dict_is_json_ready(self):
+        import json
+
+        cfds = [
+            CFD(("a", "b"), "c", {}, name="v"),
+            CFD(("a", "b"), "d", {"a": "x", "b": "y", "d": "z"}, name="k"),
+        ]
+        (group,) = compile_rule_set(cfds)
+        rendered = group.as_dict()
+        json.dumps(rendered)
+        assert rendered["rules"] == ["v", "k"]
+        assert rendered["n_constant"] == 1
+        assert rendered["n_variable"] == 1
+
+    def test_split_local_general_preserves_order_and_duplicates(self):
+        a = CFD(("a",), "b", {}, name="x")
+        b = CFD(("b",), "c", {}, name="y")
+        c = CFD(("c",), "d", {}, name="z")
+        local, general = split_local_general([a, b, c], lambda cfd: cfd is not b)
+        assert local == [a, c]
+        assert general == [b]
+        # Equal-but-distinct rules are classified by identity, not value.
+        twin = CFD(("a",), "b", {}, name="x")
+        local, general = split_local_general([a, twin], lambda cfd: cfd is a)
+        assert local == [a]
+        assert general == [twin]
+
+
+class TestPlannerGroupAwareness:
+    def test_local_work_scales_with_groups_not_rules(
+        self, tableau_relation, tableau_cfds
+    ):
+        from repro.planner.estimators import _n_scans
+        from repro.stats.collector import StatsCatalog
+
+        fused = StatsCatalog.collect(
+            tableau_relation, tableau_cfds, n_sites=N_SITES,
+            partitioning="horizontal", fusion=True,
+        )
+        plain = StatsCatalog.collect(
+            tableau_relation, tableau_cfds, n_sites=N_SITES,
+            partitioning="horizontal", fusion=False,
+        )
+        assert _n_scans(fused) == 3
+        assert _n_scans(plain) == 8
+        assert fused.rules.n_rules == plain.rules.n_rules == 8
